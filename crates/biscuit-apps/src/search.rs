@@ -1,0 +1,232 @@
+//! Simple string search, both ways (paper §V-C, Table V).
+//!
+//! - **Conv**: the host streams the file over the link and runs Boyer–Moore
+//!   (what Linux `grep` does), throttled by memory-bandwidth contention.
+//! - **Biscuit**: a grep SSDlet streams the file through the per-channel
+//!   pattern matcher at internal bandwidth; only match counting touches the
+//!   device CPU, and a single number crosses the link. Load-insensitive.
+
+use biscuit_core::module::{ModuleBuilder, SsdletSpec};
+use biscuit_core::task::{args_as, Ssdlet, TaskCtx};
+use biscuit_core::{Application, BiscuitResult, Ssd, SsdletModule};
+use biscuit_fs::File;
+use biscuit_host::{BoyerMoore, ConvIo, HostLoad};
+use biscuit_sim::time::SimDuration;
+use biscuit_sim::Ctx;
+use biscuit_ssd::pattern::{PatternLimits, PatternSet};
+
+/// Host-side `grep`: returns the number of needle occurrences.
+///
+/// I/O and scanning pipeline as in a single-threaded reader: the CPU works
+/// on previous chunks while the next chunk's I/O is in flight.
+///
+/// # Errors
+///
+/// Returns filesystem errors.
+pub fn conv_grep(
+    ctx: &Ctx,
+    conv: &ConvIo,
+    file: &File,
+    needle: &[u8],
+    load: HostLoad,
+) -> biscuit_fs::FsResult<u64> {
+    let bm = BoyerMoore::new(needle);
+    let page_size = conv.device().config().page_size;
+    let total_pages = file.len()?.div_ceil(page_size as u64);
+    let chunk_pages = 1024u64;
+    let scan_rate = conv.config().scan_rate / load.bandwidth_slowdown(conv.config());
+    let mut count = 0u64;
+    let mut cpu_backlog = SimDuration::ZERO;
+    let mut page_idx = 0u64;
+    while page_idx < total_pages {
+        let n = chunk_pages.min(total_pages - page_idx);
+        let t0 = ctx.now();
+        let pages = conv.read_file_pages_async(ctx, file, page_idx, n, 64, 16, load)?;
+        let io_elapsed = ctx.now() - t0;
+        cpu_backlog = cpu_backlog.saturating_sub(io_elapsed);
+        cpu_backlog += SimDuration::for_bytes(n * page_size as u64, scan_rate);
+        for page in &pages {
+            count += bm.count(page) as u64;
+        }
+        page_idx += n;
+    }
+    ctx.sleep(cpu_backlog);
+    Ok(count)
+}
+
+/// Arguments for the grep SSDlet.
+#[derive(Debug, Clone)]
+pub struct GrepArgs {
+    /// File to scan.
+    pub file: File,
+    /// Needle bytes (≤16, per the matcher's key length limit).
+    pub needle: Vec<u8>,
+}
+
+/// SSDlet identifier inside [`grep_module`].
+pub const GREP_ID: &str = "idGrep";
+
+/// Builds the `grepper` module.
+pub fn grep_module() -> SsdletModule {
+    ModuleBuilder::new("grepper")
+        .binary_size(64 << 10)
+        .register(
+            GREP_ID,
+            SsdletSpec::new().output::<u64>().memory(256 << 10),
+            |args| {
+                let args = args_as::<GrepArgs>(args)?;
+                Ok(Box::new(Grep { args }))
+            },
+        )
+        .build()
+}
+
+struct Grep {
+    args: GrepArgs,
+}
+
+impl Ssdlet for Grep {
+    fn run(&mut self, ctx: &mut TaskCtx<'_>) {
+        let limits = PatternLimits {
+            max_keys: ctx.device().config().pm_max_keys,
+            max_key_len: ctx.device().config().pm_max_key_len,
+        };
+        let pattern = PatternSet::new(vec![self.args.needle.clone()], limits)
+            .expect("needle validated by caller");
+        let hits = self
+            .args
+            .file
+            .scan(ctx.sim(), &pattern, 64, 32)
+            .expect("scan of search corpus");
+        let mut count = 0u64;
+        for (_idx, page) in hits {
+            let occurrences = pattern.find_all(&page);
+            // The device CPU only touches the vicinity of each hit.
+            ctx.compute_bytes((occurrences.len() * self.args.needle.len()) as u64);
+            count += occurrences.len() as u64;
+        }
+        ctx.send(0, count).expect("host port open");
+    }
+}
+
+/// Device-side `grep` over the Biscuit framework: returns the occurrence
+/// count. `module` is the pre-loaded [`grep_module`].
+///
+/// # Errors
+///
+/// Returns framework errors.
+pub fn biscuit_grep(
+    ctx: &Ctx,
+    ssd: &Ssd,
+    module: biscuit_core::ModuleId,
+    file: &File,
+    needle: &[u8],
+) -> BiscuitResult<u64> {
+    let app = Application::new(ssd, "grep");
+    let g = app.ssdlet_with(
+        module,
+        GREP_ID,
+        GrepArgs {
+            file: file.read_only(),
+            needle: needle.to_vec(),
+        },
+    )?;
+    let rx = app.connect_to::<u64>(g.out(0))?;
+    app.start(ctx)?;
+    let count = rx.get(ctx).unwrap_or(0);
+    app.join(ctx);
+    Ok(count)
+}
+
+/// Convenience: load the grep module once.
+///
+/// # Errors
+///
+/// Returns framework errors.
+pub fn load_grep_module(ctx: &Ctx, ssd: &Ssd) -> BiscuitResult<biscuit_core::ModuleId> {
+    ssd.load_module(ctx, grep_module())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weblog::{WeblogGen, NEEDLE};
+    use biscuit_core::CoreConfig;
+    use biscuit_fs::{Fs, Mode};
+    use biscuit_host::HostConfig;
+    use biscuit_sim::Simulation;
+    use biscuit_ssd::{SsdConfig, SsdDevice};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn setup(corpus_pages: u64) -> (Ssd, ConvIo, File, u64) {
+        let dev = Arc::new(SsdDevice::new(SsdConfig {
+            logical_capacity: 1 << 30,
+            ..SsdConfig::paper_default()
+        }));
+        let fs = Fs::format(Arc::clone(&dev));
+        let page = dev.config().page_size;
+        let gen = Arc::new(WeblogGen::new(11, 200));
+        let expected = gen.count_needles(corpus_pages, page);
+        fs.create_synthetic("weblog", corpus_pages * page as u64, gen)
+            .unwrap();
+        let file = fs.open("weblog", Mode::ReadOnly).unwrap();
+        let ssd = Ssd::new(fs, CoreConfig::paper_default());
+        let conv = ConvIo::new(
+            Arc::clone(ssd.device()),
+            Arc::clone(ssd.link()),
+            HostConfig::paper_default(),
+        );
+        (ssd, conv, file, expected)
+    }
+
+    #[test]
+    fn both_paths_count_the_same_needles() {
+        let (ssd, conv, file, expected) = setup(256);
+        let sim = Simulation::new(0);
+        let results: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let r = Arc::clone(&results);
+        sim.spawn("host", move |ctx| {
+            let c = conv_grep(ctx, &conv, &file, NEEDLE.as_bytes(), HostLoad::IDLE).unwrap();
+            let module = load_grep_module(ctx, &ssd).unwrap();
+            let b = biscuit_grep(ctx, &ssd, module, &file, NEEDLE.as_bytes()).unwrap();
+            r.lock().extend([c, b]);
+        });
+        sim.run().assert_quiescent();
+        let results = results.lock();
+        assert!(expected > 0);
+        assert_eq!(results[0], expected, "conv count");
+        assert_eq!(results[1], expected, "biscuit count");
+    }
+
+    #[test]
+    fn biscuit_is_faster_and_load_insensitive() {
+        let (ssd, conv, file, _) = setup(512);
+        let sim = Simulation::new(0);
+        let times: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+        let t = Arc::clone(&times);
+        sim.spawn("host", move |ctx| {
+            let module = load_grep_module(ctx, &ssd).unwrap();
+            for load in [HostLoad::IDLE, HostLoad::new(24)] {
+                let t0 = ctx.now();
+                conv_grep(ctx, &conv, &file, NEEDLE.as_bytes(), load).unwrap();
+                let conv_t = (ctx.now() - t0).as_secs_f64();
+                let t1 = ctx.now();
+                biscuit_grep(ctx, &ssd, module, &file, NEEDLE.as_bytes()).unwrap();
+                let bis_t = (ctx.now() - t1).as_secs_f64();
+                t.lock().extend([conv_t, bis_t]);
+            }
+        });
+        sim.run().assert_quiescent();
+        let t = times.lock();
+        let (conv0, bis0, conv24, bis24) = (t[0], t[1], t[2], t[3]);
+        // Paper Table V: 5.3x at idle, growing to 8.3x under load.
+        assert!(conv0 / bis0 > 3.0, "idle speedup {:.2}", conv0 / bis0);
+        assert!(conv24 > conv0 * 1.4, "conv must degrade under load");
+        assert!(
+            (bis24 - bis0).abs() / bis0 < 0.05,
+            "biscuit must be load-insensitive: {bis0} vs {bis24}"
+        );
+        assert!(conv24 / bis24 > conv0 / bis0, "speedup grows with load");
+    }
+}

@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks of the framework's hot building blocks
+//! (wall-clock performance of the library itself, not virtual-time
+//! results): wire codec, Boyer–Moore, pattern matching, row parsing, FTL
+//! writes, and the DES kernel's context-switch rate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use biscuit_db::tpch::TpchData;
+use biscuit_db::value::{row_from_text, row_to_text};
+use biscuit_host::search::BoyerMoore;
+use biscuit_proto::wire::Wire;
+use biscuit_sim::queue::SimQueue;
+use biscuit_sim::time::SimDuration;
+use biscuit_sim::Simulation;
+use biscuit_ssd::ftl::Ftl;
+use biscuit_ssd::nand::{NandArray, PageData};
+use biscuit_ssd::PatternSet;
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let rows: Vec<(String, u32)> = (0..256)
+        .map(|i| (format!("word{i:06}"), i as u32))
+        .collect();
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Elements(rows.len() as u64));
+    g.bench_function("encode_decode_256_pairs", |b| {
+        b.iter(|| {
+            let pkt = rows.to_packet();
+            let back = Vec::<(String, u32)>::from_packet(&pkt).expect("round trip");
+            assert_eq!(back.len(), rows.len());
+        });
+    });
+    g.finish();
+}
+
+fn bench_string_search(c: &mut Criterion) {
+    let gen = biscuit_apps::weblog::WeblogGen::new(7, 50);
+    let corpus = gen.generate_bytes(1 << 20, 16 << 10);
+    let mut g = c.benchmark_group("search");
+    g.throughput(Throughput::Bytes(corpus.len() as u64));
+    g.bench_function("boyer_moore_1MiB", |b| {
+        let bm = BoyerMoore::new(biscuit_apps::weblog::NEEDLE.as_bytes());
+        b.iter(|| bm.count(&corpus));
+    });
+    g.bench_function("pattern_matcher_1MiB", |b| {
+        let pat = PatternSet::from_strs(&[biscuit_apps::weblog::NEEDLE]).expect("keys");
+        b.iter(|| {
+            corpus
+                .chunks(16 << 10)
+                .filter(|page| pat.matches(page))
+                .count()
+        });
+    });
+    g.finish();
+}
+
+fn bench_row_codec(c: &mut Criterion) {
+    let data = TpchData::generate(0.001, 1);
+    let types = biscuit_db::tpch::schema::lineitem().types();
+    let texts: Vec<String> = data.lineitem.iter().take(512).map(row_to_text).collect();
+    let mut g = c.benchmark_group("rows");
+    g.throughput(Throughput::Elements(texts.len() as u64));
+    g.bench_function("serialize_512_lineitems", |b| {
+        b.iter(|| {
+            data.lineitem
+                .iter()
+                .take(512)
+                .map(row_to_text)
+                .map(|t| t.len())
+                .sum::<usize>()
+        });
+    });
+    g.bench_function("parse_512_lineitems", |b| {
+        b.iter(|| {
+            texts
+                .iter()
+                .map(|t| row_from_text(&types, t.trim_end()).expect("valid row").len())
+                .sum::<usize>()
+        });
+    });
+    g.finish();
+}
+
+fn bench_ftl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ftl");
+    g.throughput(Throughput::Elements(512));
+    g.bench_function("write_512_pages_with_gc", |b| {
+        b.iter_batched(
+            || {
+                (
+                    NandArray::new(4, 2, 16, 16, 64),
+                    Ftl::new(4, 2, 16, 16, 1024),
+                )
+            },
+            |(mut nand, mut ftl)| {
+                for i in 0..512u64 {
+                    let data = PageData::Bytes(std::sync::Arc::from(
+                        vec![i as u8; 64].into_boxed_slice(),
+                    ));
+                    ftl.write(&mut nand, i % 1024, data).expect("write");
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_sim_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("fiber_context_switches_10k", |b| {
+        b.iter(|| {
+            let sim = Simulation::new(0);
+            sim.spawn("spinner", |ctx| {
+                for _ in 0..10_000 {
+                    ctx.sleep(SimDuration::from_nanos(10));
+                }
+            });
+            sim.run().assert_quiescent();
+        });
+    });
+    g.bench_function("queue_handoff_4k_items", |b| {
+        b.iter(|| {
+            let sim = Simulation::new(0);
+            let q = SimQueue::new(64);
+            let tx = q.clone();
+            sim.spawn("p", move |ctx| {
+                for i in 0..4096u32 {
+                    tx.push(ctx, i).expect("open");
+                }
+                tx.close(ctx);
+            });
+            sim.spawn("c", move |ctx| {
+                let mut n = 0;
+                while q.pop(ctx).is_some() {
+                    n += 1;
+                }
+                assert_eq!(n, 4096);
+            });
+            sim.run().assert_quiescent();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wire_codec,
+    bench_string_search,
+    bench_row_codec,
+    bench_ftl,
+    bench_sim_kernel
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Framework error types.
+
+use biscuit_fs::FsError;
+use biscuit_ssd::memory::OutOfDeviceMemory;
+use biscuit_ssd::DeviceError;
+
+/// Errors surfaced by the Biscuit runtime and host library.
+#[derive(Debug)]
+pub enum BiscuitError {
+    /// No module loaded under this id.
+    ModuleNotFound(u64),
+    /// The module does not register an SSDlet under this identifier.
+    SsdletNotRegistered {
+        /// Module name.
+        module: String,
+        /// Requested SSDlet identifier.
+        id: String,
+    },
+    /// A port connection's data types disagree (Biscuit forbids implicit
+    /// conversion — §III-C).
+    TypeMismatch {
+        /// What the port declares.
+        expected: String,
+        /// What the connection supplied.
+        found: String,
+    },
+    /// A port index beyond the SSDlet's declared ports.
+    PortOutOfRange {
+        /// SSDlet identifier.
+        ssdlet: String,
+        /// Requested port index.
+        port: usize,
+        /// Declared port count.
+        declared: usize,
+    },
+    /// The port already has a connection that the requested topology
+    /// (SPSC-only for boundary ports) does not allow.
+    ConnectionNotAllowed(String),
+    /// An operation was issued in the wrong application lifecycle state.
+    InvalidState(String),
+    /// A module is still in use (running SSDlets) and cannot be unloaded.
+    ModuleBusy(u64),
+    /// The device user memory arena could not satisfy instantiation.
+    OutOfMemory(OutOfDeviceMemory),
+    /// The channel pool is exhausted (too many open data channels).
+    NoChannel {
+        /// Open channels.
+        open: usize,
+        /// Pool limit.
+        limit: usize,
+    },
+    /// An SSDlet argument had an unexpected type.
+    BadArgument(String),
+    /// Filesystem failure.
+    Fs(FsError),
+    /// Device failure.
+    Device(DeviceError),
+}
+
+impl std::fmt::Display for BiscuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BiscuitError::ModuleNotFound(id) => write!(f, "module {id} not loaded"),
+            BiscuitError::SsdletNotRegistered { module, id } => {
+                write!(f, "module '{module}' has no SSDlet registered as '{id}'")
+            }
+            BiscuitError::TypeMismatch { expected, found } => {
+                write!(f, "port type mismatch: expected {expected}, found {found}")
+            }
+            BiscuitError::PortOutOfRange {
+                ssdlet,
+                port,
+                declared,
+            } => write!(
+                f,
+                "port {port} out of range for '{ssdlet}' ({declared} declared)"
+            ),
+            BiscuitError::ConnectionNotAllowed(msg) => write!(f, "connection not allowed: {msg}"),
+            BiscuitError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+            BiscuitError::ModuleBusy(id) => write!(f, "module {id} has running SSDlets"),
+            BiscuitError::OutOfMemory(e) => write!(f, "device memory: {e}"),
+            BiscuitError::NoChannel { open, limit } => {
+                write!(f, "channel pool exhausted ({open}/{limit} open)")
+            }
+            BiscuitError::BadArgument(msg) => write!(f, "bad SSDlet argument: {msg}"),
+            BiscuitError::Fs(e) => write!(f, "filesystem: {e}"),
+            BiscuitError::Device(e) => write!(f, "device: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BiscuitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BiscuitError::Fs(e) => Some(e),
+            BiscuitError::Device(e) => Some(e),
+            BiscuitError::OutOfMemory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FsError> for BiscuitError {
+    fn from(e: FsError) -> Self {
+        BiscuitError::Fs(e)
+    }
+}
+
+impl From<DeviceError> for BiscuitError {
+    fn from(e: DeviceError) -> Self {
+        BiscuitError::Device(e)
+    }
+}
+
+impl From<OutOfDeviceMemory> for BiscuitError {
+    fn from(e: OutOfDeviceMemory) -> Self {
+        BiscuitError::OutOfMemory(e)
+    }
+}
+
+/// Result alias for framework operations.
+pub type BiscuitResult<T> = Result<T, BiscuitError>;

@@ -1,0 +1,294 @@
+//! Port plumbing: typed, data-ordered connections backed by bounded queues.
+//!
+//! Biscuit realizes all data transmission (except file I/O) as bounded
+//! queues (paper §IV-B). Three port kinds exist (§III-C):
+//!
+//! - **inter-SSDlet** — native typed values between SSDlets of one
+//!   application; SPSC/SPMC/MPSC all allowed (same core, no locks needed);
+//! - **host-to-device / device-to-host** — [`Packet`]-only, SPSC, through
+//!   the channel managers and the PCIe link;
+//! - **inter-application** — [`Packet`]-only, SPSC, between SSDlets of
+//!   different applications.
+//!
+//! Latency is charged per Table II: receive-side scheduling (all kinds),
+//! type (de)abstraction (inter-SSDlet), and channel-manager + link costs
+//! (boundary kinds). Boundary payloads ride the [`HostLink`] DMA shaper, so
+//! result *volume* — the thing NDP reduces — costs real link time.
+
+use std::any::{Any, TypeId};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use biscuit_proto::wire::Wire;
+use biscuit_proto::{HostLink, Packet};
+use biscuit_sim::queue::SimQueue;
+use biscuit_sim::time::SimTime;
+use biscuit_sim::Ctx;
+
+use crate::config::CoreConfig;
+use crate::error::{BiscuitError, BiscuitResult};
+
+/// Which boundary a connection crosses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortKind {
+    /// Between SSDlets of the same application (typed values).
+    InterSsdlet,
+    /// Between SSDlets of different applications (packets).
+    InterApp,
+    /// Host program → SSDlet (packets over PCIe).
+    HostToDevice,
+    /// SSDlet → host program (packets over PCIe).
+    DeviceToHost,
+}
+
+/// A message in flight: the value plus the time its bits have physically
+/// arrived at the receiving side (DMA completion for boundary ports).
+pub(crate) struct Envelope {
+    pub ready_at: SimTime,
+    pub value: Box<dyn Any + Send>,
+}
+
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Envelope")
+            .field("ready_at", &self.ready_at)
+            .finish()
+    }
+}
+
+type EncodeFn = dyn Fn(Box<dyn Any + Send>) -> Packet + Send + Sync;
+type DecodeFn = dyn Fn(&Packet) -> Box<dyn Any + Send> + Send + Sync;
+
+/// Type-erased encode/decode pair for boundary ports ([`Wire`] codec).
+pub(crate) struct Codec {
+    pub encode: Box<EncodeFn>,
+    pub decode: Box<DecodeFn>,
+}
+
+impl Codec {
+    pub(crate) fn of<T: Wire + Any + Send>() -> Codec {
+        Codec {
+            encode: Box::new(|v| {
+                let v = v
+                    .downcast::<T>()
+                    .expect("codec fed a value of the wrong type");
+                v.to_packet()
+            }),
+            decode: Box::new(|p| {
+                let v = T::from_packet(p).expect("boundary packet failed to decode");
+                Box::new(v)
+            }),
+        }
+    }
+}
+
+/// One edge of the dataflow graph.
+pub(crate) struct Connection {
+    pub kind: PortKind,
+    pub type_id: TypeId,
+    pub type_name: &'static str,
+    pub queue: SimQueue<Envelope>,
+    pub codec: Option<Codec>,
+    /// Producer endpoints that have not yet finished; the queue closes when
+    /// this reaches zero.
+    producers: Mutex<usize>,
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("kind", &self.kind)
+            .field("type", &self.type_name)
+            .finish()
+    }
+}
+
+impl Connection {
+    pub(crate) fn new(
+        kind: PortKind,
+        type_id: TypeId,
+        type_name: &'static str,
+        capacity: usize,
+        codec: Option<Codec>,
+    ) -> Arc<Connection> {
+        Arc::new(Connection {
+            kind,
+            type_id,
+            type_name,
+            queue: SimQueue::new(capacity),
+            codec,
+            producers: Mutex::new(0),
+        })
+    }
+
+    pub(crate) fn add_producer(&self) {
+        *self.producers.lock() += 1;
+    }
+
+    /// Marks one producer endpoint finished; closes the queue on the last.
+    pub(crate) fn producer_done(&self, ctx: &Ctx) {
+        let mut n = self.producers.lock();
+        debug_assert!(*n > 0, "producer_done without matching add_producer");
+        *n -= 1;
+        if *n == 0 {
+            drop(n);
+            self.queue.close(ctx);
+        }
+    }
+
+    /// Device-side send (used by `TaskCtx`). Charges send-side costs and
+    /// link time for boundary kinds; blocks while the queue is full.
+    pub(crate) fn send_from_device(
+        &self,
+        ctx: &Ctx,
+        cfg: &CoreConfig,
+        link: &HostLink,
+        value: Box<dyn Any + Send>,
+    ) -> BiscuitResult<()> {
+        let (ready_at, value): (SimTime, Box<dyn Any + Send>) = match self.kind {
+            PortKind::InterSsdlet => (ctx.now(), value),
+            PortKind::InterApp => {
+                // Serialization is explicit for inter-app traffic; cost is
+                // folded into the receiver's scheduling charge (Table II
+                // shows inter-app *below* inter-SSDlet: no type machinery).
+                let pkt = (self.codec.as_ref().expect("inter-app has codec").encode)(value);
+                (ctx.now(), Box::new(pkt))
+            }
+            PortKind::DeviceToHost => {
+                ctx.sleep(cfg.cm_send_device);
+                let pkt = (self.codec.as_ref().expect("boundary has codec").encode)(value);
+                let dma_end = link.enqueue_dma_to_host(ctx.now(), pkt.len() as u64);
+                (dma_end + cfg.link_fixed, Box::new(pkt))
+            }
+            PortKind::HostToDevice => {
+                return Err(BiscuitError::InvalidState(
+                    "SSDlets cannot send on a host-to-device port".into(),
+                ))
+            }
+        };
+        self.queue
+            .push(ctx, Envelope { ready_at, value })
+            .map_err(|_| BiscuitError::InvalidState("port closed".into()))
+    }
+
+    /// Device-side receive. Charges Table II receive-side latency.
+    pub(crate) fn recv_on_device(
+        &self,
+        ctx: &Ctx,
+        cfg: &CoreConfig,
+    ) -> Option<Box<dyn Any + Send>> {
+        let env = self.queue.pop(ctx)?;
+        ctx.sleep_until(env.ready_at);
+        match self.kind {
+            PortKind::InterSsdlet => {
+                ctx.sleep(cfg.inter_ssdlet_latency());
+                Some(env.value)
+            }
+            PortKind::InterApp => {
+                ctx.sleep(cfg.inter_app_latency());
+                let pkt = env
+                    .value
+                    .downcast::<Packet>()
+                    .expect("inter-app envelope holds a packet");
+                Some((self.codec.as_ref().expect("inter-app has codec").decode)(&pkt))
+            }
+            PortKind::HostToDevice => {
+                ctx.sleep(cfg.cm_recv_device);
+                let pkt = env
+                    .value
+                    .downcast::<Packet>()
+                    .expect("boundary envelope holds a packet");
+                Some((self.codec.as_ref().expect("boundary has codec").decode)(&pkt))
+            }
+            PortKind::DeviceToHost => None, // devices never read their own output channel
+        }
+    }
+}
+
+/// Host-side receiving end of a device→host connection
+/// (`Application::connect_to` — paper Code 3's `port1.get(value)`).
+pub struct HostInPort<T> {
+    pub(crate) conn: Arc<Connection>,
+    pub(crate) cfg: Arc<CoreConfig>,
+    pub(crate) _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> std::fmt::Debug for HostInPort<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostInPort")
+            .field("type", &self.conn.type_name)
+            .finish()
+    }
+}
+
+impl<T: Wire + Any + Send> HostInPort<T> {
+    /// Receives the next value, blocking in virtual time. Returns `None`
+    /// when every producing SSDlet has finished and the queue drained.
+    pub fn get(&self, ctx: &Ctx) -> Option<T> {
+        let env = self.conn.queue.pop(ctx)?;
+        ctx.sleep_until(env.ready_at);
+        ctx.sleep(self.cfg.cm_recv_host);
+        let pkt = env
+            .value
+            .downcast::<Packet>()
+            .expect("boundary envelope holds a packet");
+        let v = (self.conn.codec.as_ref().expect("boundary has codec").decode)(&pkt);
+        Some(*v.downcast::<T>().expect("codec produced declared type"))
+    }
+}
+
+/// Host-side sending end of a host→device connection
+/// (`Application::connect_from`).
+pub struct HostOutPort<T> {
+    pub(crate) conn: Arc<Connection>,
+    pub(crate) cfg: Arc<CoreConfig>,
+    pub(crate) link: Arc<HostLink>,
+    pub(crate) closed: Mutex<bool>,
+    pub(crate) _marker: PhantomData<fn(T)>,
+}
+
+impl<T> std::fmt::Debug for HostOutPort<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostOutPort")
+            .field("type", &self.conn.type_name)
+            .finish()
+    }
+}
+
+impl<T: Wire + Any + Send> HostOutPort<T> {
+    /// Sends a value toward the device, blocking while the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the port was closed.
+    pub fn put(&self, ctx: &Ctx, value: T) -> BiscuitResult<()> {
+        if *self.closed.lock() {
+            return Err(BiscuitError::InvalidState("port already closed".into()));
+        }
+        ctx.sleep(self.cfg.cm_send_host);
+        let pkt = value.to_packet();
+        let dma_end = self.link.enqueue_dma_to_device(ctx.now(), pkt.len() as u64);
+        self.conn
+            .queue
+            .push(
+                ctx,
+                Envelope {
+                    ready_at: dma_end + self.cfg.link_fixed,
+                    value: Box::new(pkt),
+                },
+            )
+            .map_err(|_| BiscuitError::InvalidState("port closed".into()))
+    }
+
+    /// Signals end-of-stream to the consuming SSDlet. Idempotent.
+    pub fn close(&self, ctx: &Ctx) {
+        let mut closed = self.closed.lock();
+        if !*closed {
+            *closed = true;
+            drop(closed);
+            self.conn.producer_done(ctx);
+        }
+    }
+}

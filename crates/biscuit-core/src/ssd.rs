@@ -1,0 +1,157 @@
+//! The host-side SSD handle — the root object of `libsisc` (paper Code 3's
+//! `SSD ssd("/dev/nvme0n1")`).
+//!
+//! Owns the device, its filesystem, the host link, and the runtime ledger.
+//! Module loading and unloading charge realistic virtual time: a control
+//! command over the link, the module image DMA, and device-side symbol
+//! relocation at the (slow) module-processing rate.
+
+use std::sync::Arc;
+
+use biscuit_fs::Fs;
+use biscuit_proto::{HostLink, LinkConfig};
+use biscuit_sim::time::SimDuration;
+use biscuit_sim::Ctx;
+use biscuit_ssd::SsdDevice;
+
+use crate::config::CoreConfig;
+use crate::error::BiscuitResult;
+use crate::module::SsdletModule;
+use crate::runtime::{DeviceRuntime, ModuleId};
+
+/// Host-side handle to a Biscuit-enabled SSD (cheaply cloneable).
+///
+/// # Examples
+///
+/// ```
+/// use biscuit_core::{CoreConfig, Ssd};
+/// use biscuit_fs::Fs;
+/// use biscuit_ssd::{SsdConfig, SsdDevice};
+/// use std::sync::Arc;
+///
+/// let dev = Arc::new(SsdDevice::new(SsdConfig {
+///     logical_capacity: 16 << 20,
+///     ..SsdConfig::paper_default()
+/// }));
+/// let ssd = Ssd::new(Fs::format(dev), CoreConfig::paper_default());
+/// assert_eq!(ssd.runtime().loaded_modules(), 0);
+/// ```
+#[derive(Clone)]
+pub struct Ssd {
+    inner: Arc<SsdShared>,
+}
+
+pub(crate) struct SsdShared {
+    pub device: Arc<SsdDevice>,
+    pub fs: Fs,
+    pub link: Arc<HostLink>,
+    pub cfg: Arc<CoreConfig>,
+    pub rt: DeviceRuntime,
+}
+
+impl std::fmt::Debug for Ssd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ssd")
+            .field("runtime", &self.inner.rt)
+            .finish()
+    }
+}
+
+impl Ssd {
+    /// Wraps a formatted/mounted filesystem in a Biscuit host handle with
+    /// the default PCIe Gen.3 x4 link.
+    pub fn new(fs: Fs, cfg: CoreConfig) -> Ssd {
+        Self::with_link(fs, cfg, Arc::new(HostLink::new(LinkConfig::pcie_gen3_x4())))
+    }
+
+    /// Wraps a filesystem with an explicit link model (shared with a Conv
+    /// I/O path in experiments that exercise both).
+    pub fn with_link(fs: Fs, cfg: CoreConfig, link: Arc<HostLink>) -> Ssd {
+        Ssd {
+            inner: Arc::new(SsdShared {
+                device: Arc::clone(fs.device()),
+                fs,
+                link,
+                cfg: Arc::new(cfg),
+                rt: DeviceRuntime::new(),
+            }),
+        }
+    }
+
+    /// The simulated device.
+    pub fn device(&self) -> &Arc<SsdDevice> {
+        &self.inner.device
+    }
+
+    /// The on-device filesystem.
+    pub fn fs(&self) -> &Fs {
+        &self.inner.fs
+    }
+
+    /// The host link shared by Biscuit channels and Conv I/O.
+    pub fn link(&self) -> &Arc<HostLink> {
+        &self.inner.link
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &Arc<CoreConfig> {
+        &self.inner.cfg
+    }
+
+    /// The runtime ledger.
+    pub fn runtime(&self) -> &DeviceRuntime {
+        &self.inner.rt
+    }
+
+
+    /// Loads a module onto the device (paper Code 3: `ssd.loadModule`).
+    /// Charges the control command, the image transfer, and device-side
+    /// relocation/linking time.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in the ledger; the `Result` covers future
+    /// device-side failures and keeps the paper's fallible signature.
+    pub fn load_module(&self, ctx: &Ctx, module: SsdletModule) -> BiscuitResult<ModuleId> {
+        let cfg = &self.inner.cfg;
+        // Host sends the load command + module image.
+        ctx.sleep(cfg.cm_send_host);
+        let dma_end = self
+            .inner
+            .link
+            .enqueue_dma_to_device(ctx.now(), module.binary_size());
+        ctx.sleep_until(dma_end + cfg.link_fixed);
+        // Device relocates symbols and registers the module.
+        let relocation = cfg.module_link_cost
+            + SimDuration::for_bytes(module.binary_size(), cfg.module_load_rate);
+        let (core, _) = self.inner.device.cores().least_loaded();
+        let done = self
+            .inner
+            .device
+            .cores()
+            .enqueue(ctx.now(), core, relocation);
+        ctx.sleep_until(done);
+        let id = self.inner.rt.register_module(module);
+        // Completion response to the host.
+        ctx.sleep(cfg.cm_send_device + cfg.link_fixed + cfg.cm_recv_host);
+        Ok(id)
+    }
+
+    /// Unloads a module (paper Code 3: `ssd.unloadModule`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BiscuitError::ModuleBusy`] while any of its SSDlets
+    /// run, or [`crate::BiscuitError::ModuleNotFound`].
+    pub fn unload_module(&self, ctx: &Ctx, id: ModuleId) -> BiscuitResult<()> {
+        self.control_roundtrip(ctx);
+        self.inner.rt.unregister_module(id)
+    }
+
+    /// Charges one host→device command and its device→host response.
+    pub(crate) fn control_roundtrip(&self, ctx: &Ctx) {
+        let cfg = &self.inner.cfg;
+        ctx.sleep(cfg.h2d_latency());
+        ctx.sleep(cfg.d2h_latency());
+    }
+}

@@ -1,0 +1,147 @@
+//! Multi-user session tests: per-session channel and memory quotas isolate
+//! tenants sharing one SSD (paper §VIII's ensuing effort; §II-B's safety
+//! requirement).
+
+use std::sync::Arc;
+
+use biscuit_core::module::{ModuleBuilder, SsdletSpec};
+use biscuit_core::task::{Ssdlet, TaskCtx};
+use biscuit_core::{Application, BiscuitError, CoreConfig, Session, SessionQuota, Ssd};
+use biscuit_fs::Fs;
+use biscuit_sim::Simulation;
+use biscuit_ssd::{SsdConfig, SsdDevice};
+
+struct Identity;
+impl Ssdlet for Identity {
+    fn run(&mut self, ctx: &mut TaskCtx<'_>) {
+        while let Some(v) = ctx.recv::<u64>(0).unwrap() {
+            ctx.send(0, v).unwrap();
+        }
+    }
+}
+
+fn make_ssd() -> Ssd {
+    let dev = Arc::new(SsdDevice::new(SsdConfig {
+        logical_capacity: 64 << 20,
+        ..SsdConfig::paper_default()
+    }));
+    Ssd::new(Fs::format(dev), CoreConfig::paper_default())
+}
+
+fn module() -> biscuit_core::SsdletModule {
+    ModuleBuilder::new("m")
+        .register(
+            "idIdentity",
+            SsdletSpec::new().input::<u64>().output::<u64>(),
+            |_| Ok(Box::new(Identity)),
+        )
+        .build()
+}
+
+#[test]
+fn session_channel_quota_limits_one_tenant_only() {
+    let ssd = make_ssd();
+    let sim = Simulation::new(0);
+    let s = ssd.clone();
+    sim.spawn("host", move |ctx| {
+        let mid = s.load_module(ctx, module()).unwrap();
+        let alice = Session::new("alice", SessionQuota {
+            max_channels: 2,
+            max_memory: 4 << 20,
+        });
+        let bob = Session::new("bob", SessionQuota {
+            max_channels: 2,
+            max_memory: 4 << 20,
+        });
+
+        // Alice uses both her channels.
+        let app_a = Application::new_in_session(&s, "alice-app", &alice);
+        let a = app_a.ssdlet(mid, "idIdentity").unwrap();
+        let tx_a = app_a.connect_from::<u64>(a.input(0)).unwrap();
+        let _rx_a = app_a.connect_to::<u64>(a.out(0)).unwrap();
+        assert_eq!(alice.channels_in_use(), 2);
+
+        // A third channel for Alice is rejected even though the device-wide
+        // pool still has room.
+        let app_a2 = Application::new_in_session(&s, "alice-app2", &alice);
+        let a2 = app_a2.ssdlet(mid, "idIdentity").unwrap();
+        assert!(matches!(
+            app_a2.connect_to::<u64>(a2.out(0)),
+            Err(BiscuitError::NoChannel { open: 2, limit: 2 })
+        ));
+
+        // Bob is unaffected.
+        let app_b = Application::new_in_session(&s, "bob-app", &bob);
+        let b = app_b.ssdlet(mid, "idIdentity").unwrap();
+        let tx_b = app_b.connect_from::<u64>(b.input(0)).unwrap();
+        let rx_b = app_b.connect_to::<u64>(b.out(0)).unwrap();
+
+        app_a.start(ctx).unwrap();
+        app_b.start(ctx).unwrap();
+        tx_b.put(ctx, 9).unwrap();
+        tx_b.close(ctx);
+        assert_eq!(rx_b.get(ctx), Some(9));
+        tx_a.close(ctx);
+        app_a.join(ctx);
+        app_b.join(ctx);
+
+        // Teardown returned everything to both envelopes.
+        assert_eq!(alice.channels_in_use(), 0);
+        assert_eq!(bob.channels_in_use(), 0);
+        assert_eq!(s.runtime().open_channels(), 0);
+    });
+    sim.run().assert_quiescent();
+}
+
+#[test]
+fn session_memory_quota_fails_start_with_rollback() {
+    let ssd = make_ssd();
+    let sim = Simulation::new(0);
+    let s = ssd.clone();
+    sim.spawn("host", move |ctx| {
+        let mid = s.load_module(ctx, module()).unwrap();
+        let tiny = Session::new("tiny", SessionQuota {
+            max_channels: 8,
+            max_memory: 100, // far below the default per-SSDlet footprint
+        });
+        let app = Application::new_in_session(&s, "t", &tiny);
+        let a = app.ssdlet(mid, "idIdentity").unwrap();
+        let tx = app.connect_from::<u64>(a.input(0)).unwrap();
+        let _rx = app.connect_to::<u64>(a.out(0)).unwrap();
+        let err = app.start(ctx).unwrap_err();
+        assert!(matches!(err, BiscuitError::InvalidState(_)), "{err}");
+        // Rollback: device arena and session ledger are clean.
+        assert_eq!(
+            s.device().memory().used(biscuit_ssd::memory::Arena::User),
+            0
+        );
+        assert_eq!(tiny.memory_in_use(), 0);
+        let _ = tx;
+    });
+    sim.run().assert_quiescent();
+}
+
+#[test]
+fn session_memory_returned_after_completion() {
+    let ssd = make_ssd();
+    let sim = Simulation::new(0);
+    let s = ssd.clone();
+    sim.spawn("host", move |ctx| {
+        let mid = s.load_module(ctx, module()).unwrap();
+        let session = Session::new("u", SessionQuota {
+            max_channels: 4,
+            max_memory: 8 << 20,
+        });
+        let app = Application::new_in_session(&s, "u-app", &session);
+        let a = app.ssdlet(mid, "idIdentity").unwrap();
+        let tx = app.connect_from::<u64>(a.input(0)).unwrap();
+        let _rx = app.connect_to::<u64>(a.out(0)).unwrap();
+        app.start(ctx).unwrap();
+        assert!(session.memory_in_use() > 0);
+        tx.close(ctx);
+        app.join(ctx);
+        assert_eq!(session.memory_in_use(), 0);
+        assert!(session.peak_memory() > 0);
+    });
+    sim.run().assert_quiescent();
+}

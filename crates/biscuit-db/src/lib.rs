@@ -1,0 +1,35 @@
+//! # biscuit-db — a mini relational engine with Biscuit NDP offload
+//!
+//! The MariaDB/XtraDB stand-in for the paper's §V-C experiments: heap
+//! tables stored in a pattern-matcher-friendly text page format on the
+//! simulated SSD, a select-project-join-aggregate executor with block
+//! nested-loop joins, and a planner that — in Biscuit mode — detects
+//! offload-candidate scans, samples page selectivity, and pushes
+//! qualifying filters into a device-side SSDlet over the real framework.
+//!
+//! - [`value`]/[`schema`]/[`table`] — storage layer.
+//! - [`expr`] — expressions, `LIKE`, pattern-key extraction.
+//! - [`spec`] — declarative query specs.
+//! - [`offload`] — the scan-filter SSDlet module.
+//! - [`engine`] — the planner and executor ([`Db`]).
+//! - [`tpch`] — TPC-H schema, dbgen-style generator, and all 22 queries.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod offload;
+pub mod schema;
+pub mod spec;
+pub mod table;
+pub mod tpch;
+pub mod value;
+
+pub use engine::{Db, DbConfig, PlanExplain, QueryOutput, QueryStats, ScanExplain};
+pub use error::{DbError, DbResult};
+pub use expr::{CmpOp, Expr};
+pub use schema::{Catalog, Column, Schema};
+pub use spec::{AggFun, ExecMode, JoinEdge, OrderKey, SelectSpec, TableScanSpec};
+pub use value::{ColumnType, Row, Value};

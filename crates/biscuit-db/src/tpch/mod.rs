@@ -1,0 +1,9 @@
+//! TPC-H on the mini engine: standard schemas, a dbgen-style generator,
+//! and simplified-but-faithful forms of all 22 queries (paper §V-C, Fig. 10).
+
+pub mod gen;
+pub mod queries;
+pub mod schema;
+
+pub use gen::TpchData;
+pub use queries::{all_queries, TpchQuery};

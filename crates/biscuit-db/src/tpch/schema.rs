@@ -1,0 +1,242 @@
+//! TPC-H table schemas (full standard column sets).
+//!
+//! Column indices are exposed as constants so query builders stay readable
+//! and immune to off-by-one drift.
+
+use crate::schema::Schema;
+use crate::value::ColumnType::{Date, Float, Int, Str};
+
+/// `region(r_regionkey, r_name, r_comment)`
+pub fn region() -> Schema {
+    Schema::new(&[("r_regionkey", Int), ("r_name", Str), ("r_comment", Str)])
+}
+
+/// `nation(n_nationkey, n_name, n_regionkey, n_comment)`
+pub fn nation() -> Schema {
+    Schema::new(&[
+        ("n_nationkey", Int),
+        ("n_name", Str),
+        ("n_regionkey", Int),
+        ("n_comment", Str),
+    ])
+}
+
+/// `supplier(...)`
+pub fn supplier() -> Schema {
+    Schema::new(&[
+        ("s_suppkey", Int),
+        ("s_name", Str),
+        ("s_address", Str),
+        ("s_nationkey", Int),
+        ("s_phone", Str),
+        ("s_acctbal", Float),
+        ("s_comment", Str),
+    ])
+}
+
+/// `customer(...)`
+pub fn customer() -> Schema {
+    Schema::new(&[
+        ("c_custkey", Int),
+        ("c_name", Str),
+        ("c_address", Str),
+        ("c_nationkey", Int),
+        ("c_phone", Str),
+        ("c_acctbal", Float),
+        ("c_mktsegment", Str),
+        ("c_comment", Str),
+    ])
+}
+
+/// `part(...)`
+pub fn part() -> Schema {
+    Schema::new(&[
+        ("p_partkey", Int),
+        ("p_name", Str),
+        ("p_mfgr", Str),
+        ("p_brand", Str),
+        ("p_type", Str),
+        ("p_size", Int),
+        ("p_container", Str),
+        ("p_retailprice", Float),
+        ("p_comment", Str),
+    ])
+}
+
+/// `partsupp(...)`
+pub fn partsupp() -> Schema {
+    Schema::new(&[
+        ("ps_partkey", Int),
+        ("ps_suppkey", Int),
+        ("ps_availqty", Int),
+        ("ps_supplycost", Float),
+        ("ps_comment", Str),
+    ])
+}
+
+/// `orders(...)`
+pub fn orders() -> Schema {
+    Schema::new(&[
+        ("o_orderkey", Int),
+        ("o_custkey", Int),
+        ("o_orderstatus", Str),
+        ("o_totalprice", Float),
+        ("o_orderdate", Date),
+        ("o_orderpriority", Str),
+        ("o_clerk", Str),
+        ("o_shippriority", Int),
+        ("o_comment", Str),
+    ])
+}
+
+/// `lineitem(...)`
+pub fn lineitem() -> Schema {
+    Schema::new(&[
+        ("l_orderkey", Int),
+        ("l_partkey", Int),
+        ("l_suppkey", Int),
+        ("l_linenumber", Int),
+        ("l_quantity", Float),
+        ("l_extendedprice", Float),
+        ("l_discount", Float),
+        ("l_tax", Float),
+        ("l_returnflag", Str),
+        ("l_linestatus", Str),
+        ("l_shipdate", Date),
+        ("l_commitdate", Date),
+        ("l_receiptdate", Date),
+        ("l_shipinstruct", Str),
+        ("l_shipmode", Str),
+        ("l_comment", Str),
+    ])
+}
+
+/// Column index constants for the `lineitem` table.
+#[allow(missing_docs)]
+pub mod l {
+    pub const ORDERKEY: usize = 0;
+    pub const PARTKEY: usize = 1;
+    pub const SUPPKEY: usize = 2;
+    pub const LINENUMBER: usize = 3;
+    pub const QUANTITY: usize = 4;
+    pub const EXTENDEDPRICE: usize = 5;
+    pub const DISCOUNT: usize = 6;
+    pub const TAX: usize = 7;
+    pub const RETURNFLAG: usize = 8;
+    pub const LINESTATUS: usize = 9;
+    pub const SHIPDATE: usize = 10;
+    pub const COMMITDATE: usize = 11;
+    pub const RECEIPTDATE: usize = 12;
+    pub const SHIPINSTRUCT: usize = 13;
+    pub const SHIPMODE: usize = 14;
+    pub const COMMENT: usize = 15;
+    pub const WIDTH: usize = 16;
+}
+
+/// Column index constants for the `orders` table.
+#[allow(missing_docs)]
+pub mod o {
+    pub const ORDERKEY: usize = 0;
+    pub const CUSTKEY: usize = 1;
+    pub const ORDERSTATUS: usize = 2;
+    pub const TOTALPRICE: usize = 3;
+    pub const ORDERDATE: usize = 4;
+    pub const ORDERPRIORITY: usize = 5;
+    pub const CLERK: usize = 6;
+    pub const SHIPPRIORITY: usize = 7;
+    pub const COMMENT: usize = 8;
+    pub const WIDTH: usize = 9;
+}
+
+/// Column index constants for the `customer` table.
+#[allow(missing_docs)]
+pub mod c {
+    pub const CUSTKEY: usize = 0;
+    pub const NAME: usize = 1;
+    pub const ADDRESS: usize = 2;
+    pub const NATIONKEY: usize = 3;
+    pub const PHONE: usize = 4;
+    pub const ACCTBAL: usize = 5;
+    pub const MKTSEGMENT: usize = 6;
+    pub const COMMENT: usize = 7;
+    pub const WIDTH: usize = 8;
+}
+
+/// Column index constants for the `part` table.
+#[allow(missing_docs)]
+pub mod p {
+    pub const PARTKEY: usize = 0;
+    pub const NAME: usize = 1;
+    pub const MFGR: usize = 2;
+    pub const BRAND: usize = 3;
+    pub const TYPE: usize = 4;
+    pub const SIZE: usize = 5;
+    pub const CONTAINER: usize = 6;
+    pub const RETAILPRICE: usize = 7;
+    pub const COMMENT: usize = 8;
+    pub const WIDTH: usize = 9;
+}
+
+/// Column index constants for the `partsupp` table.
+#[allow(missing_docs)]
+pub mod ps {
+    pub const PARTKEY: usize = 0;
+    pub const SUPPKEY: usize = 1;
+    pub const AVAILQTY: usize = 2;
+    pub const SUPPLYCOST: usize = 3;
+    pub const COMMENT: usize = 4;
+    pub const WIDTH: usize = 5;
+}
+
+/// Column index constants for the `supplier` table.
+#[allow(missing_docs)]
+pub mod s {
+    pub const SUPPKEY: usize = 0;
+    pub const NAME: usize = 1;
+    pub const ADDRESS: usize = 2;
+    pub const NATIONKEY: usize = 3;
+    pub const PHONE: usize = 4;
+    pub const ACCTBAL: usize = 5;
+    pub const COMMENT: usize = 6;
+    pub const WIDTH: usize = 7;
+}
+
+/// Column index constants for the `nation` table.
+#[allow(missing_docs)]
+pub mod n {
+    pub const NATIONKEY: usize = 0;
+    pub const NAME: usize = 1;
+    pub const REGIONKEY: usize = 2;
+    pub const COMMENT: usize = 3;
+    pub const WIDTH: usize = 4;
+}
+
+/// Column index constants for the `region` table.
+#[allow(missing_docs)]
+pub mod r {
+    pub const REGIONKEY: usize = 0;
+    pub const NAME: usize = 1;
+    pub const COMMENT: usize = 2;
+    pub const WIDTH: usize = 3;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_constants_match_schemas() {
+        assert_eq!(lineitem().len(), l::WIDTH);
+        assert_eq!(lineitem().index_of("l_shipdate").unwrap(), l::SHIPDATE);
+        assert_eq!(orders().len(), o::WIDTH);
+        assert_eq!(orders().index_of("o_orderdate").unwrap(), o::ORDERDATE);
+        assert_eq!(customer().len(), c::WIDTH);
+        assert_eq!(customer().index_of("c_mktsegment").unwrap(), c::MKTSEGMENT);
+        assert_eq!(part().len(), p::WIDTH);
+        assert_eq!(part().index_of("p_container").unwrap(), p::CONTAINER);
+        assert_eq!(partsupp().len(), ps::WIDTH);
+        assert_eq!(supplier().len(), s::WIDTH);
+        assert_eq!(nation().len(), n::WIDTH);
+        assert_eq!(region().len(), r::WIDTH);
+    }
+}

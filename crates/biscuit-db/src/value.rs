@@ -1,0 +1,330 @@
+//! Scalar values, column types, and the pipe-delimited text row format.
+//!
+//! Rows are stored on flash in a pipe-delimited text layout close to
+//! `dbgen`'s `.tbl` format, with one deliberate twist: **every row begins
+//! and ends with a pipe** (`|f0|f1|...|fn|\n`). That guarantees every
+//! column value — including the first and last — appears on flash as the
+//! byte string `|value|`, so the hardware pattern matcher can search for
+//! any column literal without false *negatives* (page-level false positives
+//! are fine; they are verified on the device CPU).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use biscuit_proto::packet::{DecodeError, PacketBuilder, PacketReader};
+use biscuit_proto::wire::Wire;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float (stands in for TPC-H decimals; serialized with two
+    /// decimal places).
+    Float,
+    /// UTF-8 string (must not contain `|` or newline).
+    Str,
+    /// Calendar date, stored as days since 1970-01-01.
+    Date,
+}
+
+/// A scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Float (finite).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Date (days since epoch).
+    Date(i32),
+}
+
+impl Value {
+    /// The value's column type.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Value::Int(_) => ColumnType::Int,
+            Value::Float(_) => ColumnType::Float,
+            Value::Str(_) => ColumnType::Str,
+            Value::Date(_) => ColumnType::Date,
+        }
+    }
+
+    /// Constructs a date value from `YYYY-MM-DD`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input (dates in this codebase are literals).
+    pub fn date(s: &str) -> Value {
+        Value::Date(parse_date(s).unwrap_or_else(|| panic!("bad date literal: {s}")))
+    }
+
+    /// Numeric view (ints and dates widen to f64 for arithmetic).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Date(v) => Some(f64::from(*v)),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Date(v) => Some(i64::from(*v)),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Total ordering across comparable values (numeric widening between
+    /// `Int`/`Float`/`Date`; strings compare lexicographically).
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// The on-flash text form of this value (what the pattern matcher sees).
+    pub fn to_text(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => format!("{v:.2}"),
+            Value::Str(s) => s.clone(),
+            Value::Date(d) => format_date(*d),
+        }
+    }
+
+    /// Parses the text form back, guided by the column type.
+    pub fn from_text(ty: ColumnType, s: &str) -> Option<Value> {
+        match ty {
+            ColumnType::Int => s.parse().ok().map(Value::Int),
+            ColumnType::Float => s.parse().ok().map(Value::Float),
+            ColumnType::Str => Some(Value::Str(s.to_owned())),
+            ColumnType::Date => parse_date(s).map(Value::Date),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// A row of values.
+pub type Row = Vec<Value>;
+
+/// Serializes a row in the on-flash format: `|f0|f1|...|fn|\n`.
+pub fn row_to_text(row: &Row) -> String {
+    let mut s = String::with_capacity(row.len() * 8 + 2);
+    s.push('|');
+    for v in row {
+        s.push_str(&v.to_text());
+        s.push('|');
+    }
+    s.push('\n');
+    s
+}
+
+/// Parses one `|`-delimited line back into a row.
+pub fn row_from_text(types: &[ColumnType], line: &str) -> Option<Row> {
+    let line = line.strip_prefix('|')?.strip_suffix('|')?;
+    let mut row = Vec::with_capacity(types.len());
+    let mut fields = line.split('|');
+    for &ty in types {
+        let f = fields.next()?;
+        row.push(Value::from_text(ty, f)?);
+    }
+    if fields.next().is_some() {
+        return None; // too many fields
+    }
+    Some(row)
+}
+
+/// Days-since-epoch for `YYYY-MM-DD` (proleptic Gregorian, 1970 epoch).
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut it = s.split('-');
+    let y: i32 = it.next()?.parse().ok()?;
+    let m: u32 = it.next()?.parse().ok()?;
+    let d: u32 = it.next()?.parse().ok()?;
+    if it.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(days_from_civil(y, m, d))
+}
+
+/// `YYYY-MM-DD` for a days-since-epoch value.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+// Howard Hinnant's civil-days algorithms.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32;
+    let mp = (m + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe as i32 - 719_468
+}
+
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u32;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+impl Wire for Value {
+    fn encode(&self, b: &mut PacketBuilder) {
+        match self {
+            Value::Int(v) => {
+                b.put_u8(0);
+                b.put_i64(*v);
+            }
+            Value::Float(v) => {
+                b.put_u8(1);
+                b.put_f64(*v);
+            }
+            Value::Str(s) => {
+                b.put_u8(2);
+                b.put_str(s);
+            }
+            Value::Date(d) => {
+                b.put_u8(3);
+                b.put_i64(i64::from(*d));
+            }
+        }
+    }
+
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(Value::Int(r.get_i64()?)),
+            1 => Ok(Value::Float(r.get_f64()?)),
+            2 => Ok(Value::Str(r.get_str()?.to_owned())),
+            3 => {
+                let d = r.get_i64()?;
+                i32::try_from(d)
+                    .map(Value::Date)
+                    .map_err(|_| DecodeError::UnexpectedEnd)
+            }
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_round_trips() {
+        for s in ["1970-01-01", "1995-01-17", "1998-12-01", "2000-02-29", "1992-12-31"] {
+            let d = parse_date(s).unwrap();
+            assert_eq!(format_date(d), s, "date {s}");
+        }
+        assert_eq!(parse_date("1970-01-01"), Some(0));
+        assert_eq!(parse_date("1970-01-02"), Some(1));
+        assert_eq!(parse_date("1969-12-31"), Some(-1));
+    }
+
+    #[test]
+    fn bad_dates_rejected() {
+        assert_eq!(parse_date("1995-13-01"), None);
+        assert_eq!(parse_date("nope"), None);
+        assert_eq!(parse_date("1995-01"), None);
+    }
+
+    #[test]
+    fn row_text_round_trip() {
+        let row: Row = vec![
+            Value::Int(42),
+            Value::Str("PROMO BURNISHED".into()),
+            Value::Float(1234.5),
+            Value::date("1995-09-14"),
+        ];
+        let text = row_to_text(&row);
+        assert_eq!(text, "|42|PROMO BURNISHED|1234.50|1995-09-14|\n");
+        let types = [
+            ColumnType::Int,
+            ColumnType::Str,
+            ColumnType::Float,
+            ColumnType::Date,
+        ];
+        let back = row_from_text(&types, text.trim_end()).unwrap();
+        assert_eq!(back[0], Value::Int(42));
+        assert_eq!(back[1], Value::Str("PROMO BURNISHED".into()));
+        assert_eq!(back[3], Value::date("1995-09-14"));
+    }
+
+    #[test]
+    fn every_column_is_pipe_delimited() {
+        // The property the pattern matcher relies on: `|value|` occurs for
+        // every column, including first and last.
+        let row: Row = vec![Value::Int(7), Value::Str("x".into()), Value::Int(9)];
+        let text = row_to_text(&row);
+        assert!(text.contains("|7|"));
+        assert!(text.contains("|x|"));
+        assert!(text.contains("|9|"));
+    }
+
+    #[test]
+    fn comparisons_widen_numerics() {
+        assert_eq!(
+            Value::Int(3).compare(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::date("1995-01-17").compare(&Value::date("1995-01-18")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Str("a".into()).compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let vals = vec![
+            Value::Int(-5),
+            Value::Float(2.25),
+            Value::Str("hello".into()),
+            Value::date("1996-03-13"),
+        ];
+        let p = vals.to_packet();
+        assert_eq!(Vec::<Value>::from_packet(&p).unwrap(), vals);
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        let types = [ColumnType::Int, ColumnType::Int];
+        assert!(row_from_text(&types, "|1|2|").is_some());
+        assert!(row_from_text(&types, "|1|").is_none()); // too few
+        assert!(row_from_text(&types, "|1|2|3|").is_none()); // too many
+        assert!(row_from_text(&types, "1|2|").is_none()); // missing frame
+        assert!(row_from_text(&types, "|a|2|").is_none()); // bad int
+    }
+}

@@ -1,0 +1,312 @@
+//! End-to-end engine tests: Conv and Biscuit modes must produce identical
+//! results, the planner must offload only pattern-friendly selective scans,
+//! and offloading must reduce both link traffic and execution time.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use biscuit_core::{CoreConfig, Ssd};
+use biscuit_db::expr::{pattern_keys, CmpOp, Expr};
+use biscuit_db::spec::{AggFun, ExecMode, OrderKey, SelectSpec};
+use biscuit_db::{ColumnType, Db, DbConfig, QueryOutput, Row, Schema, Value};
+use biscuit_fs::Fs;
+use biscuit_host::{HostConfig, HostLoad};
+use biscuit_sim::Simulation;
+use biscuit_ssd::{SsdConfig, SsdDevice};
+
+fn make_db() -> Db {
+    let dev = Arc::new(SsdDevice::new(SsdConfig {
+        logical_capacity: 256 << 20,
+        ..SsdConfig::paper_default()
+    }));
+    let ssd = Ssd::new(Fs::format(dev), CoreConfig::paper_default());
+    Db::new(ssd, HostConfig::paper_default(), DbConfig::paper_default())
+}
+
+/// items(id INT, category STR, price FLOAT, ship DATE): `rows` rows with a
+/// rare category "TARGET" planted every `stride` rows.
+fn load_items(db: &mut Db, rows: usize, stride: usize) {
+    let schema = Schema::new(&[
+        ("id", ColumnType::Int),
+        ("category", ColumnType::Str),
+        ("price", ColumnType::Float),
+        ("ship", ColumnType::Date),
+        ("comment", ColumnType::Str),
+    ]);
+    let data: Vec<Row> = (0..rows)
+        .map(|i| {
+            let cat = if i % stride == 0 { "TARGETCAT" } else { "FILLER" };
+            vec![
+                Value::Int(i as i64),
+                Value::Str(format!("{cat}{:03}", i % 7)),
+                Value::Float((i % 100) as f64),
+                Value::Date(9000 + (i % 1000) as i32),
+                Value::Str(format!("comment padding text {:0>80}", i)),
+            ]
+        })
+        .collect();
+    db.create_table("items", schema, &data).unwrap();
+}
+
+fn run_query(db: Arc<Db>, spec: SelectSpec, mode: ExecMode) -> QueryOutput {
+    let sim = Simulation::new(0);
+    let out = Arc::new(Mutex::new(None));
+    let o = Arc::clone(&out);
+    sim.spawn("host", move |ctx| {
+        let r = db.execute(ctx, &spec, mode, HostLoad::IDLE).unwrap();
+        *o.lock() = Some(r);
+    });
+    sim.run().assert_quiescent();
+    let result = out.lock().take().unwrap();
+    result
+}
+
+fn selective_spec() -> SelectSpec {
+    let mut spec = SelectSpec::new("selective");
+    spec.scan(
+        "items",
+        Some(Expr::Like(Box::new(Expr::Col(1)), "%TARGETCAT%".into())),
+    );
+    spec
+}
+
+#[test]
+fn conv_and_biscuit_agree_on_filter() {
+    let mut db = make_db();
+    load_items(&mut db, 30_000, 500);
+    let db = Arc::new(db);
+    let conv = run_query(Arc::clone(&db), selective_spec(), ExecMode::Conv);
+    let bis = run_query(Arc::clone(&db), selective_spec(), ExecMode::Biscuit);
+    assert_eq!(conv.rows.len(), 60);
+    assert_eq!(conv.rows, bis.rows);
+    assert!(conv.stats.offloaded_tables.is_empty());
+    assert_eq!(bis.stats.offloaded_tables, vec!["items".to_string()]);
+}
+
+#[test]
+fn offload_reduces_link_traffic_and_time() {
+    let mut db = make_db();
+    load_items(&mut db, 30_000, 500);
+    let db = Arc::new(db);
+    let conv = run_query(Arc::clone(&db), selective_spec(), ExecMode::Conv);
+    let bis = run_query(Arc::clone(&db), selective_spec(), ExecMode::Biscuit);
+    assert!(
+        bis.stats.link_bytes_to_host * 4 < conv.stats.link_bytes_to_host,
+        "link traffic: biscuit {} vs conv {}",
+        bis.stats.link_bytes_to_host,
+        conv.stats.link_bytes_to_host
+    );
+    assert!(
+        bis.stats.elapsed.as_secs_f64() * 2.0 < conv.stats.elapsed.as_secs_f64(),
+        "time: biscuit {} vs conv {}",
+        bis.stats.elapsed,
+        conv.stats.elapsed
+    );
+    assert!(bis.stats.device_pages_scanned > 0);
+    assert_eq!(conv.stats.device_pages_scanned, 0);
+}
+
+#[test]
+fn unfriendly_predicate_is_not_offloaded() {
+    let mut db = make_db();
+    load_items(&mut db, 10_000, 500);
+    let db = Arc::new(db);
+    // Range predicate over a wide span: no pattern keys.
+    let mut spec = SelectSpec::new("range");
+    spec.scan(
+        "items",
+        Some(Expr::col_cmp(2, CmpOp::Lt, Value::Float(3.0))),
+    );
+    assert!(pattern_keys(&spec.scans[0].predicate.clone().unwrap()).is_none());
+    let bis = run_query(Arc::clone(&db), spec.clone(), ExecMode::Biscuit);
+    assert!(bis.stats.offloaded_tables.is_empty());
+    let conv = run_query(db, spec, ExecMode::Conv);
+    assert_eq!(conv.rows, bis.rows);
+}
+
+#[test]
+fn unselective_predicate_rejected_by_sampling() {
+    let mut db = make_db();
+    // Every row is TARGETCAT: the matcher passes every page.
+    load_items(&mut db, 10_000, 1);
+    let db = Arc::new(db);
+    let bis = run_query(Arc::clone(&db), selective_spec(), ExecMode::Biscuit);
+    assert!(
+        bis.stats.offloaded_tables.is_empty(),
+        "sampling should reject an unselective predicate"
+    );
+    assert_eq!(bis.rows.len(), 10_000);
+}
+
+#[test]
+fn join_and_aggregate_agree_across_modes() {
+    let mut db = make_db();
+    load_items(&mut db, 20_000, 400);
+    // categories(name STR, weight INT): joins on category string.
+    let schema = Schema::new(&[("name", ColumnType::Str), ("weight", ColumnType::Int)]);
+    let cats: Vec<Row> = (0..7)
+        .flat_map(|i| {
+            vec![
+                vec![Value::Str(format!("TARGETCAT{i:03}")), Value::Int(i)],
+                vec![Value::Str(format!("FILLER{i:03}")), Value::Int(100 + i)],
+            ]
+        })
+        .collect();
+    db.create_table("categories", schema, &cats).unwrap();
+    let db = Arc::new(db);
+
+    let build = || {
+        let mut spec = SelectSpec::new("join-agg");
+        let items = spec.scan(
+            "items",
+            Some(Expr::Like(Box::new(Expr::Col(1)), "%TARGETCAT%".into())),
+        );
+        let cats = spec.scan("categories", None);
+        // items.category = categories.name
+        spec.join(items, 1, cats, 0);
+        // SELECT weight, COUNT(*), SUM(price) GROUP BY weight ORDER BY weight
+        spec.group_by = vec![Expr::Col(6)]; // categories.weight (offset 5 + 1)
+        spec.aggregates = vec![
+            (AggFun::Count, Expr::Lit(Value::Int(1))),
+            (AggFun::Sum, Expr::Col(2)),
+        ];
+        spec.order_by = vec![OrderKey { col: 0, desc: false }];
+        spec
+    };
+    let conv = run_query(Arc::clone(&db), build(), ExecMode::Conv);
+    let bis = run_query(Arc::clone(&db), build(), ExecMode::Biscuit);
+    assert_eq!(conv.rows, bis.rows);
+    assert!(!conv.rows.is_empty());
+    assert_eq!(bis.stats.offloaded_tables, vec!["items".to_string()]);
+}
+
+#[test]
+fn projection_order_limit() {
+    let mut db = make_db();
+    load_items(&mut db, 1_000, 10);
+    let db = Arc::new(db);
+    let mut spec = SelectSpec::new("top");
+    spec.scan("items", None);
+    spec.projection = vec![Expr::Col(0), Expr::Col(2)];
+    spec.order_by = vec![
+        OrderKey { col: 1, desc: true },
+        OrderKey { col: 0, desc: false },
+    ];
+    spec.limit = Some(5);
+    let out = run_query(db, spec, ExecMode::Conv);
+    assert_eq!(out.rows.len(), 5);
+    // Highest price first; ties broken by ascending id.
+    assert_eq!(out.rows[0][1], Value::Float(99.0));
+    assert!(out.rows[0][0].as_i64().unwrap() < out.rows[1][0].as_i64().unwrap());
+}
+
+#[test]
+fn explain_reports_offload_and_join_order() {
+    let mut db = make_db();
+    load_items(&mut db, 30_000, 500);
+    let schema = Schema::new(&[("name", ColumnType::Str), ("weight", ColumnType::Int)]);
+    let cats: Vec<Row> = (0..7)
+        .map(|i| vec![Value::Str(format!("TARGETCAT{i:03}")), Value::Int(i)])
+        .collect();
+    db.create_table("categories", schema, &cats).unwrap();
+    let db = Arc::new(db);
+    let sim = Simulation::new(0);
+    let out = Arc::new(Mutex::new(None));
+    let o = Arc::clone(&out);
+    sim.spawn("host", move |ctx| {
+        let mut spec = SelectSpec::new("x");
+        let items = spec.scan(
+            "items",
+            Some(Expr::Like(Box::new(Expr::Col(1)), "%TARGETCAT%".into())),
+        );
+        let cats = spec.scan("categories", None);
+        spec.join(items, 1, cats, 0);
+        let plan = db.explain(ctx, &spec, ExecMode::Biscuit, HostLoad::IDLE).unwrap();
+        *o.lock() = Some(plan);
+    });
+    sim.run().assert_quiescent();
+    let plan = out.lock().take().unwrap();
+    assert!(plan.scans[0].offloaded, "{plan:?}");
+    assert!(plan.scans[0].est_selectivity < 0.01, "{plan:?}");
+    assert!(plan.scans[0].keys[0].contains("TARGETCAT"), "{plan:?}");
+    assert!(!plan.scans[1].offloaded);
+    // NDP-filtered table leads the join order.
+    assert_eq!(plan.join_order[0], "items");
+}
+
+#[test]
+fn aggregate_pushdown_extension_matches_host_aggregation() {
+    use biscuit_db::spec::AggFun;
+    // Same data, same query, three engines: Conv, Biscuit (filter-only),
+    // Biscuit with on-device aggregation. All must produce the same sums.
+    let dev = || {
+        Arc::new(SsdDevice::new(SsdConfig {
+            logical_capacity: 256 << 20,
+            ..SsdConfig::paper_default()
+        }))
+    };
+    let build = |pushdown: bool| {
+        let ssd = Ssd::new(Fs::format(dev()), CoreConfig::paper_default());
+        let mut db = Db::new(
+            ssd,
+            HostConfig::paper_default(),
+            DbConfig {
+                aggregate_pushdown: pushdown,
+                ..DbConfig::paper_default()
+            },
+        );
+        load_items_into(&mut db);
+        Arc::new(db)
+    };
+    fn load_items_into(db: &mut Db) {
+        let schema = Schema::new(&[
+            ("id", ColumnType::Int),
+            ("category", ColumnType::Str),
+            ("price", ColumnType::Float),
+            ("ship", ColumnType::Date),
+            ("comment", ColumnType::Str),
+        ]);
+        let data: Vec<Row> = (0..30_000usize)
+            .map(|i| {
+                let cat = if i % 500 == 0 { "TARGETCAT" } else { "FILLER" };
+                vec![
+                    Value::Int(i as i64),
+                    Value::Str(format!("{cat}{:03}", i % 7)),
+                    Value::Float((i % 100) as f64),
+                    Value::Date(9000 + (i % 1000) as i32),
+                    Value::Str(format!("comment padding text {i:0>80}")),
+                ]
+            })
+            .collect();
+        db.create_table("items", schema, &data).unwrap();
+    }
+    let spec = || {
+        let mut spec = SelectSpec::new("agg");
+        spec.scan(
+            "items",
+            Some(Expr::Like(Box::new(Expr::Col(1)), "%TARGETCAT%".into())),
+        );
+        spec.aggregates = vec![
+            (AggFun::Sum, Expr::Col(2)),
+            (AggFun::Count, Expr::Lit(Value::Int(1))),
+            (AggFun::Min, Expr::Col(0)),
+            (AggFun::Max, Expr::Col(0)),
+        ];
+        spec
+    };
+    let conv = run_query(build(false), spec(), ExecMode::Conv);
+    let plain = run_query(build(false), spec(), ExecMode::Biscuit);
+    let pushed = run_query(build(true), spec(), ExecMode::Biscuit);
+    assert_eq!(conv.rows, plain.rows);
+    assert_eq!(conv.rows, pushed.rows);
+    assert_eq!(pushed.stats.offloaded_tables, vec!["items".to_string()]);
+    // On-device aggregation moves strictly fewer bytes over the link than
+    // filter-only offload (one row vs all qualifying rows).
+    assert!(
+        pushed.stats.link_bytes_to_host < plain.stats.link_bytes_to_host,
+        "pushdown {} vs filter-only {}",
+        pushed.stats.link_bytes_to_host,
+        plain.stats.link_bytes_to_host
+    );
+}

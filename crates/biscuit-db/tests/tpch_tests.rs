@@ -1,0 +1,136 @@
+//! Full TPC-H suite: every query must return the same results in Conv and
+//! Biscuit mode (the fundamental offload-correctness invariant), and the
+//! offload pattern must match the paper's structure — a subset of queries
+//! offloads, the rest run conventionally.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use biscuit_core::{CoreConfig, Ssd};
+use biscuit_db::spec::ExecMode;
+use biscuit_db::tpch::{all_queries, TpchData};
+use biscuit_db::{Db, DbConfig, QueryOutput, Value};
+use biscuit_fs::Fs;
+use biscuit_host::{HostConfig, HostLoad};
+use biscuit_sim::Simulation;
+use biscuit_ssd::{SsdConfig, SsdDevice};
+
+const SF: f64 = 0.0125;
+
+fn make_db() -> Arc<Db> {
+    let dev = Arc::new(SsdDevice::new(SsdConfig {
+        logical_capacity: 1 << 30,
+        ..SsdConfig::paper_default()
+    }));
+    let ssd = Ssd::new(Fs::format(dev), CoreConfig::paper_default());
+    let mut db = Db::new(ssd, HostConfig::paper_default(), DbConfig::paper_default());
+    let data = TpchData::generate(SF, 42);
+    data.load_into(&mut db).unwrap();
+    Arc::new(db)
+}
+
+fn run_suite(db: Arc<Db>, mode: ExecMode) -> Vec<QueryOutput> {
+    let sim = Simulation::new(0);
+    let out: Arc<Mutex<Vec<QueryOutput>>> = Arc::new(Mutex::new(Vec::new()));
+    let o = Arc::clone(&out);
+    sim.spawn("host", move |ctx| {
+        for q in all_queries() {
+            let r = q
+                .run(&db, ctx, mode, HostLoad::IDLE)
+                .unwrap_or_else(|e| panic!("Q{} failed: {e}", q.id));
+            o.lock().push(r);
+        }
+    });
+    sim.run().assert_quiescent();
+    let result = out.lock().drain(..).collect();
+    result
+}
+
+fn values_close(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() / scale < 1e-9
+        }
+        _ => a == b,
+    }
+}
+
+fn rows_close(a: &[biscuit_db::Row], b: &[biscuit_db::Row]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.len() == rb.len() && ra.iter().zip(rb).all(|(x, y)| values_close(x, y))
+        })
+}
+
+#[test]
+fn tpch_suite_conv_vs_biscuit() {
+    let db = make_db();
+    let conv = run_suite(Arc::clone(&db), ExecMode::Conv);
+    let bis = run_suite(Arc::clone(&db), ExecMode::Biscuit);
+
+    // 1. Results agree across modes (offload-correctness invariant).
+    let mut failures = Vec::new();
+    for ((q, c), b) in all_queries().iter().zip(&conv).zip(&bis) {
+        if !rows_close(&c.rows, &b.rows) {
+            failures.push(format!(
+                "Q{}: conv {} rows vs biscuit {} rows\n  conv first: {:?}\n  bis first:  {:?}",
+                q.id,
+                c.rows.len(),
+                b.rows.len(),
+                c.rows.first(),
+                b.rows.first()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "result mismatches:\n{}", failures.join("\n"));
+
+    // 2. Offload pattern matches the paper's structure: ~8 queries offload,
+    //    including Q14/Q6; the paper's named non-candidates never offload;
+    //    Conv mode never offloads anything.
+    let offloaded: Vec<usize> = all_queries()
+        .iter()
+        .zip(&bis)
+        .filter(|(_, out)| !out.stats.offloaded_tables.is_empty())
+        .map(|(q, _)| q.id)
+        .collect();
+    assert!(offloaded.contains(&14), "Q14 must offload, got {offloaded:?}");
+    assert!(offloaded.contains(&6), "Q6 must offload, got {offloaded:?}");
+    for never in [1, 13, 16, 18, 21, 22] {
+        assert!(
+            !offloaded.contains(&never),
+            "Q{never} must not offload, got {offloaded:?}"
+        );
+    }
+    assert!(
+        (6..=10).contains(&offloaded.len()),
+        "expected ~8 offloaded queries, got {offloaded:?}"
+    );
+    assert!(conv.iter().all(|o| o.stats.offloaded_tables.is_empty()));
+
+    // 3. Biscuit wins in total time (paper: 3.6x) and never regresses much
+    //    on any single query.
+    let conv_total: f64 = conv.iter().map(|o| o.stats.elapsed.as_secs_f64()).sum();
+    let bis_total: f64 = bis.iter().map(|o| o.stats.elapsed.as_secs_f64()).sum();
+    assert!(
+        bis_total * 1.5 < conv_total,
+        "total: biscuit {bis_total}s vs conv {conv_total}s"
+    );
+    for ((q, c), b) in all_queries().iter().zip(&conv).zip(&bis) {
+        let (ct, bt) = (c.stats.elapsed.as_secs_f64(), b.stats.elapsed.as_secs_f64());
+        assert!(
+            bt < ct * 1.25 + 0.01,
+            "Q{} regressed: biscuit {bt}s vs conv {ct}s",
+            q.id
+        );
+    }
+
+    // 4. Q14 is the standout (paper: 166.8x speedup, 315.4x I/O reduction).
+    let idx = 13;
+    let speedup = conv[idx].stats.elapsed.as_secs_f64() / bis[idx].stats.elapsed.as_secs_f64();
+    let io_reduction =
+        conv[idx].stats.link_bytes_to_host as f64 / bis[idx].stats.link_bytes_to_host.max(1) as f64;
+    assert!(speedup > 5.0, "Q14 speedup only {speedup:.1}x");
+    assert!(io_reduction > 10.0, "Q14 I/O reduction only {io_reduction:.1}x");
+}

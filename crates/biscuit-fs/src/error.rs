@@ -1,0 +1,75 @@
+//! Filesystem error types.
+
+use biscuit_ssd::DeviceError;
+
+/// Errors surfaced by filesystem operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// No file with the given path exists.
+    NotFound(String),
+    /// A file with the given path already exists.
+    AlreadyExists(String),
+    /// The volume has no free extent large enough.
+    NoSpace {
+        /// Pages requested.
+        requested_pages: u64,
+        /// Largest free extent available.
+        largest_free: u64,
+    },
+    /// A write was attempted through a read-only handle.
+    ReadOnly(String),
+    /// A read or write fell outside the file.
+    OutOfBounds {
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Current file size.
+        size: u64,
+    },
+    /// On-device metadata failed to parse at mount time.
+    Corrupt(String),
+    /// The underlying device rejected an operation.
+    Device(DeviceError),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "file not found: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
+            FsError::NoSpace {
+                requested_pages,
+                largest_free,
+            } => write!(
+                f,
+                "no space: requested {requested_pages} pages, largest free extent {largest_free}"
+            ),
+            FsError::ReadOnly(p) => write!(f, "file handle is read-only: {p}"),
+            FsError::OutOfBounds { offset, len, size } => write!(
+                f,
+                "range [{offset}, {offset}+{len}) out of bounds for file of {size} bytes"
+            ),
+            FsError::Corrupt(msg) => write!(f, "corrupt filesystem metadata: {msg}"),
+            FsError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for FsError {
+    fn from(e: DeviceError) -> Self {
+        FsError::Device(e)
+    }
+}
+
+/// Result alias for filesystem operations.
+pub type FsResult<T> = Result<T, FsError>;

@@ -1,0 +1,152 @@
+//! Property tests: filesystem round-trips and allocator invariants under
+//! arbitrary operation schedules.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use biscuit_fs::{Extent, ExtentAllocator, Fs, Mode};
+use biscuit_sim::Simulation;
+use biscuit_ssd::{SsdConfig, SsdDevice};
+
+fn device() -> Arc<SsdDevice> {
+    Arc::new(SsdDevice::new(SsdConfig {
+        logical_capacity: 32 << 20,
+        ..SsdConfig::paper_default()
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any sequence of appends to multiple files reads back intact, both
+    /// before and after a remount.
+    #[test]
+    fn appends_round_trip_across_remount(
+        ops in proptest::collection::vec((0usize..3, 1usize..5000), 1..20)
+    ) {
+        let dev = device();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+        {
+            let fs = Fs::format(Arc::clone(&dev));
+            for (i, &(file_idx, len)) in ops.iter().enumerate() {
+                let name = format!("file{file_idx}");
+                if !fs.exists(&name) {
+                    fs.create(&name).unwrap();
+                }
+                let chunk: Vec<u8> = (0..len).map(|j| ((i * 37 + j) % 251) as u8).collect();
+                fs.append_untimed(&name, &chunk).unwrap();
+                model.entry(name).or_default().extend_from_slice(&chunk);
+            }
+        }
+        let fs = Fs::mount(dev).unwrap();
+        let sim = Simulation::new(0);
+        let model2 = model.clone();
+        let fs2 = fs.clone();
+        sim.spawn("verify", move |ctx| {
+            for (name, expect) in &model2 {
+                let f = fs2.open(name, Mode::ReadOnly).unwrap();
+                assert_eq!(f.len().unwrap(), expect.len() as u64);
+                let got = f.read_at(ctx, 0, expect.len() as u64).unwrap();
+                assert_eq!(&got, expect, "file {name} corrupted");
+            }
+        });
+        sim.run().assert_quiescent();
+    }
+
+    /// Arbitrary offset/length slices read back exactly what a byte-array
+    /// model says they should.
+    #[test]
+    fn random_slices_match_model(
+        total in 1usize..200_000,
+        reads in proptest::collection::vec((any::<u32>(), any::<u16>()), 1..16)
+    ) {
+        let dev = device();
+        let fs = Fs::format(dev);
+        fs.create("blob").unwrap();
+        let data: Vec<u8> = (0..total).map(|i| (i % 249) as u8).collect();
+        fs.append_untimed("blob", &data).unwrap();
+        let f = fs.open("blob", Mode::ReadOnly).unwrap();
+        let sim = Simulation::new(0);
+        sim.spawn("r", move |ctx| {
+            for &(off_seed, len_seed) in &reads {
+                let offset = off_seed as u64 % total as u64;
+                let len = (len_seed as u64).min(total as u64 - offset);
+                let got = f.read_at(ctx, offset, len).unwrap();
+                assert_eq!(
+                    &got[..],
+                    &data[offset as usize..(offset + len) as usize]
+                );
+            }
+        });
+        sim.run().assert_quiescent();
+    }
+
+    /// The allocator never hands out overlapping extents and never loses
+    /// pages across arbitrary alloc/free interleavings.
+    #[test]
+    fn allocator_conserves_pages(
+        ops in proptest::collection::vec(prop_oneof![
+            (1u64..64).prop_map(Some),  // allocate n pages
+            Just(None),                 // free the oldest held extent
+        ], 1..200)
+    ) {
+        let total = 1000u64;
+        let mut alloc = ExtentAllocator::new(0, total);
+        let mut held: Vec<Extent> = Vec::new();
+        for op in ops {
+            match op {
+                Some(n) => {
+                    if let Some(e) = alloc.allocate(n) {
+                        // No overlap with anything currently held.
+                        for h in &held {
+                            prop_assert!(
+                                e.end() <= h.start || h.end() <= e.start,
+                                "{e:?} overlaps {h:?}"
+                            );
+                        }
+                        held.push(e);
+                    }
+                }
+                None => {
+                    if !held.is_empty() {
+                        alloc.free(held.remove(0));
+                    }
+                }
+            }
+            let held_pages: u64 = held.iter().map(|e| e.pages).sum();
+            prop_assert_eq!(alloc.free_pages() + held_pages, total);
+        }
+    }
+}
+
+#[test]
+fn write_async_flush_round_trip() {
+    use biscuit_sim::Simulation;
+    let dev = device();
+    let fs = Fs::format(dev);
+    let mut f = fs.create("buffered").unwrap();
+    let sim = Simulation::new(0);
+    sim.spawn("w", move |ctx| {
+        // Buffered writes cost no time until the flush.
+        let t0 = ctx.now();
+        f.write_async(b"hello ").unwrap();
+        f.write_async(b"buffered ").unwrap();
+        f.write_async(b"world").unwrap();
+        assert_eq!(ctx.now(), t0, "write_async is free until flush");
+        assert_eq!(f.buffered(), 20);
+        f.flush(ctx).unwrap();
+        assert!(ctx.now() > t0, "flush charges program time");
+        assert_eq!(f.buffered(), 0);
+        assert_eq!(f.read_at(ctx, 0, 20).unwrap(), b"hello buffered world");
+        // Second flush with nothing buffered is a no-op.
+        let t1 = ctx.now();
+        f.flush(ctx).unwrap();
+        assert_eq!(ctx.now(), t1);
+        // Read-only handles reject buffered writes.
+        let mut ro = f.read_only();
+        assert!(ro.write_async(b"no").is_err());
+    });
+    sim.run().assert_quiescent();
+}

@@ -1,0 +1,352 @@
+//! The conventional ("Conv") host I/O path: NVMe reads over the PCIe link.
+//!
+//! This is the baseline every Biscuit experiment compares against. A read
+//! pays, in order: host submission (driver + doorbell, inflated by memory
+//! contention), device command handling, the internal flash read, the DMA
+//! over the 3.2 GB/s link (per page, pipelined with the flash reads), and
+//! host completion processing. Synchronous reads issue one request at a
+//! time; asynchronous reads keep a queue-depth window in flight — the two
+//! curves of Fig. 7.
+
+use std::sync::Arc;
+
+use biscuit_fs::{File, FsError, FsResult};
+use biscuit_proto::HostLink;
+use biscuit_sim::time::SimTime;
+use biscuit_sim::Ctx;
+use biscuit_ssd::SsdDevice;
+
+use crate::config::{HostConfig, HostLoad};
+
+/// The Conv read path, bound to a device and its link.
+#[derive(Debug, Clone)]
+pub struct ConvIo {
+    device: Arc<SsdDevice>,
+    link: Arc<HostLink>,
+    cfg: HostConfig,
+}
+
+impl ConvIo {
+    /// Creates a Conv I/O path over the given device and link.
+    pub fn new(device: Arc<SsdDevice>, link: Arc<HostLink>, cfg: HostConfig) -> Self {
+        ConvIo { device, link, cfg }
+    }
+
+    /// The host configuration in use.
+    pub fn config(&self) -> &HostConfig {
+        &self.cfg
+    }
+
+    /// The link this path rides.
+    pub fn link(&self) -> &Arc<HostLink> {
+        &self.link
+    }
+
+    /// The device behind the link.
+    pub fn device(&self) -> &Arc<SsdDevice> {
+        &self.device
+    }
+
+    fn charge_host(&self, ctx: &Ctx, base: biscuit_sim::time::SimDuration, load: HostLoad) {
+        let scaled = biscuit_sim::time::SimDuration::from_secs_f64(
+            base.as_secs_f64() * load.latency_slowdown(&self.cfg),
+        );
+        ctx.sleep(scaled);
+    }
+
+    /// Issues one read request for `(lpn, bytes)` page spans and returns
+    /// `(completion, data)` without waiting: internal page reads pipeline
+    /// into per-page DMAs over the shared link.
+    fn issue_request(
+        &self,
+        now: SimTime,
+        spans: &[(u64, usize)],
+    ) -> FsResult<(SimTime, Vec<biscuit_ssd::PageBuf>)> {
+        let dev_start = self.device.charge_request_overhead(now);
+        let mut end = dev_start;
+        let mut pages = Vec::with_capacity(spans.len());
+        for &(lpn, bytes) in spans {
+            let (internal_done, buf) = self
+                .device
+                .enqueue_read(dev_start, lpn, bytes)
+                .map_err(FsError::Device)?;
+            let dma_done = self.link.enqueue_dma_to_host(internal_done, bytes as u64);
+            end = end.max(dma_done);
+            pages.push(buf);
+        }
+        Ok((end, pages))
+    }
+
+    /// Splits a byte range into per-page `(lpn, bytes_touched)` spans.
+    fn spans_for(&self, file: &File, offset: u64, len: u64) -> FsResult<Vec<(u64, usize)>> {
+        let page_size = self.device.config().page_size as u64;
+        let lpns = file.lpns_for_range(offset, len)?;
+        let mut spans = Vec::with_capacity(lpns.len());
+        let mut pos = offset;
+        let end = offset + len;
+        for lpn in lpns {
+            let page_end = (pos / page_size + 1) * page_size;
+            let take = page_end.min(end) - pos;
+            spans.push((lpn, take as usize));
+            pos += take;
+        }
+        Ok(spans)
+    }
+
+    /// Synchronous `pread`: one request covering the byte range, blocking
+    /// until the data is in host memory (paper Table III's Conv path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] for out-of-range or device failures.
+    pub fn read(
+        &self,
+        ctx: &Ctx,
+        file: &File,
+        offset: u64,
+        len: u64,
+        load: HostLoad,
+    ) -> FsResult<Vec<u8>> {
+        let link_cfg = self.link.config().clone();
+        let spans = self.spans_for(file, offset, len)?;
+        let slot = self.link.acquire_slot(ctx);
+        self.charge_host(ctx, link_cfg.host_submit, load);
+        ctx.sleep(link_cfg.device_command);
+        let (end, pages) = self.issue_request(ctx.now(), &spans)?;
+        ctx.sleep_until(end);
+        self.charge_host(ctx, link_cfg.host_complete, load);
+        self.link.release_slot(ctx, slot);
+        Ok(slice_pages(
+            &pages,
+            offset,
+            len,
+            self.device.config().page_size as u64,
+        ))
+    }
+
+    /// Asynchronous read: requests of `request_bytes` with up to
+    /// `queue_depth` outstanding (Fig. 7's right panel, Conv series).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] for out-of-range or device failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request_bytes` or `queue_depth` is zero.
+    #[allow(clippy::too_many_arguments)] // mirrors the flat pread-style API
+    pub fn read_async(
+        &self,
+        ctx: &Ctx,
+        file: &File,
+        offset: u64,
+        len: u64,
+        request_bytes: u64,
+        queue_depth: usize,
+        load: HostLoad,
+    ) -> FsResult<Vec<u8>> {
+        assert!(request_bytes > 0 && queue_depth > 0);
+        let link_cfg = self.link.config().clone();
+        let page_size = self.device.config().page_size as u64;
+        let spans = self.spans_for(file, offset, len)?;
+        let pages_per_request = (request_bytes / page_size).max(1) as usize;
+        let mut inflight: std::collections::VecDeque<SimTime> = Default::default();
+        let mut all_pages = Vec::with_capacity(spans.len());
+        for chunk in spans.chunks(pages_per_request) {
+            if inflight.len() >= queue_depth {
+                let earliest = inflight.pop_front().expect("nonempty");
+                ctx.sleep_until(earliest);
+                self.charge_host(ctx, link_cfg.host_complete, load);
+            }
+            self.charge_host(ctx, link_cfg.host_submit, load);
+            ctx.sleep(link_cfg.device_command);
+            let (end, pages) = self.issue_request(ctx.now(), chunk)?;
+            inflight.push_back(end);
+            all_pages.extend(pages);
+        }
+        while let Some(end) = inflight.pop_front() {
+            ctx.sleep_until(end);
+            self.charge_host(ctx, link_cfg.host_complete, load);
+        }
+        Ok(slice_pages(&all_pages, offset, len, page_size))
+    }
+}
+
+impl ConvIo {
+    /// Asynchronous whole-page read of `page_count` file pages starting at
+    /// file page `page_start`, returning the raw page buffers without
+    /// copying them into one contiguous allocation (table-scan fast path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] for out-of-range or device failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request_pages` or `queue_depth` is zero.
+    #[allow(clippy::too_many_arguments)] // mirrors the flat pread-style API
+    pub fn read_file_pages_async(
+        &self,
+        ctx: &Ctx,
+        file: &File,
+        page_start: u64,
+        page_count: u64,
+        request_pages: usize,
+        queue_depth: usize,
+        load: HostLoad,
+    ) -> FsResult<Vec<biscuit_ssd::PageBuf>> {
+        assert!(request_pages > 0 && queue_depth > 0);
+        let link_cfg = self.link.config().clone();
+        let page_size = self.device.config().page_size;
+        let byte_len = page_count * page_size as u64;
+        let lpns = file.lpns_for_range(page_start * page_size as u64, byte_len)?;
+        let spans: Vec<(u64, usize)> = lpns.into_iter().map(|l| (l, page_size)).collect();
+        let mut inflight: std::collections::VecDeque<SimTime> = Default::default();
+        let mut all_pages = Vec::with_capacity(spans.len());
+        for chunk in spans.chunks(request_pages) {
+            if inflight.len() >= queue_depth {
+                let earliest = inflight.pop_front().expect("nonempty");
+                ctx.sleep_until(earliest);
+                self.charge_host(ctx, link_cfg.host_complete, load);
+            }
+            self.charge_host(ctx, link_cfg.host_submit, load);
+            ctx.sleep(link_cfg.device_command);
+            let (end, pages) = self.issue_request(ctx.now(), chunk)?;
+            inflight.push_back(end);
+            all_pages.extend(pages);
+        }
+        while let Some(end) = inflight.pop_front() {
+            ctx.sleep_until(end);
+            self.charge_host(ctx, link_cfg.host_complete, load);
+        }
+        Ok(all_pages)
+    }
+}
+
+fn slice_pages(pages: &[biscuit_ssd::PageBuf], offset: u64, len: u64, page_size: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len as usize);
+    let head = offset % page_size;
+    let mut remaining = len;
+    for (i, page) in pages.iter().enumerate() {
+        let start = if i == 0 { head as usize } else { 0 };
+        let take = ((page_size as usize - start) as u64).min(remaining) as usize;
+        out.extend_from_slice(&page[start..start + take]);
+        remaining -= take as u64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biscuit_fs::{Fs, Mode};
+    use biscuit_proto::LinkConfig;
+    use biscuit_sim::Simulation;
+    use biscuit_ssd::SsdConfig;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn setup() -> (Fs, ConvIo) {
+        let dev = Arc::new(SsdDevice::new(SsdConfig {
+            logical_capacity: 256 << 20,
+            ..SsdConfig::paper_default()
+        }));
+        let fs = Fs::format(Arc::clone(&dev));
+        let link = Arc::new(HostLink::new(LinkConfig::pcie_gen3_x4()));
+        let io = ConvIo::new(dev, link, HostConfig::paper_default());
+        (fs, io)
+    }
+
+    #[test]
+    fn conv_4k_read_latency_matches_table3() {
+        let (fs, io) = setup();
+        fs.create("f").unwrap();
+        fs.append_untimed("f", &vec![7u8; 16 << 10]).unwrap();
+        let f = fs.open("f", Mode::ReadOnly).unwrap();
+        let sim = Simulation::new(0);
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&t);
+        sim.spawn("r", move |ctx| {
+            let start = ctx.now();
+            let data = io.read(ctx, &f, 0, 4096, HostLoad::IDLE).unwrap();
+            assert_eq!(data.len(), 4096);
+            t2.store((ctx.now() - start).as_nanos(), Ordering::SeqCst);
+        });
+        sim.run().assert_quiescent();
+        let us = t.load(Ordering::SeqCst) as f64 / 1000.0;
+        assert!(
+            (88.0..92.5).contains(&us),
+            "Conv 4KiB read took {us}us, paper: 90.0us"
+        );
+    }
+
+    #[test]
+    fn conv_bandwidth_capped_by_link() {
+        let (fs, io) = setup();
+        fs.create("big").unwrap();
+        let total: u64 = 128 << 20;
+        // Load via device bulk API to keep setup fast.
+        fs.append_untimed("big", &vec![1u8; total as usize]).unwrap();
+        let f = fs.open("big", Mode::ReadOnly).unwrap();
+        let sim = Simulation::new(0);
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&t);
+        sim.spawn("r", move |ctx| {
+            let start = ctx.now();
+            io.read_async(ctx, &f, 0, total, 1 << 20, 32, HostLoad::IDLE)
+                .unwrap();
+            t2.store((ctx.now() - start).as_nanos(), Ordering::SeqCst);
+        });
+        sim.run().assert_quiescent();
+        let secs = t.load(Ordering::SeqCst) as f64 / 1e9;
+        let gbps = total as f64 / secs / 1e9;
+        assert!(
+            (2.9..3.25).contains(&gbps),
+            "Conv async bandwidth {gbps} GB/s should approach but not exceed 3.2"
+        );
+    }
+
+    #[test]
+    fn load_inflates_per_request_costs() {
+        let (fs, io) = setup();
+        fs.create("f").unwrap();
+        fs.append_untimed("f", &vec![0u8; 16 << 10]).unwrap();
+        let f = fs.open("f", Mode::ReadOnly).unwrap();
+        let sim = Simulation::new(0);
+        let times = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let times2 = Arc::clone(&times);
+        sim.spawn("r", move |ctx| {
+            for threads in [0u32, 24] {
+                let start = ctx.now();
+                io.read(ctx, &f, 0, 4096, HostLoad::new(threads)).unwrap();
+                times2.lock().push((ctx.now() - start).as_nanos());
+            }
+        });
+        sim.run().assert_quiescent();
+        let times = times.lock();
+        assert!(
+            times[1] > times[0],
+            "loaded read {} should exceed idle read {}",
+            times[1],
+            times[0]
+        );
+    }
+
+    #[test]
+    fn read_returns_exact_bytes() {
+        let (fs, io) = setup();
+        fs.create("f").unwrap();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 239) as u8).collect();
+        fs.append_untimed("f", &data).unwrap();
+        let f = fs.open("f", Mode::ReadOnly).unwrap();
+        let sim = Simulation::new(0);
+        sim.spawn("r", move |ctx| {
+            let got = io.read(ctx, &f, 777, 50_000, HostLoad::IDLE).unwrap();
+            assert_eq!(&got[..], &data[777..777 + 50_000]);
+            let got2 = io
+                .read_async(ctx, &f, 777, 50_000, 32 << 10, 8, HostLoad::IDLE)
+                .unwrap();
+            assert_eq!(got, got2);
+        });
+        sim.run().assert_quiescent();
+    }
+}

@@ -1,0 +1,22 @@
+//! # biscuit-host — the conventional host system model
+//!
+//! The "Conv" side of every comparison in the paper: a Xeon-class host
+//! whose software scans data after pulling it over the PCIe link, under
+//! configurable memory-bandwidth contention from background load
+//! (StreamBench threads in the paper's methodology).
+//!
+//! - [`config`] — host rates and the contention model (Tables IV/V fits).
+//! - [`io::ConvIo`] — the NVMe `pread`/async read path (Table III, Fig. 7).
+//! - [`search::BoyerMoore`] — the `grep` algorithm used as the Conv string
+//!   search baseline (Table V).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod io;
+pub mod search;
+
+pub use config::{HostConfig, HostLoad};
+pub use io::ConvIo;
+pub use search::BoyerMoore;

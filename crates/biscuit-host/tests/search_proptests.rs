@@ -1,0 +1,55 @@
+//! Property tests: Boyer–Moore agrees with the naive reference scanner on
+//! arbitrary inputs.
+
+use proptest::prelude::*;
+
+use biscuit_host::search::{naive_count, naive_find, BoyerMoore};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn bm_find_matches_naive(
+        text in proptest::collection::vec(any::<u8>(), 0..2000),
+        pattern in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let bm = BoyerMoore::new(&pattern);
+        prop_assert_eq!(bm.find(&text), naive_find(&text, &pattern));
+    }
+
+    #[test]
+    fn bm_count_matches_naive(
+        text in proptest::collection::vec(any::<u8>(), 0..2000),
+        pattern in proptest::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let bm = BoyerMoore::new(&pattern);
+        prop_assert_eq!(bm.count(&text), naive_count(&text, &pattern));
+    }
+
+    /// Low-entropy alphabets stress the good-suffix rule.
+    #[test]
+    fn bm_on_binary_alphabet(
+        text in proptest::collection::vec(0u8..2, 0..2000),
+        pattern in proptest::collection::vec(0u8..2, 1..10),
+    ) {
+        let bm = BoyerMoore::new(&pattern);
+        prop_assert_eq!(bm.find(&text), naive_find(&text, &pattern));
+        prop_assert_eq!(bm.count(&text), naive_count(&text, &pattern));
+    }
+
+    /// A planted occurrence is always found.
+    #[test]
+    fn planted_pattern_found(
+        prefix in proptest::collection::vec(any::<u8>(), 0..500),
+        pattern in proptest::collection::vec(any::<u8>(), 1..16),
+        suffix in proptest::collection::vec(any::<u8>(), 0..500),
+    ) {
+        let mut text = prefix.clone();
+        text.extend_from_slice(&pattern);
+        text.extend_from_slice(&suffix);
+        let bm = BoyerMoore::new(&pattern);
+        let hit = bm.find(&text).expect("planted pattern must be found");
+        prop_assert!(hit <= prefix.len());
+        prop_assert_eq!(&text[hit..hit + pattern.len()], &pattern[..]);
+    }
+}

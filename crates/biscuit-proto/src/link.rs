@@ -1,0 +1,297 @@
+//! Host-interface timing model: PCIe Gen.3 x4 link + NVMe command costs.
+//!
+//! The paper's target SSD connects over PCIe Gen.3 x4 sustaining about
+//! 3.2 GB/s (Table I, Fig. 7). Conventional ("Conv") I/O pays, per command:
+//! host driver submission, device-side command handling, a DMA transfer over
+//! the link, and host-side completion/interrupt processing. Biscuit's
+//! internal reads skip the link entirely — that asymmetry is the root of the
+//! Table III latency gap and the Fig. 7 bandwidth gap.
+
+use std::sync::Arc;
+
+use biscuit_sim::queue::Semaphore;
+use biscuit_sim::resource::Shaper;
+use biscuit_sim::time::{SimDuration, SimTime};
+use biscuit_sim::Ctx;
+
+/// Timing parameters of the host interface.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Usable link bandwidth per direction, bytes/second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Host-side submission cost (driver + doorbell) per command.
+    pub host_submit: SimDuration,
+    /// Device-side NVMe command handling per command.
+    pub device_command: SimDuration,
+    /// Host-side completion cost (interrupt + CQ processing) per command.
+    pub host_complete: SimDuration,
+    /// Maximum outstanding commands (submission queue depth).
+    pub queue_depth: usize,
+}
+
+impl LinkConfig {
+    /// The paper's host interface: PCIe Gen.3 x4 at 3.2 GB/s max throughput,
+    /// with per-command costs calibrated so a 4 KiB Conv read lands at
+    /// ~90 µs against the device's ~76 µs internal read (Table III).
+    pub fn pcie_gen3_x4() -> Self {
+        LinkConfig {
+            bandwidth_bytes_per_sec: 3.2e9,
+            host_submit: SimDuration::from_micros_f64(3.8),
+            device_command: SimDuration::from_micros_f64(3.0),
+            host_complete: SimDuration::from_micros_f64(6.0),
+            queue_depth: 256,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A 10 GbE network link to a remote storage node (paper Fig. 1(c)
+    /// "Networked"; §VIII argues Biscuit extends to this organization).
+    /// Round-trip costs grow by an order of magnitude versus direct-attach
+    /// PCIe — which is exactly why pushing filters to the storage side pays
+    /// off even more over a network.
+    pub fn ethernet_10g() -> Self {
+        LinkConfig {
+            bandwidth_bytes_per_sec: 1.25e9,
+            host_submit: SimDuration::from_micros_f64(15.0),
+            device_command: SimDuration::from_micros_f64(20.0),
+            host_complete: SimDuration::from_micros_f64(25.0),
+            queue_depth: 128,
+        }
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::pcie_gen3_x4()
+    }
+}
+
+/// The shared host-device link with per-direction DMA engines and bounded
+/// command slots.
+///
+/// # Examples
+///
+/// ```
+/// use biscuit_proto::link::{HostLink, LinkConfig};
+/// use biscuit_sim::Simulation;
+/// use std::sync::Arc;
+///
+/// let sim = Simulation::new(0);
+/// let link = Arc::new(HostLink::new(LinkConfig::pcie_gen3_x4()));
+/// let l = Arc::clone(&link);
+/// sim.spawn("reader", move |ctx| {
+///     let _slot = l.acquire_slot(ctx);
+///     l.charge_submit(ctx);
+///     // ... device does its internal work ...
+///     l.dma_to_host(ctx, 4096);
+///     l.charge_complete(ctx);
+/// });
+/// sim.run().assert_quiescent();
+/// assert_eq!(link.config().queue_depth, 256);
+/// ```
+#[derive(Debug)]
+pub struct HostLink {
+    cfg: LinkConfig,
+    to_host: Shaper,
+    to_device: Shaper,
+    slots: Arc<Semaphore>,
+}
+
+impl HostLink {
+    /// Creates a link with the given timing parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth` is zero or the bandwidth is not positive.
+    pub fn new(cfg: LinkConfig) -> Self {
+        assert!(cfg.queue_depth > 0, "queue depth must be positive");
+        HostLink {
+            to_host: Shaper::new(cfg.bandwidth_bytes_per_sec, SimDuration::ZERO),
+            to_device: Shaper::new(cfg.bandwidth_bytes_per_sec, SimDuration::ZERO),
+            slots: Arc::new(Semaphore::new(cfg.queue_depth)),
+            cfg,
+        }
+    }
+
+    /// The link's timing parameters.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Acquires a command slot, blocking while the queue is full. The slot is
+    /// released when the returned guard is handed back via
+    /// [`HostLink::release_slot`] or dropped *after* the caller has finished.
+    pub fn acquire_slot(&self, ctx: &Ctx) -> CommandSlot {
+        self.slots.acquire(ctx);
+        CommandSlot {
+            slots: Arc::clone(&self.slots),
+        }
+    }
+
+    /// Releases a command slot explicitly.
+    pub fn release_slot(&self, ctx: &Ctx, slot: CommandSlot) {
+        std::mem::forget(slot);
+        self.slots.release(ctx);
+    }
+
+    /// Charges the host-side submission cost to the calling fiber.
+    pub fn charge_submit(&self, ctx: &Ctx) {
+        ctx.sleep(self.cfg.host_submit);
+    }
+
+    /// Charges the device-side command handling cost to the calling fiber.
+    pub fn charge_device_command(&self, ctx: &Ctx) {
+        ctx.sleep(self.cfg.device_command);
+    }
+
+    /// Charges the host-side completion cost to the calling fiber.
+    pub fn charge_complete(&self, ctx: &Ctx) {
+        ctx.sleep(self.cfg.host_complete);
+    }
+
+    /// Moves `bytes` from device to host over the link, blocking until done.
+    pub fn dma_to_host(&self, ctx: &Ctx, bytes: u64) -> SimTime {
+        self.to_host.transfer(ctx, bytes)
+    }
+
+    /// Moves `bytes` from host to device over the link, blocking until done.
+    pub fn dma_to_device(&self, ctx: &Ctx, bytes: u64) -> SimTime {
+        self.to_device.transfer(ctx, bytes)
+    }
+
+    /// Reserves a device-to-host DMA without blocking; returns completion time.
+    pub fn enqueue_dma_to_host(&self, now: SimTime, bytes: u64) -> SimTime {
+        self.to_host.enqueue(now, bytes)
+    }
+
+    /// Reserves a host-to-device DMA without blocking; returns completion time.
+    pub fn enqueue_dma_to_device(&self, now: SimTime, bytes: u64) -> SimTime {
+        self.to_device.enqueue(now, bytes)
+    }
+
+    /// Total bytes moved device→host so far.
+    pub fn bytes_to_host(&self) -> u64 {
+        self.to_host.bytes()
+    }
+
+    /// Total bytes moved host→device so far.
+    pub fn bytes_to_device(&self) -> u64 {
+        self.to_device.bytes()
+    }
+
+    /// Cumulative busy time of the device→host direction (for utilization).
+    pub fn to_host_busy(&self) -> SimDuration {
+        self.to_host.busy_total()
+    }
+}
+
+/// Guard representing an occupied NVMe command slot.
+///
+/// Return it through [`HostLink::release_slot`]; merely dropping it leaks the
+/// slot (destructors cannot block or touch virtual time).
+#[derive(Debug)]
+pub struct CommandSlot {
+    #[allow(dead_code)] // held only to make leaks visible in review
+    slots: Arc<Semaphore>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biscuit_sim::Simulation;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn conv_read_overhead_matches_calibration() {
+        // submit + device command + 4KiB DMA + complete ≈ 14.1us (Table III gap)
+        let sim = Simulation::new(0);
+        let link = Arc::new(HostLink::new(LinkConfig::pcie_gen3_x4()));
+        let l = Arc::clone(&link);
+        let done = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&done);
+        sim.spawn("read", move |ctx| {
+            let slot = l.acquire_slot(ctx);
+            l.charge_submit(ctx);
+            l.charge_device_command(ctx);
+            l.dma_to_host(ctx, 4096);
+            l.charge_complete(ctx);
+            l.release_slot(ctx, slot);
+            d.store(ctx.now().as_nanos(), Ordering::SeqCst);
+        });
+        sim.run().assert_quiescent();
+        let us = done.load(Ordering::SeqCst) as f64 / 1000.0;
+        assert!((13.0..15.5).contains(&us), "overhead was {us}us");
+    }
+
+    #[test]
+    fn link_bandwidth_is_capped() {
+        // 32 MiB over 3.2 GB/s takes ~10 ms regardless of command count.
+        let sim = Simulation::new(0);
+        let link = Arc::new(HostLink::new(LinkConfig {
+            host_submit: SimDuration::ZERO,
+            device_command: SimDuration::ZERO,
+            host_complete: SimDuration::ZERO,
+            ..LinkConfig::pcie_gen3_x4()
+        }));
+        let l = Arc::clone(&link);
+        let done = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&done);
+        sim.spawn("stream", move |ctx| {
+            let mut end = ctx.now();
+            for _ in 0..32 {
+                end = l.enqueue_dma_to_host(ctx.now(), 1 << 20);
+            }
+            ctx.sleep_until(end);
+            d.store(ctx.now().as_micros(), Ordering::SeqCst);
+        });
+        sim.run().assert_quiescent();
+        let secs = done.load(Ordering::SeqCst) as f64 / 1e6;
+        let gbps = (32.0 * (1 << 20) as f64) / secs / 1e9;
+        assert!((3.1..3.3).contains(&gbps), "link ran at {gbps} GB/s");
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let sim = Simulation::new(0);
+        let link = Arc::new(HostLink::new(LinkConfig::pcie_gen3_x4()));
+        let l = Arc::clone(&link);
+        sim.spawn("both", move |ctx| {
+            let up = l.enqueue_dma_to_host(ctx.now(), 1 << 20);
+            let down = l.enqueue_dma_to_device(ctx.now(), 1 << 20);
+            // Full duplex: both directions complete at the same time.
+            assert_eq!(up, down);
+            ctx.sleep_until(up.max(down));
+        });
+        sim.run().assert_quiescent();
+        assert_eq!(link.bytes_to_host(), 1 << 20);
+        assert_eq!(link.bytes_to_device(), 1 << 20);
+    }
+
+    #[test]
+    fn queue_depth_limits_outstanding_commands() {
+        let sim = Simulation::new(0);
+        let link = Arc::new(HostLink::new(LinkConfig {
+            queue_depth: 2,
+            ..LinkConfig::pcie_gen3_x4()
+        }));
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for i in 0..4 {
+            let l = Arc::clone(&link);
+            let order = Arc::clone(&order);
+            sim.spawn(format!("cmd{i}"), move |ctx| {
+                let slot = l.acquire_slot(ctx);
+                order.lock().push((i, ctx.now().as_micros()));
+                ctx.sleep(SimDuration::from_micros(100));
+                l.release_slot(ctx, slot);
+            });
+        }
+        sim.run().assert_quiescent();
+        let o = order.lock();
+        // First two start immediately; the rest wait for releases.
+        assert_eq!(o[0].1, 0);
+        assert_eq!(o[1].1, 0);
+        assert!(o[2].1 >= 100);
+        assert!(o[3].1 >= 100);
+    }
+}

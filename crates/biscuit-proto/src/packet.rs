@@ -1,0 +1,362 @@
+//! The `Packet` type: the sole payload allowed across host/device and
+//! inter-application port boundaries (paper §III-C).
+//!
+//! Biscuit's host-to-device and inter-application ports carry only `Packet`s;
+//! richer types must be explicitly serialized. We reproduce that rule: the
+//! typed inter-SSDlet ports in `biscuit-core` move native Rust values, while
+//! boundary ports insist on [`Packet`] and the [`crate::wire::Wire`] codec.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// An immutable, cheaply-cloneable byte payload.
+///
+/// # Examples
+///
+/// ```
+/// use biscuit_proto::packet::{Packet, PacketBuilder};
+///
+/// let mut b = PacketBuilder::new();
+/// b.put_u32(7);
+/// b.put_str("hello");
+/// let pkt = b.build();
+/// let mut r = pkt.reader();
+/// assert_eq!(r.get_u32().unwrap(), 7);
+/// assert_eq!(r.get_str().unwrap(), "hello");
+/// assert!(r.is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default, Hash)]
+pub struct Packet {
+    data: Bytes,
+}
+
+impl Packet {
+    /// Creates an empty packet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing byte buffer.
+    pub fn from_bytes(data: Bytes) -> Self {
+        Packet { data }
+    }
+
+    /// Copies a byte slice into a packet.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Packet {
+            data: Bytes::copy_from_slice(data),
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the payload.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Extracts the underlying buffer.
+    pub fn into_bytes(self) -> Bytes {
+        self.data
+    }
+
+    /// Starts sequential reads from the front of the payload.
+    pub fn reader(&self) -> PacketReader<'_> {
+        PacketReader {
+            rest: self.data.as_ref(),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Packet {
+    fn from(v: Vec<u8>) -> Self {
+        Packet {
+            data: Bytes::from(v),
+        }
+    }
+}
+
+impl AsRef<[u8]> for Packet {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Error produced when decoding a malformed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes remained than the read required.
+    UnexpectedEnd,
+    /// A string field contained invalid UTF-8.
+    InvalidUtf8,
+    /// An enum tag byte had no corresponding variant.
+    InvalidTag(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => f.write_str("unexpected end of packet"),
+            DecodeError::InvalidUtf8 => f.write_str("invalid UTF-8 in packet string"),
+            DecodeError::InvalidTag(t) => write!(f, "invalid tag byte {t} in packet"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Incremental little-endian reader over a packet payload.
+#[derive(Debug)]
+pub struct PacketReader<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> PacketReader<'a> {
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.rest.len()
+    }
+
+    /// True if all bytes were consumed.
+    pub fn is_empty(&self) -> bool {
+        self.rest.is_empty()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.rest.len() < n {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEnd`] if the packet is exhausted.
+    pub fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEnd`] if fewer than 4 bytes remain.
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        let mut b = self.take(4)?;
+        Ok(b.get_u32_le())
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEnd`] if fewer than 8 bytes remain.
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        let mut b = self.take(8)?;
+        Ok(b.get_u64_le())
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEnd`] if fewer than 8 bytes remain.
+    pub fn get_i64(&mut self) -> Result<i64, DecodeError> {
+        let mut b = self.take(8)?;
+        Ok(b.get_i64_le())
+    }
+
+    /// Reads a little-endian `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEnd`] if fewer than 8 bytes remain.
+    pub fn get_f64(&mut self) -> Result<f64, DecodeError> {
+        let mut b = self.take(8)?;
+        Ok(b.get_f64_le())
+    }
+
+    /// Reads a length-prefixed byte run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEnd`] on truncation.
+    pub fn get_blob(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEnd`] on truncation, or
+    /// [`DecodeError::InvalidUtf8`] if the bytes are not valid UTF-8.
+    pub fn get_str(&mut self) -> Result<&'a str, DecodeError> {
+        let blob = self.get_blob()?;
+        std::str::from_utf8(blob).map_err(|_| DecodeError::InvalidUtf8)
+    }
+}
+
+/// Growable little-endian writer that produces a [`Packet`].
+#[derive(Debug, Default)]
+pub struct PacketBuilder {
+    buf: BytesMut,
+}
+
+impl PacketBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with a capacity hint.
+    pub fn with_capacity(cap: usize) -> Self {
+        PacketBuilder {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) -> &mut Self {
+        self.buf.put_i64_le(v);
+        self
+    }
+
+    /// Appends a little-endian `f64`.
+    pub fn put_f64(&mut self, v: f64) -> &mut Self {
+        self.buf.put_f64_le(v);
+        self
+    }
+
+    /// Appends a length-prefixed byte run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` exceeds `u32::MAX` bytes.
+    pub fn put_blob(&mut self, v: &[u8]) -> &mut Self {
+        let len = u32::try_from(v.len()).expect("blob too large for packet");
+        self.buf.put_u32_le(len);
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) -> &mut Self {
+        self.put_blob(v.as_bytes())
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finalizes into an immutable [`Packet`].
+    pub fn build(self) -> Packet {
+        Packet {
+            data: self.buf.freeze(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut b = PacketBuilder::new();
+        b.put_u8(1).put_u32(2).put_u64(3).put_i64(-4).put_f64(2.5);
+        let p = b.build();
+        let mut r = p.reader();
+        assert_eq!(r.get_u8().unwrap(), 1);
+        assert_eq!(r.get_u32().unwrap(), 2);
+        assert_eq!(r.get_u64().unwrap(), 3);
+        assert_eq!(r.get_i64().unwrap(), -4);
+        assert_eq!(r.get_f64().unwrap(), 2.5);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn blob_and_str() {
+        let mut b = PacketBuilder::new();
+        b.put_blob(&[9, 8, 7]).put_str("biscuit");
+        let p = b.build();
+        let mut r = p.reader();
+        assert_eq!(r.get_blob().unwrap(), &[9, 8, 7]);
+        assert_eq!(r.get_str().unwrap(), "biscuit");
+    }
+
+    #[test]
+    fn truncated_read_errors() {
+        let p = Packet::copy_from_slice(&[1, 2]);
+        let mut r = p.reader();
+        assert_eq!(r.get_u32(), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn truncated_blob_errors() {
+        let mut b = PacketBuilder::new();
+        b.put_u32(100); // claims 100 bytes follow
+        let p = b.build();
+        assert_eq!(p.reader().get_blob(), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn invalid_utf8_errors() {
+        let mut b = PacketBuilder::new();
+        b.put_blob(&[0xff, 0xfe]);
+        let p = b.build();
+        assert_eq!(p.reader().get_str(), Err(DecodeError::InvalidUtf8));
+    }
+
+    #[test]
+    fn packet_clone_is_cheap_and_equal() {
+        let p = Packet::copy_from_slice(b"data");
+        let q = p.clone();
+        assert_eq!(p, q);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn empty_packet_properties() {
+        let p = Packet::new();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert!(p.reader().is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! (De)serialization between Rust values and [`Packet`]s.
+//!
+//! The paper requires every value crossing a host-to-device or
+//! inter-application port to be explicitly serializable (§III-C). The
+//! [`Wire`] trait is that contract; `biscuit-core`'s boundary ports are
+//! generic over it.
+
+use crate::packet::{DecodeError, Packet, PacketBuilder, PacketReader};
+
+/// Types that can cross a serialization boundary as a [`Packet`].
+///
+/// # Examples
+///
+/// ```
+/// use biscuit_proto::wire::Wire;
+///
+/// let v = (String::from("word"), 3u32);
+/// let pkt = v.to_packet();
+/// let back = <(String, u32)>::from_packet(&pkt).unwrap();
+/// assert_eq!(back, v);
+/// ```
+pub trait Wire: Sized {
+    /// Appends this value's encoding to `b`.
+    fn encode(&self, b: &mut PacketBuilder);
+
+    /// Decodes a value, consuming bytes from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the bytes are truncated or malformed.
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError>;
+
+    /// Encodes this value into a standalone packet.
+    fn to_packet(&self) -> Packet {
+        let mut b = PacketBuilder::new();
+        self.encode(&mut b);
+        b.build()
+    }
+
+    /// Decodes a value from a packet, requiring full consumption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEnd`] if trailing bytes remain or the
+    /// payload is malformed.
+    fn from_packet(p: &Packet) -> Result<Self, DecodeError> {
+        let mut r = p.reader();
+        let v = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        Ok(v)
+    }
+}
+
+impl Wire for u8 {
+    fn encode(&self, b: &mut PacketBuilder) {
+        b.put_u8(*self);
+    }
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        r.get_u8()
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, b: &mut PacketBuilder) {
+        b.put_u32(*self);
+    }
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        r.get_u32()
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, b: &mut PacketBuilder) {
+        b.put_u64(*self);
+    }
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        r.get_u64()
+    }
+}
+
+impl Wire for i64 {
+    fn encode(&self, b: &mut PacketBuilder) {
+        b.put_i64(*self);
+    }
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        r.get_i64()
+    }
+}
+
+impl Wire for i32 {
+    fn encode(&self, b: &mut PacketBuilder) {
+        b.put_i64(i64::from(*self));
+    }
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        let v = r.get_i64()?;
+        i32::try_from(v).map_err(|_| DecodeError::UnexpectedEnd)
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, b: &mut PacketBuilder) {
+        b.put_f64(*self);
+    }
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        r.get_f64()
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, b: &mut PacketBuilder) {
+        b.put_u8(u8::from(*self));
+    }
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, b: &mut PacketBuilder) {
+        b.put_str(self);
+    }
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        Ok(r.get_str()?.to_owned())
+    }
+}
+
+impl Wire for Packet {
+    fn encode(&self, b: &mut PacketBuilder) {
+        b.put_blob(self.as_slice());
+    }
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        Ok(Packet::copy_from_slice(r.get_blob()?))
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, b: &mut PacketBuilder) {
+        match self {
+            None => {
+                b.put_u8(0);
+            }
+            Some(v) => {
+                b.put_u8(1);
+                v.encode(b);
+            }
+        }
+    }
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, b: &mut PacketBuilder) {
+        let len = u32::try_from(self.len()).expect("vec too large for packet");
+        b.put_u32(len);
+        for v in self {
+            v.encode(b);
+        }
+    }
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        let len = r.get_u32()? as usize;
+        // Guard against hostile length prefixes: never reserve more than the
+        // bytes that could plausibly remain.
+        let mut out = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, b: &mut PacketBuilder) {
+        self.0.encode(b);
+        self.1.encode(b);
+    }
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, b: &mut PacketBuilder) {
+        self.0.encode(b);
+        self.1.encode(b);
+        self.2.encode(b);
+    }
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _b: &mut PacketBuilder) {}
+    fn decode(_r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let p = v.to_packet();
+        assert_eq!(T::from_packet(&p).unwrap(), v);
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        round_trip(0u8);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(-1i64);
+        round_trip(i32::MIN);
+        round_trip(3.25f64);
+        round_trip(true);
+        round_trip(false);
+    }
+
+    #[test]
+    fn compound_round_trips() {
+        round_trip(String::from("κρανίον"));
+        round_trip(Some(7u32));
+        round_trip(Option::<u32>::None);
+        round_trip(vec![1u64, 2, 3]);
+        round_trip((String::from("k"), 9u32));
+        round_trip((1i64, 2.0f64, String::from("x")));
+        round_trip(Vec::<String>::new());
+        round_trip(());
+    }
+
+    #[test]
+    fn nested_packet_round_trips() {
+        round_trip(Packet::copy_from_slice(b"inner"));
+        round_trip(vec![
+            Packet::copy_from_slice(b"a"),
+            Packet::copy_from_slice(b""),
+        ]);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut b = PacketBuilder::new();
+        7u32.encode(&mut b);
+        b.put_u8(0xEE); // stray byte
+        let p = b.build();
+        assert_eq!(u32::from_packet(&p), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn bad_bool_tag_rejected() {
+        let p = Packet::copy_from_slice(&[2]);
+        assert_eq!(bool::from_packet(&p), Err(DecodeError::InvalidTag(2)));
+    }
+
+    #[test]
+    fn hostile_vec_length_does_not_overallocate() {
+        let mut b = PacketBuilder::new();
+        b.put_u32(u32::MAX); // claims 4 billion elements
+        let p = b.build();
+        assert_eq!(
+            Vec::<u64>::from_packet(&p),
+            Err(DecodeError::UnexpectedEnd)
+        );
+    }
+}

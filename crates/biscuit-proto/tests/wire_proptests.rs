@@ -1,0 +1,62 @@
+//! Property tests: every `Wire` encoding round-trips, and decoding never
+//! panics on arbitrary bytes.
+
+use proptest::prelude::*;
+
+use biscuit_proto::packet::Packet;
+use biscuit_proto::wire::Wire;
+
+fn round_trips<T>(v: &T) -> Result<(), TestCaseError>
+where
+    T: Wire + PartialEq + std::fmt::Debug + Clone,
+{
+    let p = v.to_packet();
+    let back = T::from_packet(&p).expect("decode of freshly encoded value");
+    prop_assert_eq!(&back, v);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn u64_round_trip(v in any::<u64>()) { round_trips(&v)?; }
+
+    #[test]
+    fn i64_round_trip(v in any::<i64>()) { round_trips(&v)?; }
+
+    #[test]
+    fn f64_round_trip(v in proptest::num::f64::NORMAL | proptest::num::f64::ZERO) {
+        round_trips(&v)?;
+    }
+
+    #[test]
+    fn string_round_trip(v in ".*") { round_trips(&v)?; }
+
+    #[test]
+    fn vec_of_pairs_round_trip(v in proptest::collection::vec((".*", any::<u32>()), 0..50)) {
+        round_trips(&v)?;
+    }
+
+    #[test]
+    fn nested_option_vec_round_trip(
+        v in proptest::collection::vec(proptest::option::of(any::<u64>()), 0..50)
+    ) {
+        round_trips(&v)?;
+    }
+
+    #[test]
+    fn triple_round_trip(v in (any::<i64>(), ".*", any::<bool>())) {
+        round_trips(&v)?;
+    }
+
+    /// Decoding arbitrary garbage either succeeds or returns a structured
+    /// error — it must never panic or over-allocate.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let p = Packet::copy_from_slice(&bytes);
+        let _ = <Vec<(String, u64)>>::from_packet(&p);
+        let _ = <Option<Vec<String>>>::from_packet(&p);
+        let _ = <(u64, String, bool)>::from_packet(&p);
+    }
+}

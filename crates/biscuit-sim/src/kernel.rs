@@ -1,0 +1,731 @@
+//! The discrete-event simulation kernel.
+//!
+//! The kernel implements *process-interaction* simulation with cooperative
+//! fibers, mirroring the cooperative multithreading the Biscuit runtime uses
+//! on the SSD's ARM cores (paper §IV-B). Each simulated process ("fiber") is
+//! backed by an OS thread, but **exactly one fiber runs at any instant**: the
+//! scheduler resumes a fiber and then blocks until that fiber parks again.
+//! Together with a deterministic `(time, sequence)` event order this makes
+//! every simulation run bit-for-bit reproducible.
+//!
+//! Fibers interact with virtual time through a [`Ctx`] handle: they sleep,
+//! spawn other fibers, and block on the synchronization primitives in
+//! [`crate::queue`] and [`crate::resource`]. Wall-clock time never enters the
+//! model.
+
+use std::any::Any;
+use std::collections::BinaryHeap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Once};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a simulated process (fiber).
+pub type Pid = usize;
+
+/// Sentinel panic payload used to unwind fibers at teardown. Filtered out of
+/// the panic hook so cancellations are silent.
+pub(crate) struct SimCancelled;
+
+/// Scheduler-to-fiber resume message.
+enum Resume {
+    Go,
+    Cancel,
+}
+
+/// Fiber-to-scheduler yield message.
+enum YieldMsg {
+    Parked,
+    Finished {
+        /// Panic payload if the fiber's body panicked (absent for clean exit
+        /// and for cancellation unwinds).
+        panic: Option<Box<dyn Any + Send>>,
+    },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FiberState {
+    Parked,
+    Running,
+    Finished,
+}
+
+struct FiberSlot {
+    name: String,
+    state: FiberState,
+    /// Number of park sessions entered so far; a wake event is valid only if
+    /// its generation matches the fiber's current park session. This is what
+    /// makes `sleep` immune to stale wake-ups from abandoned wait-queue
+    /// notifications.
+    park_gen: u64,
+    resume_tx: Sender<Resume>,
+    handle: Option<JoinHandle<()>>,
+}
+
+#[derive(PartialEq, Eq)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    pid: Pid,
+    gen: u64,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct KernelInner {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Event>,
+    fibers: Vec<FiberSlot>,
+    rng: SmallRng,
+    events_processed: u64,
+}
+
+/// Shared kernel state. Fibers hold an `Arc<Kernel>` through their [`Ctx`].
+// Manual Debug below (KernelInner holds non-Debug channel internals).
+pub struct Kernel {
+    inner: Mutex<KernelInner>,
+    yield_tx: Sender<(Pid, YieldMsg)>,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Kernel")
+            .field("now", &inner.now)
+            .field("fibers", &inner.fibers.len())
+            .field("pending_events", &inner.events.len())
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.lock().now
+    }
+
+    /// Schedules a wake event for `(pid, gen)` at absolute time `at`.
+    fn schedule_wake(&self, at: SimTime, pid: Pid, gen: u64) {
+        let mut inner = self.inner.lock();
+        let seq = inner.seq;
+        inner.seq += 1;
+        let time = at.max(inner.now);
+        inner.events.push(Event {
+            time,
+            seq,
+            pid,
+            gen,
+        });
+    }
+
+    fn spawn_fiber<F>(self: &Arc<Self>, name: String, f: F) -> Pid
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let (resume_tx, resume_rx) = bounded::<Resume>(1);
+        let mut inner = self.inner.lock();
+        let pid = inner.fibers.len();
+        let kernel = Arc::clone(self);
+        let thread_name = format!("sim-{pid}-{name}");
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .stack_size(512 * 1024)
+            .spawn(move || fiber_main(kernel, pid, resume_rx, f))
+            .expect("failed to spawn fiber thread");
+        inner.fibers.push(FiberSlot {
+            name,
+            state: FiberState::Parked,
+            park_gen: 1,
+            resume_tx,
+            handle: Some(handle),
+        });
+        // First resume at the current time, generation 1 (the initial park).
+        let now = inner.now;
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.events.push(Event {
+            time: now,
+            seq,
+            pid,
+            gen: 1,
+        });
+        pid
+    }
+}
+
+fn fiber_main<F>(kernel: Arc<Kernel>, pid: Pid, resume_rx: Receiver<Resume>, f: F)
+where
+    F: FnOnce(&Ctx) + Send + 'static,
+{
+    // Initial park: wait for the scheduler's first resume.
+    match resume_rx.recv() {
+        Ok(Resume::Go) => {}
+        Ok(Resume::Cancel) | Err(_) => {
+            let _ = kernel
+                .yield_tx
+                .send((pid, YieldMsg::Finished { panic: None }));
+            return;
+        }
+    }
+    let ctx = Ctx {
+        kernel: Arc::clone(&kernel),
+        pid,
+        resume_rx,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+    let payload = match result {
+        Ok(()) => None,
+        Err(p) if p.downcast_ref::<SimCancelled>().is_some() => None,
+        Err(p) => Some(p),
+    };
+    let _ = kernel
+        .yield_tx
+        .send((pid, YieldMsg::Finished { panic: payload }));
+}
+
+/// Handle a fiber uses to interact with virtual time.
+///
+/// A `Ctx` is passed by reference into every fiber body and every blocking
+/// primitive. It identifies the calling fiber and carries the kernel
+/// reference used to schedule and wait for events.
+pub struct Ctx {
+    kernel: Arc<Kernel>,
+    pid: Pid,
+    resume_rx: Receiver<Resume>,
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").field("pid", &self.pid).finish()
+    }
+}
+
+impl Ctx {
+    /// The calling fiber's process id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// Suspends the fiber for `d` of virtual time.
+    pub fn sleep(&self, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        let (at, gen) = {
+            let inner = self.kernel.inner.lock();
+            let at = inner.now + d;
+            let gen = inner.fibers[self.pid].park_gen + 1;
+            (at, gen)
+        };
+        self.kernel.schedule_wake(at, self.pid, gen);
+        self.park();
+    }
+
+    /// Suspends the fiber until absolute time `at` (no-op if `at` has passed).
+    pub fn sleep_until(&self, at: SimTime) {
+        let now = self.now();
+        if at > now {
+            self.sleep(at - now);
+        }
+    }
+
+    /// Yields to other fibers runnable at the current instant.
+    pub fn yield_now(&self) {
+        let gen = self.kernel.inner.lock().fibers[self.pid].park_gen + 1;
+        self.kernel.schedule_wake(self.now(), self.pid, gen);
+        self.park();
+    }
+
+    /// Spawns a new fiber that starts at the current virtual time.
+    ///
+    /// Returns the new fiber's [`Pid`].
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> Pid
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        self.kernel.spawn_fiber(name.into(), f)
+    }
+
+    /// Runs `f` with the simulation's deterministic random number generator.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut SmallRng) -> R) -> R {
+        f(&mut self.kernel.inner.lock().rng)
+    }
+
+    /// Registers the fiber's *next* park generation; used by wait queues to
+    /// target a wake at the park the fiber is about to enter.
+    pub(crate) fn next_park_gen(&self) -> u64 {
+        self.kernel.inner.lock().fibers[self.pid].park_gen + 1
+    }
+
+    /// Schedules a wake for `(pid, gen)` at the current time. Used by wait
+    /// queues when notifying.
+    pub(crate) fn wake_at_now(&self, pid: Pid, gen: u64) {
+        let now = self.kernel.now();
+        self.kernel.schedule_wake(now, pid, gen);
+    }
+
+    /// Parks the calling fiber until a matching wake event fires.
+    ///
+    /// Callers must have arranged for a wake targeting the fiber's next park
+    /// generation (via [`Ctx::sleep`], a wait queue registration, etc.),
+    /// otherwise the fiber blocks until simulation teardown.
+    pub(crate) fn park(&self) {
+        {
+            let mut inner = self.kernel.inner.lock();
+            let slot = &mut inner.fibers[self.pid];
+            slot.park_gen += 1;
+            slot.state = FiberState::Parked;
+        }
+        self.kernel
+            .yield_tx
+            .send((self.pid, YieldMsg::Parked))
+            .expect("scheduler hung up");
+        match self.resume_rx.recv() {
+            Ok(Resume::Go) => {}
+            Ok(Resume::Cancel) | Err(_) => panic::panic_any(SimCancelled),
+        }
+    }
+}
+
+/// Summary returned by [`Simulation::run`].
+#[derive(Debug)]
+pub struct SimReport {
+    /// Virtual time when the event queue drained.
+    pub end_time: SimTime,
+    /// Names of fibers that were still blocked when the simulation ended
+    /// (normally empty for well-terminating workloads).
+    pub blocked: Vec<String>,
+    /// Total fibers spawned over the simulation's lifetime.
+    pub fibers_spawned: usize,
+    /// Total wake events processed.
+    pub events_processed: u64,
+}
+
+impl SimReport {
+    /// Asserts that every fiber terminated (no deadlocked/blocked fibers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fiber was still blocked at teardown.
+    pub fn assert_quiescent(&self) {
+        assert!(
+            self.blocked.is_empty(),
+            "simulation ended with blocked fibers: {:?}",
+            self.blocked
+        );
+    }
+}
+
+/// A discrete-event simulation instance.
+///
+/// # Examples
+///
+/// ```
+/// use biscuit_sim::{Simulation, time::SimDuration};
+/// use std::sync::{Arc, atomic::{AtomicU64, Ordering}};
+///
+/// let sim = Simulation::new(42);
+/// let done_at = Arc::new(AtomicU64::new(0));
+/// let d = Arc::clone(&done_at);
+/// sim.spawn("worker", move |ctx| {
+///     ctx.sleep(SimDuration::from_micros(10));
+///     d.store(ctx.now().as_micros(), Ordering::SeqCst);
+/// });
+/// let report = sim.run();
+/// assert_eq!(done_at.load(Ordering::SeqCst), 10);
+/// report.assert_quiescent();
+/// ```
+pub struct Simulation {
+    kernel: Arc<Kernel>,
+    yield_rx: Receiver<(Pid, YieldMsg)>,
+    max_events: u64,
+    finished: bool,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.kernel.now())
+            .finish()
+    }
+}
+
+fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SimCancelled>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl Simulation {
+    /// Creates a simulation with the given RNG seed.
+    ///
+    /// The same seed always produces the same run.
+    pub fn new(seed: u64) -> Self {
+        install_panic_hook();
+        let (yield_tx, yield_rx) = unbounded();
+        let kernel = Arc::new(Kernel {
+            inner: Mutex::new(KernelInner {
+                now: SimTime::ZERO,
+                seq: 0,
+                events: BinaryHeap::new(),
+                fibers: Vec::new(),
+                rng: SmallRng::seed_from_u64(seed),
+                events_processed: 0,
+            }),
+            yield_tx,
+        });
+        Simulation {
+            kernel,
+            yield_rx,
+            max_events: u64::MAX,
+            finished: false,
+        }
+    }
+
+    /// Caps the number of wake events processed (a livelock backstop).
+    /// Exceeding the cap aborts the run with a panic.
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Shared kernel handle (needed by library code that schedules work).
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// Spawns a fiber that starts at the current virtual time.
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> Pid
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        self.kernel.spawn_fiber(name.into(), f)
+    }
+
+    /// Runs the simulation until the event queue drains, then tears down any
+    /// still-blocked fibers.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic that occurred inside a fiber, and panics if
+    /// the configured event cap is exceeded.
+    pub fn run(mut self) -> SimReport {
+        let mut first_panic: Option<Box<dyn Any + Send>> = None;
+        loop {
+            // Pop the next valid event.
+            let next = {
+                let mut inner = self.kernel.inner.lock();
+                loop {
+                    match inner.events.pop() {
+                        None => break None,
+                        Some(ev) => {
+                            let slot = &inner.fibers[ev.pid];
+                            if slot.state == FiberState::Parked && slot.park_gen == ev.gen {
+                                inner.now = ev.time;
+                                inner.events_processed += 1;
+                                if inner.events_processed > self.max_events {
+                                    drop(inner);
+                                    self.teardown();
+                                    panic!("simulation exceeded event cap");
+                                }
+                                let tx = inner.fibers[ev.pid].resume_tx.clone();
+                                inner.fibers[ev.pid].state = FiberState::Running;
+                                break Some((ev.pid, tx));
+                            }
+                            // Stale wake: generation mismatch or fiber done.
+                        }
+                    }
+                }
+            };
+            let Some((pid, tx)) = next else { break };
+            tx.send(Resume::Go).expect("fiber hung up");
+            // Wait until that fiber parks or finishes.
+            match self.yield_rx.recv().expect("all fibers hung up") {
+                (_, YieldMsg::Parked) => {}
+                (fpid, YieldMsg::Finished { panic }) => {
+                    debug_assert_eq!(fpid, pid);
+                    let mut inner = self.kernel.inner.lock();
+                    inner.fibers[fpid].state = FiberState::Finished;
+                    let handle = inner.fibers[fpid].handle.take();
+                    drop(inner);
+                    if let Some(h) = handle {
+                        let _ = h.join();
+                    }
+                    if let Some(p) = panic {
+                        first_panic.get_or_insert(p);
+                    }
+                }
+            }
+            if first_panic.is_some() {
+                break;
+            }
+        }
+        let report = self.build_report();
+        self.teardown();
+        self.finished = true;
+        if let Some(p) = first_panic {
+            panic::resume_unwind(p);
+        }
+        report
+    }
+
+    fn build_report(&self) -> SimReport {
+        let inner = self.kernel.inner.lock();
+        SimReport {
+            end_time: inner.now,
+            blocked: inner
+                .fibers
+                .iter()
+                .filter(|f| f.state == FiberState::Parked)
+                .map(|f| f.name.clone())
+                .collect(),
+            fibers_spawned: inner.fibers.len(),
+            events_processed: inner.events_processed,
+        }
+    }
+
+    /// Cancels all parked fibers and joins their threads.
+    fn teardown(&self) {
+        loop {
+            // Cancel parked fibers one by one; each cancellation may cause the
+            // fiber to finish, which we must observe via yield_rx.
+            let target = {
+                let inner = self.kernel.inner.lock();
+                inner
+                    .fibers
+                    .iter()
+                    .position(|f| f.state == FiberState::Parked)
+            };
+            let Some(pid) = target else { break };
+            let tx = {
+                let mut inner = self.kernel.inner.lock();
+                inner.fibers[pid].state = FiberState::Running;
+                inner.fibers[pid].resume_tx.clone()
+            };
+            let _ = tx.send(Resume::Cancel);
+            // Drain messages until this fiber reports Finished. A cancelled
+            // fiber unwinds without parking again, so the next message from it
+            // is Finished; messages from other fibers cannot arrive (they are
+            // all parked).
+            loop {
+                match self.yield_rx.recv() {
+                    Ok((fpid, YieldMsg::Finished { .. })) => {
+                        let mut inner = self.kernel.inner.lock();
+                        inner.fibers[fpid].state = FiberState::Finished;
+                        let handle = inner.fibers[fpid].handle.take();
+                        drop(inner);
+                        if let Some(h) = handle {
+                            let _ = h.join();
+                        }
+                        if fpid == pid {
+                            break;
+                        }
+                    }
+                    Ok((_, YieldMsg::Parked)) => {
+                        // A cancelled fiber cannot park (cancel unwinds), but
+                        // be defensive: ignore.
+                    }
+                    Err(_) => return,
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.teardown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn empty_simulation_terminates() {
+        let report = Simulation::new(0).run();
+        assert_eq!(report.end_time, SimTime::ZERO);
+        assert_eq!(report.fibers_spawned, 0);
+        report.assert_quiescent();
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let sim = Simulation::new(0);
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&t);
+        sim.spawn("a", move |ctx| {
+            ctx.sleep(SimDuration::from_micros(100));
+            ctx.sleep(SimDuration::from_micros(23));
+            t2.store(ctx.now().as_micros(), Ordering::SeqCst);
+        });
+        let report = sim.run();
+        assert_eq!(t.load(Ordering::SeqCst), 123);
+        assert_eq!(report.end_time.as_micros(), 123);
+        report.assert_quiescent();
+    }
+
+    #[test]
+    fn fibers_interleave_deterministically() {
+        // Two runs with the same seed produce identical schedules.
+        fn trace() -> Vec<(u64, usize)> {
+            let sim = Simulation::new(7);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for id in 0..3usize {
+                let log = Arc::clone(&log);
+                sim.spawn(format!("f{id}"), move |ctx| {
+                    for step in 0..4u64 {
+                        ctx.sleep(SimDuration::from_micros(10 * (id as u64 + 1) + step));
+                        log.lock().push((ctx.now().as_micros(), id));
+                    }
+                });
+            }
+            sim.run().assert_quiescent();
+            let result = log.lock().clone();
+            result
+        }
+        let a = trace();
+        let b = trace();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        // Timestamps are monotonically non-decreasing in schedule order.
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn spawn_from_fiber() {
+        let sim = Simulation::new(0);
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        sim.spawn("parent", move |ctx| {
+            for _ in 0..5 {
+                let c = Arc::clone(&c);
+                ctx.spawn("child", move |cctx| {
+                    cctx.sleep(SimDuration::from_micros(1));
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        let report = sim.run();
+        assert_eq!(count.load(Ordering::SeqCst), 5);
+        assert_eq!(report.fibers_spawned, 6);
+        report.assert_quiescent();
+    }
+
+    #[test]
+    fn same_time_events_run_in_spawn_order() {
+        let sim = Simulation::new(0);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for id in 0..4usize {
+            let log = Arc::clone(&log);
+            sim.spawn(format!("f{id}"), move |_ctx| {
+                log.lock().push(id);
+            });
+        }
+        sim.run().assert_quiescent();
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn blocked_fiber_is_reported_and_cancelled() {
+        let sim = Simulation::new(0);
+        sim.spawn("stuck", |ctx| {
+            // Park with no wake source: blocks forever.
+            ctx.park();
+            unreachable!("cancelled fibers unwind instead of returning");
+        });
+        let report = sim.run();
+        assert_eq!(report.blocked, vec!["stuck".to_string()]);
+    }
+
+    #[test]
+    fn fiber_panic_propagates() {
+        let sim = Simulation::new(0);
+        sim.spawn("boom", |_ctx| panic!("exploded"));
+        let err = panic::catch_unwind(AssertUnwindSafe(|| sim.run())).unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "exploded");
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        fn draw() -> Vec<u64> {
+            use rand::Rng;
+            let sim = Simulation::new(99);
+            let out = Arc::new(Mutex::new(Vec::new()));
+            let o = Arc::clone(&out);
+            sim.spawn("r", move |ctx| {
+                for _ in 0..8 {
+                    let v = ctx.with_rng(|r| r.random::<u64>());
+                    o.lock().push(v);
+                }
+            });
+            sim.run().assert_quiescent();
+            let result = out.lock().clone();
+            result
+        }
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run() {
+        let sim = Simulation::new(0);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l1 = Arc::clone(&log);
+        let l2 = Arc::clone(&log);
+        sim.spawn("a", move |ctx| {
+            l1.lock().push("a1");
+            ctx.yield_now();
+            l1.lock().push("a2");
+        });
+        sim.spawn("b", move |_ctx| {
+            l2.lock().push("b1");
+        });
+        sim.run().assert_quiescent();
+        assert_eq!(*log.lock(), vec!["a1", "b1", "a2"]);
+    }
+
+    #[test]
+    fn event_cap_aborts() {
+        let mut sim = Simulation::new(0);
+        sim.set_max_events(10);
+        sim.spawn("spin", |ctx| loop {
+            ctx.sleep(SimDuration::from_nanos(1));
+        });
+        let err = panic::catch_unwind(AssertUnwindSafe(|| sim.run())).unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("event cap"));
+    }
+}

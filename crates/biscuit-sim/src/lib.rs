@@ -1,0 +1,57 @@
+//! # biscuit-sim — deterministic discrete-event simulation kernel
+//!
+//! The substrate under the Biscuit NDP reproduction. Everything that the
+//! ISCA 2016 paper measures on real silicon — flash channel queueing, PCIe
+//! transfer time, fiber scheduling on the SSD's ARM cores, wall power — is
+//! modeled here as *virtual time*: simulated processes ("fibers") interleave
+//! deterministically under a single scheduler, and blocking operations charge
+//! calibrated durations to a picosecond-resolution clock.
+//!
+//! ## Layout
+//!
+//! - [`kernel`] — the event loop, fibers, and the [`Ctx`] handle.
+//! - [`time`] — [`SimTime`]/[`SimDuration`] arithmetic.
+//! - [`queue`] — blocking bounded queues, wait queues, semaphores.
+//! - [`resource`] — FCFS bandwidth shapers and server banks.
+//! - [`power`] — two-state power components integrated into Joules.
+//! - [`stats`] — latency/counter collectors for the experiment harnesses.
+//!
+//! ## Example
+//!
+//! ```
+//! use biscuit_sim::{Simulation, queue::SimQueue, time::SimDuration};
+//!
+//! let sim = Simulation::new(0);
+//! let q = SimQueue::new(8);
+//! let tx = q.clone();
+//! sim.spawn("producer", move |ctx| {
+//!     for i in 0..4u32 {
+//!         ctx.sleep(SimDuration::from_micros(10));
+//!         tx.push(ctx, i).unwrap();
+//!     }
+//!     tx.close(ctx);
+//! });
+//! sim.spawn("consumer", move |ctx| {
+//!     let mut seen = Vec::new();
+//!     while let Some(v) = q.pop(ctx) {
+//!         seen.push(v);
+//!     }
+//!     assert_eq!(seen, vec![0, 1, 2, 3]);
+//! });
+//! let report = sim.run();
+//! report.assert_quiescent();
+//! assert_eq!(report.end_time.as_micros(), 40);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod kernel;
+pub mod power;
+pub mod queue;
+pub mod resource;
+pub mod stats;
+pub mod time;
+
+pub use kernel::{Ctx, Kernel, Pid, SimReport, Simulation};
+pub use time::{SimDuration, SimTime};

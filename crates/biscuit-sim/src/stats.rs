@@ -1,0 +1,181 @@
+//! Lightweight measurement helpers for latency and throughput reporting.
+
+use parking_lot::Mutex;
+
+use crate::time::SimDuration;
+
+/// Collects duration samples and reports summary statistics.
+///
+/// # Examples
+///
+/// ```
+/// use biscuit_sim::stats::LatencyStats;
+/// use biscuit_sim::time::SimDuration;
+///
+/// let stats = LatencyStats::new();
+/// stats.record(SimDuration::from_micros(10));
+/// stats.record(SimDuration::from_micros(30));
+/// assert_eq!(stats.mean().as_micros(), 20);
+/// ```
+#[derive(Debug, Default)]
+pub struct LatencyStats {
+    samples: Mutex<Vec<SimDuration>>,
+}
+
+impl LatencyStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, d: SimDuration) {
+        self.samples.lock().push(d);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Arithmetic mean (zero if no samples).
+    pub fn mean(&self) -> SimDuration {
+        let samples = self.samples.lock();
+        if samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u128 = samples.iter().map(|d| d.as_ps() as u128).sum();
+        SimDuration::from_ps((total / samples.len() as u128) as u64)
+    }
+
+    /// Smallest sample (zero if no samples).
+    pub fn min(&self) -> SimDuration {
+        self.samples
+            .lock()
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Largest sample (zero if no samples).
+    pub fn max(&self) -> SimDuration {
+        self.samples
+            .lock()
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The `p`-th percentile (0.0–100.0), by nearest-rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        let mut samples = self.samples.lock().clone();
+        if samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        samples.sort_unstable();
+        let rank = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+        samples[rank]
+    }
+
+    /// Sample standard deviation in seconds (zero for < 2 samples).
+    pub fn stddev_secs(&self) -> f64 {
+        let samples = self.samples.lock();
+        if samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = samples.iter().map(|d| d.as_secs_f64()).sum::<f64>() / samples.len() as f64;
+        let var = samples
+            .iter()
+            .map(|d| (d.as_secs_f64() - mean).powi(2))
+            .sum::<f64>()
+            / (samples.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// All samples, in recording order.
+    pub fn samples(&self) -> Vec<SimDuration> {
+        self.samples.lock().clone()
+    }
+}
+
+/// A monotonic counter (bytes moved, pages read, rows emitted, ...).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: Mutex<u64>,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        *self.value.lock() += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        *self.value.lock()
+    }
+
+    /// Resets to zero, returning the previous value.
+    pub fn take(&self) -> u64 {
+        std::mem::take(&mut *self.value.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), SimDuration::ZERO);
+        assert_eq!(s.min(), SimDuration::ZERO);
+        assert_eq!(s.max(), SimDuration::ZERO);
+        assert_eq!(s.percentile(99.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = LatencyStats::new();
+        for us in [10u64, 20, 30, 40, 100] {
+            s.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean().as_micros(), 40);
+        assert_eq!(s.min().as_micros(), 10);
+        assert_eq!(s.max().as_micros(), 100);
+        assert_eq!(s.percentile(50.0).as_micros(), 30);
+        assert_eq!(s.percentile(100.0).as_micros(), 100);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let s = LatencyStats::new();
+        s.record(SimDuration::from_micros(5));
+        s.record(SimDuration::from_micros(5));
+        assert_eq!(s.stddev_secs(), 0.0);
+    }
+
+    #[test]
+    fn counter_add_and_take() {
+        let c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        assert_eq!(c.take(), 7);
+        assert_eq!(c.get(), 0);
+    }
+}

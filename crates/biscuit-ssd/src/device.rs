@@ -1,0 +1,857 @@
+//! The timed SSD datapath: internal reads, pattern-matched scans, writes.
+//!
+//! This is the device the Biscuit runtime sits on. All timing flows through
+//! three resource banks — NAND dies (sense time), channel buses (transfer
+//! time), and the two device CPU cores (per-request software overhead) — so
+//! latency, bandwidth saturation, and queueing under concurrency emerge from
+//! the same structure as on the paper's hardware:
+//!
+//! - a small synchronous read pays `request_overhead + tR + transfer`
+//!   (Table III's 75.9 µs for 4 KiB);
+//! - large/asynchronous reads stripe pages across all channels and approach
+//!   the aggregate channel bandwidth, which exceeds the PCIe cap (Fig. 7);
+//! - pattern-matched scans stream at a slightly lower per-channel rate with
+//!   an extra per-request IP-setup cost, landing between Conv and raw
+//!   Biscuit bandwidth (Fig. 7), while only matching pages surface.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use biscuit_sim::power::{ComponentId, PowerMeter};
+use biscuit_sim::resource::ServerBank;
+use biscuit_sim::stats::Counter;
+use biscuit_sim::time::{SimDuration, SimTime};
+use biscuit_sim::Ctx;
+
+use crate::config::SsdConfig;
+use crate::ftl::{Ftl, FtlError};
+use crate::memory::DeviceMemory;
+use crate::nand::{NandArray, PageData, Ppa};
+use crate::pattern::PatternSet;
+
+/// A materialized page payload.
+pub type PageBuf = Arc<[u8]>;
+
+/// Errors surfaced by device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The FTL rejected the request.
+    Ftl(FtlError),
+    /// A write payload did not fit the page size.
+    BadWriteSize {
+        /// Bytes supplied.
+        got: usize,
+        /// Page size required.
+        page_size: usize,
+    },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::Ftl(e) => write!(f, "ftl: {e}"),
+            DeviceError::BadWriteSize { got, page_size } => {
+                write!(f, "write of {got} bytes does not fit page size {page_size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl From<FtlError> for DeviceError {
+    fn from(e: FtlError) -> Self {
+        DeviceError::Ftl(e)
+    }
+}
+
+/// Result alias for device operations.
+pub type DeviceResult<T> = Result<T, DeviceError>;
+
+/// Operation counters exposed for the experiment harnesses.
+#[derive(Debug, Default)]
+pub struct DeviceStats {
+    /// Pages read (plain reads).
+    pub pages_read: Counter,
+    /// Pages streamed through the pattern matcher.
+    pub pages_scanned: Counter,
+    /// Pages the pattern matcher flagged as matching.
+    pub pages_matched: Counter,
+    /// Pages written.
+    pub pages_written: Counter,
+}
+
+struct PowerHook {
+    meter: Arc<PowerMeter>,
+    component: ComponentId,
+    nesting: usize,
+}
+
+struct Storage {
+    nand: NandArray,
+    ftl: Ftl,
+}
+
+/// The simulated SSD.
+pub struct SsdDevice {
+    cfg: SsdConfig,
+    storage: Mutex<Storage>,
+    dies: ServerBank,
+    buses: ServerBank,
+    cores: ServerBank,
+    mem: DeviceMemory,
+    stats: DeviceStats,
+    power: Mutex<Option<PowerHook>>,
+    zero_page: PageBuf,
+}
+
+impl std::fmt::Debug for SsdDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsdDevice")
+            .field("channels", &self.cfg.channels)
+            .field("logical_pages", &self.cfg.logical_pages())
+            .finish()
+    }
+}
+
+impl SsdDevice {
+    /// Builds a device from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.validate()` fails.
+    pub fn new(cfg: SsdConfig) -> Self {
+        cfg.validate().expect("invalid SSD configuration");
+        let blocks_per_die = (cfg.total_blocks() / (cfg.channels * cfg.ways) as u64) as u32;
+        let nand = NandArray::new(
+            cfg.channels as u32,
+            cfg.ways as u32,
+            blocks_per_die,
+            cfg.pages_per_block as u32,
+            cfg.page_size,
+        );
+        let ftl = Ftl::new(
+            cfg.channels as u32,
+            cfg.ways as u32,
+            blocks_per_die,
+            cfg.pages_per_block as u32,
+            cfg.logical_pages(),
+        );
+        let zero_page: PageBuf = Arc::from(vec![0u8; cfg.page_size].into_boxed_slice());
+        SsdDevice {
+            dies: ServerBank::new(cfg.channels * cfg.ways),
+            buses: ServerBank::new(cfg.channels),
+            cores: ServerBank::new(cfg.cores),
+            mem: DeviceMemory::new(64 << 20, cfg.dram_bytes),
+            stats: DeviceStats::default(),
+            power: Mutex::new(None),
+            storage: Mutex::new(Storage { nand, ftl }),
+            zero_page,
+            cfg,
+        }
+    }
+
+    /// The device's configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// The DRAM budget (system/user arenas).
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// The device CPU cores, for runtime layers that charge SSDlet compute.
+    pub fn cores(&self) -> &ServerBank {
+        &self.cores
+    }
+
+    /// Garbage-collection statistics `(runs, pages_relocated)`.
+    pub fn gc_stats(&self) -> (u64, u64) {
+        let st = self.storage.lock();
+        (st.ftl.gc_runs(), st.ftl.relocated_total())
+    }
+
+    /// Attaches a power meter component toggled while the datapath is busy.
+    pub fn attach_power(&self, meter: Arc<PowerMeter>, component: ComponentId) {
+        *self.power.lock() = Some(PowerHook {
+            meter,
+            component,
+            nesting: 0,
+        });
+    }
+
+    fn power_busy(&self, now: SimTime) {
+        let mut hook = self.power.lock();
+        if let Some(h) = hook.as_mut() {
+            h.nesting += 1;
+            if h.nesting == 1 {
+                h.meter.set_active(now, h.component, true);
+            }
+        }
+    }
+
+    fn power_idle(&self, now: SimTime) {
+        let mut hook = self.power.lock();
+        if let Some(h) = hook.as_mut() {
+            debug_assert!(h.nesting > 0, "power nesting underflow");
+            h.nesting -= 1;
+            if h.nesting == 0 {
+                h.meter.set_active(now, h.component, false);
+            }
+        }
+    }
+
+    /// Placement for an unmapped logical page: deterministic stripe, so the
+    /// timing of reading never-written space still spreads over channels.
+    fn stripe_ppa(&self, lpn: u64) -> Ppa {
+        Ppa {
+            channel: (lpn % self.cfg.channels as u64) as u32,
+            way: ((lpn / self.cfg.channels as u64) % self.cfg.ways as u64) as u32,
+            block: 0,
+            page: 0,
+        }
+    }
+
+    fn die_index(&self, ppa: Ppa) -> usize {
+        ppa.channel as usize * self.cfg.ways + ppa.way as usize
+    }
+
+    /// Fetches page contents and its physical location without timing.
+    fn fetch(&self, lpn: u64) -> DeviceResult<(Ppa, Option<PageData>)> {
+        let st = self.storage.lock();
+        match st.ftl.lookup(lpn)? {
+            Some(ppa) => {
+                let data = st
+                    .nand
+                    .read(ppa)
+                    .expect("FTL mapping within geometry")
+                    .cloned();
+                Ok((ppa, data))
+            }
+            None => Ok((self.stripe_ppa(lpn), None)),
+        }
+    }
+
+    /// Charges the per-request software overhead on the least-loaded core,
+    /// starting no earlier than `now`; returns when the core finishes.
+    pub fn charge_request_overhead(&self, now: SimTime) -> SimTime {
+        let (idx, _) = self.cores.least_loaded();
+        self.cores.enqueue(now, idx, self.cfg.request_overhead)
+    }
+
+    /// Non-blocking single-page read: reserves die + bus time and returns
+    /// `(completion_time, data)`. `bytes` caps the bus transfer (≤ page).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Ftl`] for an out-of-range page.
+    pub fn enqueue_read(
+        &self,
+        start: SimTime,
+        lpn: u64,
+        bytes: usize,
+    ) -> DeviceResult<(SimTime, PageBuf)> {
+        let (ppa, data) = self.fetch(lpn)?;
+        let buf = match data {
+            Some(d) => d.materialize(self.cfg.page_size),
+            None => Arc::clone(&self.zero_page),
+        };
+        let die_end = self
+            .dies
+            .enqueue(start, self.die_index(ppa), self.cfg.t_read);
+        let xfer = SimDuration::for_bytes(
+            bytes.min(self.cfg.page_size) as u64,
+            self.cfg.channel_rate,
+        );
+        let bus_end = self.buses.enqueue(die_end, ppa.channel as usize, xfer);
+        self.stats.pages_read.add(1);
+        Ok((bus_end, buf))
+    }
+
+    /// Non-blocking pattern-matched page scan: the page streams through the
+    /// per-channel matcher IP at `pm_rate`; only a match surfaces data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Ftl`] for an out-of-range page.
+    pub fn enqueue_scan(
+        &self,
+        start: SimTime,
+        lpn: u64,
+        pattern: &PatternSet,
+    ) -> DeviceResult<(SimTime, Option<PageBuf>)> {
+        let (ppa, data) = self.fetch(lpn)?;
+        let die_end = self
+            .dies
+            .enqueue(start, self.die_index(ppa), self.cfg.t_read);
+        let xfer = SimDuration::for_bytes(self.cfg.page_size as u64, self.cfg.pm_rate);
+        let bus_end = self.buses.enqueue(die_end, ppa.channel as usize, xfer);
+        self.stats.pages_scanned.add(1);
+        let hit = match data {
+            Some(d) => {
+                let buf = d.materialize(self.cfg.page_size);
+                if pattern.matches(&buf) {
+                    self.stats.pages_matched.add(1);
+                    Some(buf)
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        Ok((bus_end, hit))
+    }
+
+    /// Synchronous read of one request spanning `lpns` (striped across
+    /// channels), blocking the fiber until the slowest page arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Ftl`] if any page is out of range.
+    pub fn read_pages(&self, ctx: &Ctx, lpns: &[u64]) -> DeviceResult<Vec<PageBuf>> {
+        self.power_busy(ctx.now());
+        let result = self.read_pages_inner(ctx, lpns);
+        self.power_idle(ctx.now());
+        result
+    }
+
+    fn read_pages_inner(&self, ctx: &Ctx, lpns: &[u64]) -> DeviceResult<Vec<PageBuf>> {
+        let start = self.charge_request_overhead(ctx.now());
+        let mut out = Vec::with_capacity(lpns.len());
+        let mut end = start;
+        for &lpn in lpns {
+            let (t, buf) = self.enqueue_read(start, lpn, self.cfg.page_size)?;
+            end = end.max(t);
+            out.push(buf);
+        }
+        ctx.sleep_until(end);
+        Ok(out)
+    }
+
+    /// Synchronous read of `(lpn, bytes)` page spans in one request; only
+    /// the touched bytes occupy the channel buses (a 4 KiB read of a 16 KiB
+    /// page pays a 4 KiB transfer — the Table III small-read path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Ftl`] if any page is out of range.
+    pub fn read_spans(&self, ctx: &Ctx, spans: &[(u64, usize)]) -> DeviceResult<Vec<PageBuf>> {
+        self.power_busy(ctx.now());
+        let result = (|| {
+            let start = self.charge_request_overhead(ctx.now());
+            let mut out = Vec::with_capacity(spans.len());
+            let mut end = start;
+            for &(lpn, bytes) in spans {
+                let (t, buf) = self.enqueue_read(start, lpn, bytes)?;
+                end = end.max(t);
+                out.push(buf);
+            }
+            ctx.sleep_until(end);
+            Ok(out)
+        })();
+        self.power_idle(ctx.now());
+        result
+    }
+
+    /// Asynchronous read: splits `lpns` into requests of `request_pages`
+    /// pages and keeps up to `queue_depth` requests in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Ftl`] if any page is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request_pages` or `queue_depth` is zero.
+    pub fn read_pages_async(
+        &self,
+        ctx: &Ctx,
+        lpns: &[u64],
+        request_pages: usize,
+        queue_depth: usize,
+    ) -> DeviceResult<Vec<PageBuf>> {
+        assert!(request_pages > 0 && queue_depth > 0);
+        self.power_busy(ctx.now());
+        let result = (|| {
+            let mut out = Vec::with_capacity(lpns.len());
+            let mut inflight: std::collections::VecDeque<SimTime> = Default::default();
+            for chunk in lpns.chunks(request_pages) {
+                if inflight.len() >= queue_depth {
+                    let earliest = inflight.pop_front().expect("inflight nonempty");
+                    ctx.sleep_until(earliest);
+                }
+                let start = self.charge_request_overhead(ctx.now());
+                let mut end = start;
+                for &lpn in chunk {
+                    let (t, buf) = self.enqueue_read(start, lpn, self.cfg.page_size)?;
+                    end = end.max(t);
+                    out.push(buf);
+                }
+                inflight.push_back(end);
+            }
+            if let Some(&last) = inflight.back() {
+                ctx.sleep_until(last);
+            }
+            Ok(out)
+        })();
+        self.power_idle(ctx.now());
+        result
+    }
+
+    /// Pattern-matched scan over `lpns` with the per-channel matcher IP.
+    /// Returns only matching pages, tagged with their logical page number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Ftl`] if any page is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request_pages` or `queue_depth` is zero.
+    pub fn scan_pages(
+        &self,
+        ctx: &Ctx,
+        lpns: &[u64],
+        pattern: &PatternSet,
+        request_pages: usize,
+        queue_depth: usize,
+    ) -> DeviceResult<Vec<(u64, PageBuf)>> {
+        assert!(request_pages > 0 && queue_depth > 0);
+        self.power_busy(ctx.now());
+        let result = (|| {
+            let mut out = Vec::new();
+            let mut inflight: std::collections::VecDeque<SimTime> = Default::default();
+            for chunk in lpns.chunks(request_pages) {
+                if inflight.len() >= queue_depth {
+                    let earliest = inflight.pop_front().expect("inflight nonempty");
+                    ctx.sleep_until(earliest);
+                }
+                // IP setup costs software time on a core per request.
+                let (core, _) = self.cores.least_loaded();
+                let start = self
+                    .cores
+                    .enqueue(ctx.now(), core, self.cfg.pm_setup_overhead);
+                let mut end = start;
+                for &lpn in chunk {
+                    let (t, hit) = self.enqueue_scan(start, lpn, pattern)?;
+                    end = end.max(t);
+                    if let Some(buf) = hit {
+                        out.push((lpn, buf));
+                    }
+                }
+                inflight.push_back(end);
+            }
+            if let Some(&last) = inflight.back() {
+                ctx.sleep_until(last);
+            }
+            Ok(out)
+        })();
+        self.power_idle(ctx.now());
+        result
+    }
+
+    /// Timed write of one page. GC work triggered by the write is charged to
+    /// the calling fiber (relocations + erase time), as on real firmware
+    /// where a colliding host write stalls behind GC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadWriteSize`] or [`DeviceError::Ftl`].
+    pub fn write_page(&self, ctx: &Ctx, lpn: u64, data: &[u8]) -> DeviceResult<()> {
+        if data.len() > self.cfg.page_size {
+            return Err(DeviceError::BadWriteSize {
+                got: data.len(),
+                page_size: self.cfg.page_size,
+            });
+        }
+        self.power_busy(ctx.now());
+        let result = (|| {
+            let mut page = vec![0u8; self.cfg.page_size];
+            page[..data.len()].copy_from_slice(data);
+            let outcome = {
+                let mut st = self.storage.lock();
+                let st = &mut *st;
+                st.ftl.write(
+                    &mut st.nand,
+                    lpn,
+                    PageData::Bytes(Arc::from(page.into_boxed_slice())),
+                )?
+            };
+            let ppa = self
+                .storage
+                .lock()
+                .ftl
+                .lookup(lpn)
+                .expect("checked")
+                .expect("just written");
+            let start = self.charge_request_overhead(ctx.now());
+            let die_end = self
+                .dies
+                .enqueue(start, self.die_index(ppa), self.cfg.t_program);
+            let xfer =
+                SimDuration::for_bytes(self.cfg.page_size as u64, self.cfg.channel_rate);
+            let mut end = self.buses.enqueue(die_end, ppa.channel as usize, xfer);
+            // Amortized GC penalty.
+            if outcome.relocated > 0 || outcome.erased_blocks > 0 {
+                let gc_time = (self.cfg.t_read + self.cfg.t_program) * outcome.relocated
+                    + self.cfg.t_erase * outcome.erased_blocks;
+                end += gc_time;
+            }
+            self.stats.pages_written.add(1);
+            ctx.sleep_until(end);
+            Ok(())
+        })();
+        self.power_idle(ctx.now());
+        result
+    }
+
+    /// Asynchronous write of whole pages: FTL allocations happen up front,
+    /// program operations pipeline across dies with up to `queue_depth`
+    /// in flight, and the fiber blocks only on the final completion (the
+    /// paper's asynchronous write API, §III-D). GC work triggered along the
+    /// way is charged at the end, like a flush absorbing the stall.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadWriteSize`] or [`DeviceError::Ftl`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth` is zero.
+    pub fn write_pages_async(
+        &self,
+        ctx: &Ctx,
+        pages: &[(u64, Vec<u8>)],
+        queue_depth: usize,
+    ) -> DeviceResult<()> {
+        assert!(queue_depth > 0);
+        self.power_busy(ctx.now());
+        let result = (|| {
+            let mut gc_penalty = SimDuration::ZERO;
+            let mut inflight: std::collections::VecDeque<SimTime> = Default::default();
+            for (lpn, data) in pages {
+                if data.len() > self.cfg.page_size {
+                    return Err(DeviceError::BadWriteSize {
+                        got: data.len(),
+                        page_size: self.cfg.page_size,
+                    });
+                }
+                if inflight.len() >= queue_depth {
+                    let earliest = inflight.pop_front().expect("nonempty");
+                    ctx.sleep_until(earliest);
+                }
+                let mut page = vec![0u8; self.cfg.page_size];
+                page[..data.len()].copy_from_slice(data);
+                let outcome = {
+                    let mut st = self.storage.lock();
+                    let st = &mut *st;
+                    st.ftl.write(
+                        &mut st.nand,
+                        *lpn,
+                        PageData::Bytes(Arc::from(page.into_boxed_slice())),
+                    )?
+                };
+                let ppa = self
+                    .storage
+                    .lock()
+                    .ftl
+                    .lookup(*lpn)
+                    .expect("checked")
+                    .expect("just written");
+                let start = self.charge_request_overhead(ctx.now());
+                let die_end = self
+                    .dies
+                    .enqueue(start, self.die_index(ppa), self.cfg.t_program);
+                let xfer =
+                    SimDuration::for_bytes(self.cfg.page_size as u64, self.cfg.channel_rate);
+                let end = self.buses.enqueue(die_end, ppa.channel as usize, xfer);
+                gc_penalty += (self.cfg.t_read + self.cfg.t_program) * outcome.relocated
+                    + self.cfg.t_erase * outcome.erased_blocks;
+                self.stats.pages_written.add(1);
+                inflight.push_back(end);
+            }
+            if let Some(&last) = inflight.back() {
+                ctx.sleep_until(last);
+            }
+            ctx.sleep(gc_penalty);
+            Ok(())
+        })();
+        self.power_idle(ctx.now());
+        result
+    }
+
+    /// Untimed bulk load used by workload generators to populate the device
+    /// before an experiment (the paper pre-loads datasets the same way —
+    /// load time is not part of any measured result).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Ftl`] for out-of-range pages.
+    pub fn load_page(&self, lpn: u64, data: PageData) -> DeviceResult<()> {
+        let mut st = self.storage.lock();
+        let st = &mut *st;
+        st.ftl.write(&mut st.nand, lpn, data)?;
+        Ok(())
+    }
+
+    /// Untimed bulk load of a byte buffer starting at `lpn_start`, split
+    /// into pages (the tail page is zero-padded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Ftl`] for out-of-range pages.
+    pub fn load_bytes(&self, lpn_start: u64, bytes: &[u8]) -> DeviceResult<()> {
+        let ps = self.cfg.page_size;
+        for (i, chunk) in bytes.chunks(ps).enumerate() {
+            let mut page = vec![0u8; ps];
+            page[..chunk.len()].copy_from_slice(chunk);
+            self.load_page(
+                lpn_start + i as u64,
+                PageData::Bytes(Arc::from(page.into_boxed_slice())),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Unmaps a logical page (TRIM). The freed physical page becomes GC
+    /// fodder; subsequent reads return zeroes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Ftl`] for out-of-range pages.
+    pub fn trim_page(&self, lpn: u64) -> DeviceResult<()> {
+        let mut st = self.storage.lock();
+        st.ftl.trim(lpn)?;
+        Ok(())
+    }
+
+    /// Untimed read used by tests and by setup code (not part of any
+    /// measured path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Ftl`] for out-of-range pages.
+    pub fn peek_page(&self, lpn: u64) -> DeviceResult<PageBuf> {
+        let (_, data) = self.fetch(lpn)?;
+        Ok(match data {
+            Some(d) => d.materialize(self.cfg.page_size),
+            None => Arc::clone(&self.zero_page),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biscuit_sim::Simulation;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn small_cfg() -> SsdConfig {
+        SsdConfig {
+            logical_capacity: 64 << 20, // 64 MiB keeps maps tiny
+            ..SsdConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn single_4k_read_latency_matches_table3() {
+        let sim = Simulation::new(0);
+        let dev = Arc::new(SsdDevice::new(small_cfg()));
+        dev.load_bytes(0, &vec![1u8; 16 * 1024]).unwrap();
+        let d = Arc::clone(&dev);
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&t);
+        sim.spawn("r", move |ctx| {
+            let start = ctx.now();
+            let (end, _) = d.enqueue_read(d.charge_request_overhead(start), 0, 4096).unwrap();
+            ctx.sleep_until(end);
+            t2.store((ctx.now() - start).as_nanos(), Ordering::SeqCst);
+        });
+        sim.run().assert_quiescent();
+        let us = t.load(Ordering::SeqCst) as f64 / 1000.0;
+        assert!(
+            (74.5..77.5).contains(&us),
+            "internal 4KiB read took {us}us, expected ~75.9us"
+        );
+    }
+
+    #[test]
+    fn read_returns_written_data() {
+        let sim = Simulation::new(0);
+        let dev = Arc::new(SsdDevice::new(small_cfg()));
+        let d = Arc::clone(&dev);
+        sim.spawn("rw", move |ctx| {
+            d.write_page(ctx, 7, b"hello device").unwrap();
+            let pages = d.read_pages(ctx, &[7]).unwrap();
+            assert_eq!(&pages[0][..12], b"hello device");
+        });
+        sim.run().assert_quiescent();
+    }
+
+    #[test]
+    fn unwritten_page_reads_zero() {
+        let sim = Simulation::new(0);
+        let dev = Arc::new(SsdDevice::new(small_cfg()));
+        let d = Arc::clone(&dev);
+        sim.spawn("r", move |ctx| {
+            let pages = d.read_pages(ctx, &[100]).unwrap();
+            assert!(pages[0].iter().all(|&b| b == 0));
+        });
+        sim.run().assert_quiescent();
+    }
+
+    #[test]
+    fn async_read_beats_sync_on_large_transfers() {
+        // 16 MiB: sync (one request at a time, qd=1 chunks) vs async qd=32.
+        let cfg = small_cfg();
+        let pages_total = (16 << 20) / cfg.page_size as u64;
+        let lpns: Vec<u64> = (0..pages_total).collect();
+
+        fn run(lpns: Vec<u64>, chunk: usize, qd: usize) -> f64 {
+            let sim = Simulation::new(0);
+            let dev = Arc::new(SsdDevice::new(SsdConfig {
+                logical_capacity: 64 << 20,
+                ..SsdConfig::paper_default()
+            }));
+            let t = Arc::new(AtomicU64::new(0));
+            let t2 = Arc::clone(&t);
+            sim.spawn("r", move |ctx| {
+                dev.read_pages_async(ctx, &lpns, chunk, qd).unwrap();
+                t2.store(ctx.now().as_nanos(), Ordering::SeqCst);
+            });
+            sim.run().assert_quiescent();
+            t.load(Ordering::SeqCst) as f64 / 1e9
+        }
+        let sync_secs = run(lpns.clone(), 8, 1);
+        let async_secs = run(lpns, 8, 32);
+        assert!(
+            async_secs < sync_secs,
+            "async {async_secs}s should beat sync {sync_secs}s"
+        );
+    }
+
+    #[test]
+    fn internal_bandwidth_exceeds_host_cap() {
+        // Async full-stripe read of 64 MiB approaches aggregate channel BW.
+        let cfg = small_cfg();
+        let pages_total = (64 << 20) / cfg.page_size as u64;
+        let lpns: Vec<u64> = (0..pages_total).collect();
+        let sim = Simulation::new(0);
+        let dev = Arc::new(SsdDevice::new(cfg));
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&t);
+        sim.spawn("r", move |ctx| {
+            dev.read_pages_async(ctx, &lpns, 64, 32).unwrap();
+            t2.store(ctx.now().as_nanos(), Ordering::SeqCst);
+        });
+        sim.run().assert_quiescent();
+        let secs = t.load(Ordering::SeqCst) as f64 / 1e9;
+        let gbps = (64u64 << 20) as f64 / secs / 1e9;
+        assert!(
+            gbps > 3.2 * 1.25,
+            "internal bandwidth {gbps} GB/s should exceed host cap by >25%"
+        );
+    }
+
+    #[test]
+    fn scan_returns_only_matching_pages() {
+        let sim = Simulation::new(0);
+        let dev = Arc::new(SsdDevice::new(small_cfg()));
+        let ps = dev.config().page_size;
+        // Page 0 and 2 contain the needle; page 1 does not.
+        let mut p0 = vec![b'x'; ps];
+        p0[100..106].copy_from_slice(b"needle");
+        let p1 = vec![b'y'; ps];
+        let mut p2 = vec![b'z'; ps];
+        p2[0..6].copy_from_slice(b"needle");
+        dev.load_bytes(0, &p0).unwrap();
+        dev.load_bytes(1, &p1).unwrap();
+        dev.load_bytes(2, &p2).unwrap();
+        let d = Arc::clone(&dev);
+        sim.spawn("s", move |ctx| {
+            let pat = PatternSet::from_strs(&["needle"]).unwrap();
+            let hits = d.scan_pages(ctx, &[0, 1, 2], &pat, 8, 4).unwrap();
+            let lpns: Vec<u64> = hits.iter().map(|&(l, _)| l).collect();
+            assert_eq!(lpns, vec![0, 2]);
+        });
+        sim.run().assert_quiescent();
+        assert_eq!(dev.stats().pages_scanned.get(), 3);
+        assert_eq!(dev.stats().pages_matched.get(), 2);
+    }
+
+    #[test]
+    fn scan_bandwidth_between_conv_and_raw() {
+        // Pattern-matched streaming should be under raw internal BW but
+        // above the 3.2 GB/s host cap (Fig. 7 ordering).
+        let cfg = small_cfg();
+        let pages_total = (64 << 20) / cfg.page_size as u64;
+        let lpns: Vec<u64> = (0..pages_total).collect();
+        let sim = Simulation::new(0);
+        let dev = Arc::new(SsdDevice::new(cfg));
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&t);
+        sim.spawn("s", move |ctx| {
+            let pat = PatternSet::from_strs(&["nomatch"]).unwrap();
+            dev.scan_pages(ctx, &lpns, &pat, 64, 32).unwrap();
+            t2.store(ctx.now().as_nanos(), Ordering::SeqCst);
+        });
+        sim.run().assert_quiescent();
+        let secs = t.load(Ordering::SeqCst) as f64 / 1e9;
+        let gbps = (64u64 << 20) as f64 / secs / 1e9;
+        assert!(
+            gbps > 3.2 && gbps < 4.8,
+            "pattern-matched bandwidth {gbps} GB/s should sit between Conv and raw"
+        );
+    }
+
+    #[test]
+    fn write_too_large_rejected() {
+        let sim = Simulation::new(0);
+        let dev = Arc::new(SsdDevice::new(small_cfg()));
+        let ps = dev.config().page_size;
+        let d = Arc::clone(&dev);
+        sim.spawn("w", move |ctx| {
+            let err = d.write_page(ctx, 0, &vec![0u8; ps + 1]).unwrap_err();
+            assert!(matches!(err, DeviceError::BadWriteSize { .. }));
+        });
+        sim.run().assert_quiescent();
+    }
+
+    #[test]
+    fn out_of_range_read_errors() {
+        let dev = SsdDevice::new(small_cfg());
+        let max = dev.config().logical_pages();
+        assert!(matches!(
+            dev.peek_page(max),
+            Err(DeviceError::Ftl(FtlError::LpnOutOfRange { .. }))
+        ));
+    }
+
+    #[test]
+    fn power_hook_toggles_busy() {
+        let sim = Simulation::new(0);
+        let dev = Arc::new(SsdDevice::new(small_cfg()));
+        let meter = Arc::new(PowerMeter::new());
+        meter.register("base", 103.0, 103.0);
+        let ssd = meter.register("ssd", 0.0, 33.0);
+        dev.attach_power(Arc::clone(&meter), ssd);
+        let d = Arc::clone(&dev);
+        sim.spawn("r", move |ctx| {
+            d.read_pages(ctx, &[0, 1, 2, 3]).unwrap();
+        });
+        sim.run().assert_quiescent();
+        let trace = meter.trace();
+        assert!(
+            trace.iter().any(|&(_, p)| (p - 136.0).abs() < 1e-9),
+            "expected a 136W busy interval, trace: {trace:?}"
+        );
+        assert!((meter.power_watts() - 103.0).abs() < 1e-9, "back to idle");
+    }
+}

@@ -1,0 +1,535 @@
+//! Page-mapped flash translation layer with garbage collection and wear
+//! leveling.
+//!
+//! The paper's SSDlets never see logical block addresses — the firmware's
+//! FTL handles media management underneath Biscuit (§VI "all I/O requests
+//! issued by Biscuit go through the same I/O paths with normal I/O
+//! requests"). This module is that firmware layer: logical pages map to
+//! physical pages out-of-place, writes stripe across dies for parallelism,
+//! and a greedy cost-benefit collector reclaims blocks when free space runs
+//! low, picking the least-worn free block as the next write frontier.
+
+use std::collections::HashMap;
+
+use crate::nand::{NandArray, PageData, Ppa};
+
+/// Die coordinate (channel, way).
+type Die = (u32, u32);
+
+/// Errors surfaced by FTL operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtlError {
+    /// The logical page is beyond the exported capacity.
+    LpnOutOfRange {
+        /// Requested logical page.
+        lpn: u64,
+        /// Exported logical pages.
+        capacity: u64,
+    },
+    /// No physical space could be reclaimed (would indicate a provisioning
+    /// bug, since logical capacity is strictly below physical).
+    CapacityExhausted,
+}
+
+impl std::fmt::Display for FtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FtlError::LpnOutOfRange { lpn, capacity } => {
+                write!(f, "logical page {lpn} out of range (capacity {capacity})")
+            }
+            FtlError::CapacityExhausted => f.write_str("no reclaimable physical space"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {}
+
+/// What a write did beyond programming one page (for timing/energy charges).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Pages relocated by garbage collection triggered by this write.
+    pub relocated: u64,
+    /// Blocks erased by garbage collection triggered by this write.
+    pub erased_blocks: u64,
+}
+
+#[derive(Debug)]
+struct DieState {
+    free_blocks: Vec<u32>,
+    frontier: Option<(u32, u32)>, // (block, next page index)
+}
+
+/// The translation layer. Geometry mirrors the paired [`NandArray`].
+#[derive(Debug)]
+pub struct Ftl {
+    channels: u32,
+    ways: u32,
+    blocks_per_die_cache: u32,
+    pages_per_block: u32,
+    logical_pages: u64,
+    map: Vec<Option<Ppa>>,
+    reverse: HashMap<Ppa, u64>,
+    valid_count: HashMap<(u32, u32, u32), u32>,
+    dies: HashMap<Die, DieState>,
+    next_die: usize,
+    gc_reserve_blocks: usize,
+    gc_runs: u64,
+    relocated_total: u64,
+}
+
+impl Ftl {
+    /// Creates an FTL for a device with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the physical space does not exceed the logical space (no
+    /// over-provisioning would leave GC nothing to reclaim into).
+    pub fn new(
+        channels: u32,
+        ways: u32,
+        blocks_per_die: u32,
+        pages_per_block: u32,
+        logical_pages: u64,
+    ) -> Self {
+        let physical_pages =
+            u64::from(channels) * u64::from(ways) * u64::from(blocks_per_die) * u64::from(pages_per_block);
+        assert!(
+            physical_pages > logical_pages,
+            "physical pages ({physical_pages}) must exceed logical pages ({logical_pages})"
+        );
+        let mut dies = HashMap::new();
+        for c in 0..channels {
+            for w in 0..ways {
+                dies.insert(
+                    (c, w),
+                    DieState {
+                        // Highest block index last so pop() hands out block 0 first.
+                        free_blocks: (0..blocks_per_die).rev().collect(),
+                        frontier: None,
+                    },
+                );
+            }
+        }
+        Ftl {
+            channels,
+            ways,
+            blocks_per_die_cache: blocks_per_die,
+            pages_per_block,
+            logical_pages,
+            map: vec![None; logical_pages as usize],
+            reverse: HashMap::new(),
+            valid_count: HashMap::new(),
+            dies,
+            next_die: 0,
+            gc_reserve_blocks: 1,
+            gc_runs: 0,
+            relocated_total: 0,
+        }
+    }
+
+    /// Exported logical capacity in pages.
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    /// Looks up the physical location of `lpn`, if mapped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::LpnOutOfRange`] for addresses beyond capacity.
+    pub fn lookup(&self, lpn: u64) -> Result<Option<Ppa>, FtlError> {
+        self.check(lpn)?;
+        Ok(self.map[lpn as usize])
+    }
+
+    fn check(&self, lpn: u64) -> Result<(), FtlError> {
+        if lpn < self.logical_pages {
+            Ok(())
+        } else {
+            Err(FtlError::LpnOutOfRange {
+                lpn,
+                capacity: self.logical_pages,
+            })
+        }
+    }
+
+    /// Writes `data` to logical page `lpn`, out-of-place. Returns GC work
+    /// performed so the device layer can charge its time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::LpnOutOfRange`] or [`FtlError::CapacityExhausted`].
+    pub fn write(
+        &mut self,
+        nand: &mut NandArray,
+        lpn: u64,
+        data: PageData,
+    ) -> Result<WriteOutcome, FtlError> {
+        self.check(lpn)?;
+        let mut outcome = WriteOutcome::default();
+        self.invalidate(lpn);
+        let ppa = self.allocate(nand, &mut outcome)?;
+        nand.program(ppa, data).expect("allocator produced bad ppa");
+        self.map[lpn as usize] = Some(ppa);
+        self.reverse.insert(ppa, lpn);
+        *self
+            .valid_count
+            .entry((ppa.channel, ppa.way, ppa.block))
+            .or_insert(0) += 1;
+        Ok(outcome)
+    }
+
+    /// Unmaps a logical page (TRIM).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::LpnOutOfRange`] for addresses beyond capacity.
+    pub fn trim(&mut self, lpn: u64) -> Result<(), FtlError> {
+        self.check(lpn)?;
+        self.invalidate(lpn);
+        Ok(())
+    }
+
+    fn invalidate(&mut self, lpn: u64) {
+        if let Some(old) = self.map[lpn as usize].take() {
+            self.reverse.remove(&old);
+            let key = (old.channel, old.way, old.block);
+            let count = self
+                .valid_count
+                .get_mut(&key)
+                .expect("mapped page with no valid count");
+            *count -= 1;
+            if *count == 0 {
+                self.valid_count.remove(&key);
+            }
+        }
+    }
+
+    /// Picks the next physical page on the striped write frontier, running
+    /// GC first if free blocks run low.
+    fn allocate(
+        &mut self,
+        nand: &mut NandArray,
+        outcome: &mut WriteOutcome,
+    ) -> Result<Ppa, FtlError> {
+        // Proactive, best-effort collection to keep a small free reserve.
+        if self.total_free_blocks() < self.gc_watermark() {
+            self.collect_garbage(nand, outcome);
+        }
+        if let Some(ppa) = self.try_allocate(nand) {
+            return Ok(ppa);
+        }
+        // Out of frontier space everywhere: collection is now mandatory.
+        self.collect_garbage(nand, outcome);
+        self.try_allocate(nand).ok_or(FtlError::CapacityExhausted)
+    }
+
+    /// Free-block level below which collection kicks in.
+    fn gc_watermark(&self) -> usize {
+        self.gc_reserve_blocks.max(2).max(self.dies.len() / 16)
+    }
+
+    /// One round-robin allocation attempt across all dies, no GC.
+    fn try_allocate(&mut self, nand: &NandArray) -> Option<Ppa> {
+        let die_count = self.dies.len();
+        for _ in 0..die_count {
+            let die = self.die_at(self.next_die);
+            self.next_die = (self.next_die + 1) % die_count;
+            if let Some(ppa) = self.allocate_on(nand, die) {
+                return Some(ppa);
+            }
+        }
+        None
+    }
+
+    fn die_at(&self, idx: usize) -> Die {
+        let c = (idx as u32) % self.channels;
+        let w = (idx as u32) / self.channels % self.ways;
+        (c, w)
+    }
+
+    fn allocate_on(&mut self, nand: &NandArray, die: Die) -> Option<Ppa> {
+        let pages_per_block = self.pages_per_block;
+        // Pick the least-worn free block when opening a new frontier
+        // (dynamic wear leveling).
+        let least_worn = |state: &mut DieState| -> Option<u32> {
+            if state.free_blocks.is_empty() {
+                return None;
+            }
+            let (pos, _) = state
+                .free_blocks
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &b)| nand.erase_count(die.0, die.1, b))?;
+            Some(state.free_blocks.swap_remove(pos))
+        };
+        let state = self.dies.get_mut(&die).expect("die exists");
+        if state.frontier.is_none() {
+            state.frontier = least_worn(state).map(|b| (b, 0));
+        }
+        let (block, page) = state.frontier?;
+        let ppa = Ppa {
+            channel: die.0,
+            way: die.1,
+            block,
+            page,
+        };
+        state.frontier = if page + 1 < pages_per_block {
+            Some((block, page + 1))
+        } else {
+            None
+        };
+        Some(ppa)
+    }
+
+    fn total_free_blocks(&self) -> usize {
+        self.dies.values().map(|d| d.free_blocks.len()).sum()
+    }
+
+    /// Greedy garbage collection: repeatedly pick the block with the fewest
+    /// valid pages, relocate them, and erase — until the free reserve is
+    /// restored or no reclaimable victim remains. Best-effort: running out
+    /// of victims is not an error here (the allocator reports exhaustion if
+    /// it still cannot place the write).
+    fn collect_garbage(&mut self, nand: &mut NandArray, outcome: &mut WriteOutcome) {
+        self.gc_runs += 1;
+        let target = self.gc_watermark() + 1;
+        while self.total_free_blocks() < target {
+            let Some(victim) = self.pick_victim() else {
+                return;
+            };
+            if self.reclaim_block(nand, victim, outcome).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// The non-frontier block with the fewest valid pages. Fully-invalid
+    /// blocks (zero valid pages) are ideal victims but absent from
+    /// `valid_count`, so scan those first.
+    fn pick_victim(&self) -> Option<(u32, u32, u32)> {
+        let frontier: Vec<(u32, u32, u32)> = self
+            .dies
+            .iter()
+            .filter_map(|(&(c, w), st)| st.frontier.map(|(b, _)| (c, w, b)))
+            .collect();
+        // Candidate blocks = programmed blocks not free and not frontier.
+        let mut best: Option<((u32, u32, u32), u32)> = None;
+        for c in 0..self.channels {
+            for w in 0..self.ways {
+                let die = self.dies.get(&(c, w)).expect("die exists");
+                let free = &die.free_blocks;
+                for b in 0..nand_blocks(self) {
+                    if free.contains(&b) || frontier.contains(&(c, w, b)) {
+                        continue;
+                    }
+                    let valid = self.valid_count.get(&(c, w, b)).copied().unwrap_or(0);
+                    // Skip blocks that were never written (not free-listed
+                    // but also not programmed cannot happen; free list covers
+                    // unwritten blocks).
+                    match best {
+                        Some((_, v)) if v <= valid => {}
+                        _ => best = Some(((c, w, b), valid)),
+                    }
+                }
+            }
+        }
+        // A victim with every page still valid reclaims nothing.
+        best.filter(|&(_, v)| v < self.pages_per_block).map(|(k, _)| k)
+    }
+
+    fn reclaim_block(
+        &mut self,
+        nand: &mut NandArray,
+        (c, w, b): (u32, u32, u32),
+        outcome: &mut WriteOutcome,
+    ) -> Result<(), FtlError> {
+        // Relocate every valid page.
+        for p in 0..self.pages_per_block {
+            let ppa = Ppa {
+                channel: c,
+                way: w,
+                block: b,
+                page: p,
+            };
+            let Some(&lpn) = self.reverse.get(&ppa) else {
+                continue;
+            };
+            let data = nand
+                .read(ppa)
+                .expect("geometry checked")
+                .expect("valid page has data")
+                .clone();
+            // Allocate a fresh location; allocation during GC must not
+            // recurse into GC (we are already freeing space). Aborting here
+            // is safe — the victim is only erased after every valid page is
+            // relocated, so data is never lost.
+            let new_ppa = self.try_allocate(nand).ok_or(FtlError::CapacityExhausted)?;
+            nand.program(new_ppa, data).expect("allocator produced bad ppa");
+            self.reverse.remove(&ppa);
+            self.reverse.insert(new_ppa, lpn);
+            self.map[lpn as usize] = Some(new_ppa);
+            let old_key = (c, w, b);
+            if let Some(count) = self.valid_count.get_mut(&old_key) {
+                *count -= 1;
+                if *count == 0 {
+                    self.valid_count.remove(&old_key);
+                }
+            }
+            *self
+                .valid_count
+                .entry((new_ppa.channel, new_ppa.way, new_ppa.block))
+                .or_insert(0) += 1;
+            outcome.relocated += 1;
+            self.relocated_total += 1;
+        }
+        nand.erase_block(c, w, b).expect("geometry checked");
+        self.valid_count.remove(&(c, w, b));
+        self.dies
+            .get_mut(&(c, w))
+            .expect("die exists")
+            .free_blocks
+            .push(b);
+        outcome.erased_blocks += 1;
+        Ok(())
+    }
+
+    /// Number of GC invocations so far.
+    pub fn gc_runs(&self) -> u64 {
+        self.gc_runs
+    }
+
+    /// Total pages relocated by GC so far.
+    pub fn relocated_total(&self) -> u64 {
+        self.relocated_total
+    }
+}
+
+fn nand_blocks(ftl: &Ftl) -> u32 {
+    ftl.blocks_per_die_cache
+}
+
+impl Ftl {
+    /// Erase blocks per die (geometry accessor).
+    pub fn blocks_per_die(&self) -> u32 {
+        self.blocks_per_die_cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn page(fill: u8, size: usize) -> PageData {
+        PageData::Bytes(Arc::from(vec![fill; size].into_boxed_slice()))
+    }
+
+    fn setup(blocks_per_die: u32, logical_pages: u64) -> (NandArray, Ftl) {
+        let nand = NandArray::new(2, 2, blocks_per_die, 4, 32);
+        let ftl = Ftl::new(2, 2, blocks_per_die, 4, logical_pages);
+        (nand, ftl)
+    }
+
+    fn read_lpn(nand: &NandArray, ftl: &Ftl, lpn: u64) -> Option<Vec<u8>> {
+        let ppa = ftl.lookup(lpn).unwrap()?;
+        nand.read(ppa)
+            .unwrap()
+            .map(|d| d.materialize(32).as_ref().to_vec())
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let (mut nand, mut ftl) = setup(8, 32);
+        ftl.write(&mut nand, 5, page(0xAA, 32)).unwrap();
+        assert_eq!(read_lpn(&nand, &ftl, 5).unwrap(), vec![0xAA; 32]);
+        assert_eq!(read_lpn(&nand, &ftl, 6), None);
+    }
+
+    #[test]
+    fn overwrite_goes_out_of_place() {
+        let (mut nand, mut ftl) = setup(8, 32);
+        ftl.write(&mut nand, 0, page(1, 32)).unwrap();
+        let first = ftl.lookup(0).unwrap().unwrap();
+        ftl.write(&mut nand, 0, page(2, 32)).unwrap();
+        let second = ftl.lookup(0).unwrap().unwrap();
+        assert_ne!(first, second);
+        assert_eq!(read_lpn(&nand, &ftl, 0).unwrap(), vec![2; 32]);
+    }
+
+    #[test]
+    fn writes_stripe_across_dies() {
+        let (mut nand, mut ftl) = setup(8, 32);
+        let mut dies_used = std::collections::HashSet::new();
+        for lpn in 0..4 {
+            ftl.write(&mut nand, lpn, page(lpn as u8, 32)).unwrap();
+            let ppa = ftl.lookup(lpn).unwrap().unwrap();
+            dies_used.insert((ppa.channel, ppa.way));
+        }
+        assert_eq!(dies_used.len(), 4, "4 writes should hit 4 distinct dies");
+    }
+
+    #[test]
+    fn gc_reclaims_and_preserves_data() {
+        // Tiny device: 2x2 dies x 4 blocks x 4 pages = 64 physical pages,
+        // 40 logical. Overwriting repeatedly must trigger GC.
+        let (mut nand, mut ftl) = setup(4, 40);
+        for round in 0..20u32 {
+            for lpn in 0..40u64 {
+                ftl.write(&mut nand, lpn, page((round as u8) ^ (lpn as u8), 32))
+                    .unwrap();
+            }
+        }
+        assert!(ftl.gc_runs() > 0, "expected GC under heavy overwrite");
+        for lpn in 0..40u64 {
+            assert_eq!(
+                read_lpn(&nand, &ftl, lpn).unwrap(),
+                vec![19u8 ^ (lpn as u8); 32],
+                "lpn {lpn} corrupted after GC"
+            );
+        }
+    }
+
+    #[test]
+    fn trim_unmaps() {
+        let (mut nand, mut ftl) = setup(8, 32);
+        ftl.write(&mut nand, 3, page(9, 32)).unwrap();
+        ftl.trim(3).unwrap();
+        assert_eq!(read_lpn(&nand, &ftl, 3), None);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let (mut nand, mut ftl) = setup(8, 32);
+        assert!(matches!(
+            ftl.write(&mut nand, 32, page(0, 32)),
+            Err(FtlError::LpnOutOfRange { .. })
+        ));
+        assert!(ftl.lookup(99).is_err());
+    }
+
+    #[test]
+    fn wear_spreads_over_blocks() {
+        let (mut nand, mut ftl) = setup(4, 40);
+        for round in 0..40u32 {
+            for lpn in 0..40u64 {
+                ftl.write(&mut nand, lpn, page(round as u8, 32)).unwrap();
+            }
+        }
+        // Every die should have erased more than one distinct block.
+        let mut per_die_erased: HashMap<(u32, u32), u32> = HashMap::new();
+        for c in 0..2 {
+            for w in 0..2 {
+                for b in 0..4 {
+                    if nand.erase_count(c, w, b) > 0 {
+                        *per_die_erased.entry((c, w)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            per_die_erased.values().all(|&n| n >= 2),
+            "wear concentrated: {per_die_erased:?}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for FTL correctness under arbitrary write/trim schedules.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use biscuit_ssd::ftl::Ftl;
+use biscuit_ssd::nand::{NandArray, PageData, Ppa};
+
+const PAGE: usize = 32;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { lpn: u64, fill: u8 },
+    Trim { lpn: u64 },
+}
+
+fn op_strategy(logical_pages: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..logical_pages, any::<u8>()).prop_map(|(lpn, fill)| Op::Write { lpn, fill }),
+        1 => (0..logical_pages).prop_map(|lpn| Op::Trim { lpn }),
+    ]
+}
+
+fn page(fill: u8) -> PageData {
+    PageData::Bytes(Arc::from(vec![fill; PAGE].into_boxed_slice()))
+}
+
+fn read_fill(nand: &NandArray, ftl: &Ftl, lpn: u64) -> Option<u8> {
+    let ppa = ftl.lookup(lpn).unwrap()?;
+    nand.read(ppa).unwrap().map(|d| d.materialize(PAGE)[0])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After any schedule of writes and trims (tight enough to force GC),
+    /// every logical page reads back its most recent write.
+    #[test]
+    fn read_after_write_consistency(
+        ops in proptest::collection::vec(op_strategy(40), 1..600)
+    ) {
+        // 2x2 dies x 4 blocks x 4 pages = 64 physical pages for 40 logical.
+        let mut nand = NandArray::new(2, 2, 4, 4, PAGE);
+        let mut ftl = Ftl::new(2, 2, 4, 4, 40);
+        let mut model: HashMap<u64, Option<u8>> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::Write { lpn, fill } => {
+                    ftl.write(&mut nand, lpn, page(fill)).unwrap();
+                    model.insert(lpn, Some(fill));
+                }
+                Op::Trim { lpn } => {
+                    ftl.trim(lpn).unwrap();
+                    model.insert(lpn, None);
+                }
+            }
+        }
+        for lpn in 0..40u64 {
+            let expect = model.get(&lpn).copied().unwrap_or(None);
+            prop_assert_eq!(read_fill(&nand, &ftl, lpn), expect, "lpn {}", lpn);
+        }
+    }
+
+    /// No two logical pages ever map to the same physical page.
+    #[test]
+    fn no_double_mapping(
+        ops in proptest::collection::vec(op_strategy(40), 1..400)
+    ) {
+        let mut nand = NandArray::new(2, 2, 4, 4, PAGE);
+        let mut ftl = Ftl::new(2, 2, 4, 4, 40);
+        for op in &ops {
+            if let Op::Write { lpn, fill } = *op {
+                ftl.write(&mut nand, lpn, page(fill)).unwrap();
+            }
+            let mut seen: HashMap<Ppa, u64> = HashMap::new();
+            for lpn in 0..40u64 {
+                if let Some(ppa) = ftl.lookup(lpn).unwrap() {
+                    if let Some(prev) = seen.insert(ppa, lpn) {
+                        prop_assert!(false, "lpns {prev} and {lpn} share {ppa:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sustained full-capacity overwrites always succeed (GC makes forward
+    /// progress given over-provisioning) and GC actually runs.
+    #[test]
+    fn gc_makes_forward_progress(rounds in 4u32..16) {
+        let mut nand = NandArray::new(2, 2, 4, 4, PAGE);
+        let mut ftl = Ftl::new(2, 2, 4, 4, 48); // 48 logical of 64 physical
+        for round in 0..rounds {
+            for lpn in 0..48u64 {
+                ftl.write(&mut nand, lpn, page(round as u8)).unwrap();
+            }
+        }
+        prop_assert!(ftl.gc_runs() > 0);
+        for lpn in 0..48u64 {
+            prop_assert_eq!(read_fill(&nand, &ftl, lpn), Some((rounds - 1) as u8));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Timed write-path tests: program timing, GC stalls charged to the
+//! triggering writer, and read-after-timed-write consistency.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use biscuit_sim::time::SimDuration;
+use biscuit_sim::Simulation;
+use biscuit_ssd::{SsdConfig, SsdDevice};
+
+fn tiny_device() -> Arc<SsdDevice> {
+    // Tight geometry: physical space barely exceeds logical, so sustained
+    // overwrites must trigger garbage collection.
+    Arc::new(SsdDevice::new(SsdConfig {
+        logical_capacity: 16 << 20,
+        channels: 2,
+        ways: 2,
+        pages_per_block: 32,
+        ..SsdConfig::paper_default()
+    }))
+}
+
+#[test]
+fn single_write_costs_program_time() {
+    let dev = tiny_device();
+    let t_prog = dev.config().t_program;
+    let sim = Simulation::new(0);
+    let d = Arc::clone(&dev);
+    let elapsed: Arc<Mutex<SimDuration>> = Arc::new(Mutex::new(SimDuration::ZERO));
+    let e = Arc::clone(&elapsed);
+    sim.spawn("w", move |ctx| {
+        let t0 = ctx.now();
+        d.write_page(ctx, 0, b"payload").unwrap();
+        *e.lock() = ctx.now() - t0;
+    });
+    sim.run().assert_quiescent();
+    let took = *elapsed.lock();
+    assert!(
+        took >= t_prog,
+        "write took {took}, must include tPROG {t_prog}"
+    );
+    // Not absurdly more either (overhead + transfer on top of tPROG).
+    assert!(took < t_prog * 2, "write took {took}");
+}
+
+#[test]
+fn timed_writes_read_back() {
+    let dev = tiny_device();
+    let sim = Simulation::new(0);
+    let d = Arc::clone(&dev);
+    sim.spawn("rw", move |ctx| {
+        for i in 0..32u64 {
+            d.write_page(ctx, i, format!("page-{i}").as_bytes()).unwrap();
+        }
+        let pages = d.read_pages(ctx, &(0..32).collect::<Vec<_>>()).unwrap();
+        for (i, page) in pages.iter().enumerate() {
+            let expect = format!("page-{i}");
+            assert_eq!(&page[..expect.len()], expect.as_bytes());
+        }
+    });
+    sim.run().assert_quiescent();
+}
+
+#[test]
+fn sustained_overwrites_trigger_gc_and_charge_the_writer() {
+    let dev = tiny_device();
+    let logical_pages = dev.config().logical_pages();
+    let sim = Simulation::new(0);
+    let d = Arc::clone(&dev);
+    let write_times: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let wt = Arc::clone(&write_times);
+    sim.spawn("w", move |ctx| {
+        // Fill the logical space repeatedly to force collection.
+        for round in 0..6u64 {
+            for lpn in 0..logical_pages {
+                let t0 = ctx.now();
+                d.write_page(ctx, lpn, &[round as u8; 64]).unwrap();
+                wt.lock().push((ctx.now() - t0).as_micros());
+            }
+        }
+    });
+    sim.run().assert_quiescent();
+    let (gc_runs, relocated) = dev.gc_stats();
+    assert!(gc_runs > 0, "GC must have run");
+    assert!(relocated > 0, "GC must have relocated valid pages");
+    // Some writes stalled behind GC (erase takes ~4ms): spot the outliers.
+    let times = write_times.lock();
+    let max = *times.iter().max().unwrap();
+    let min = *times.iter().min().unwrap();
+    assert!(
+        max > min * 3,
+        "GC-stalled writes should be visible: min {min}us max {max}us"
+    );
+}
+
+#[test]
+fn async_writes_pipeline_faster_than_sync() {
+    let dev = Arc::new(SsdDevice::new(SsdConfig {
+        logical_capacity: 64 << 20,
+        ..SsdConfig::paper_default()
+    }));
+    let pages: Vec<(u64, Vec<u8>)> = (0..64u64).map(|i| (i, vec![i as u8; 512])).collect();
+    let sim = Simulation::new(0);
+    let d = Arc::clone(&dev);
+    let times: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let t = Arc::clone(&times);
+    sim.spawn("w", move |ctx| {
+        // Sync: one program at a time.
+        let t0 = ctx.now();
+        for (lpn, data) in &pages {
+            d.write_page(ctx, *lpn + 1000, data).unwrap();
+        }
+        let sync_us = (ctx.now() - t0).as_micros();
+        // Async: queue depth 16 across the dies.
+        let t1 = ctx.now();
+        d.write_pages_async(ctx, &pages, 16).unwrap();
+        let async_us = (ctx.now() - t1).as_micros();
+        t.lock().extend([sync_us, async_us]);
+        // Data landed correctly.
+        for (lpn, data) in &pages {
+            let page = d.peek_page(*lpn).unwrap();
+            assert_eq!(&page[..data.len()], &data[..]);
+        }
+    });
+    sim.run().assert_quiescent();
+    let times = times.lock();
+    assert!(
+        times[1] * 4 < times[0],
+        "async {}us should be well under sync {}us",
+        times[1],
+        times[0]
+    );
+}

@@ -1,0 +1,66 @@
+//! Full-stack determinism: identical seeds and workloads produce identical
+//! virtual timelines, byte counts, and results — the property that makes
+//! every number in EXPERIMENTS.md exactly reproducible.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use biscuit::apps::search::{biscuit_grep, conv_grep, load_grep_module};
+use biscuit::apps::weblog::{WeblogGen, NEEDLE};
+use biscuit::core::{CoreConfig, Ssd};
+use biscuit::fs::{Fs, Mode};
+use biscuit::host::{ConvIo, HostConfig, HostLoad};
+use biscuit::sim::Simulation;
+use biscuit::ssd::{SsdConfig, SsdDevice};
+
+/// One complete run: build a platform, search a synthetic log both ways,
+/// and return every observable: result, end time, event count, link bytes.
+fn full_run() -> (u64, u64, u64, u64, u64) {
+    let device = Arc::new(SsdDevice::new(SsdConfig {
+        logical_capacity: 128 << 20,
+        ..SsdConfig::paper_default()
+    }));
+    let fs = Fs::format(Arc::clone(&device));
+    let page = device.config().page_size as u64;
+    fs.create_synthetic("log", 512 * page, Arc::new(WeblogGen::new(7, 400)))
+        .unwrap();
+    let file = fs.open("log", Mode::ReadOnly).unwrap();
+    let ssd = Ssd::new(fs, CoreConfig::paper_default());
+    let conv = ConvIo::new(
+        Arc::clone(ssd.device()),
+        Arc::clone(ssd.link()),
+        HostConfig::paper_default(),
+    );
+    let link = Arc::clone(ssd.link());
+
+    let sim = Simulation::new(1234);
+    let counts: Arc<Mutex<(u64, u64)>> = Arc::new(Mutex::new((0, 0)));
+    let c = Arc::clone(&counts);
+    sim.spawn("host", move |ctx| {
+        let mid = load_grep_module(ctx, &ssd).unwrap();
+        let a = conv_grep(ctx, &conv, &file, NEEDLE.as_bytes(), HostLoad::new(6)).unwrap();
+        let b = biscuit_grep(ctx, &ssd, mid, &file, NEEDLE.as_bytes()).unwrap();
+        *c.lock() = (a, b);
+    });
+    let report = sim.run();
+    report.assert_quiescent();
+    let (a, b) = *counts.lock();
+    (
+        a,
+        b,
+        report.end_time.as_ps(),
+        report.events_processed,
+        link.bytes_to_host(),
+    )
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    let first = full_run();
+    let second = full_run();
+    assert_eq!(first, second, "virtual timelines must be reproducible");
+    // And internally consistent: both search paths agree.
+    assert_eq!(first.0, first.1);
+    assert!(first.0 > 0, "the corpus plants needles");
+}
