@@ -287,12 +287,18 @@ impl Application {
         let existing_in = st.tasks[input.task].inputs[input.port].clone();
         match (existing_out, existing_in) {
             (None, None) => {
+                let label = format!(
+                    "{}:{}.out{}->{}.in{}",
+                    self.name, st.tasks[out.task].id, out.port, st.tasks[input.task].id, input.port
+                );
                 let conn = Connection::new(
                     PortKind::InterSsdlet,
                     out_decl.type_id,
                     out_decl.type_name,
                     self.ssd.config().port_capacity,
                     None,
+                    label,
+                    self.ssd.tracer().cloned(),
                 );
                 conn.add_producer();
                 st.tasks[out.task].outputs[out.port] = Some(Arc::clone(&conn));
@@ -345,12 +351,18 @@ impl Application {
         }
         self.alloc_data_channel()?;
         st.host_channels += 1;
+        let label = format!(
+            "{}:{}.out{}->host",
+            self.name, st.tasks[out.task].id, out.port
+        );
         let conn = Connection::new(
             PortKind::DeviceToHost,
             decl.type_id,
             decl.type_name,
             self.ssd.config().port_capacity,
             Some(Codec::of::<T>()),
+            label,
+            self.ssd.tracer().cloned(),
         );
         conn.add_producer();
         st.tasks[out.task].outputs[out.port] = Some(Arc::clone(&conn));
@@ -382,12 +394,18 @@ impl Application {
         }
         self.alloc_data_channel()?;
         st.host_channels += 1;
+        let label = format!(
+            "{}:host->{}.in{}",
+            self.name, st.tasks[input.task].id, input.port
+        );
         let conn = Connection::new(
             PortKind::HostToDevice,
             decl.type_id,
             decl.type_name,
             self.ssd.config().port_capacity,
             Some(Codec::of::<T>()),
+            label,
+            self.ssd.tracer().cloned(),
         );
         conn.add_producer(); // the host port is the producer
         st.tasks[input.task].inputs[input.port] = Some(Arc::clone(&conn));
@@ -569,12 +587,23 @@ pub fn connect_apps<T: Wire + Any + Send>(
             "inter-application ports are SPSC only".into(),
         ));
     }
+    let label = format!(
+        "{}:{}.out{}->{}:{}.in{}",
+        app_a.name,
+        st_a.tasks[out.task].id,
+        out.port,
+        app_b.name,
+        st_b.tasks[input.task].id,
+        input.port
+    );
     let conn = Connection::new(
         PortKind::InterApp,
         decl_out.type_id,
         decl_out.type_name,
         app_a.ssd.config().port_capacity,
         Some(Codec::of::<T>()),
+        label,
+        app_a.ssd.tracer().cloned(),
     );
     conn.add_producer();
     st_a.tasks[out.task].outputs[out.port] = Some(Arc::clone(&conn));

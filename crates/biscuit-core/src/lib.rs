@@ -5,6 +5,8 @@
 //! flow-based applications whose tasks ("SSDlets") run inside the SSD,
 //! connected by typed, data-ordered ports.
 //!
+//! ## Crate layout
+//!
 //! - [`task::Ssdlet`] + [`task::TaskCtx`] — the device-side task API
 //!   (`libslet`).
 //! - [`module`] — SSDlet registration and dynamically loadable modules.
@@ -13,6 +15,18 @@
 //!   `start`, `join`.
 //! - [`ssd::Ssd`] — the host handle: `load_module` / `unload_module`.
 //! - [`port`] — the three port kinds with Table II latency structure.
+//! - [`runtime`] — the in-device cooperative runtime that schedules loaded
+//!   SSDlets onto the device CPU cores.
+//! - [`session`] — multi-user sessions with channel/memory quotas (a paper
+//!   §VII follow-on).
+//! - [`config`] / [`error`] — [`CoreConfig`], [`BiscuitError`] /
+//!   [`BiscuitResult`].
+//!
+//! The whole stack is observable: [`ssd::Ssd::attach_tracer`] wires a
+//! [`biscuit_sim::Tracer`] through the device datapath, the host link, and
+//! every port connection created afterwards, so port traffic shows up as
+//! labelled send/recv events and queue-depth counters (see
+//! `docs/TRACING.md` at the repo root).
 //!
 //! ## Example: square numbers on the "SSD"
 //!

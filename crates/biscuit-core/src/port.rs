@@ -25,6 +25,7 @@ use biscuit_proto::wire::Wire;
 use biscuit_proto::{HostLink, Packet};
 use biscuit_sim::queue::SimQueue;
 use biscuit_sim::time::SimTime;
+use biscuit_sim::trace::{TraceEvent, Tracer};
 use biscuit_sim::Ctx;
 
 use crate::config::CoreConfig;
@@ -91,6 +92,11 @@ pub(crate) struct Connection {
     pub type_name: &'static str,
     pub queue: SimQueue<Envelope>,
     pub codec: Option<Codec>,
+    /// Stable display name for traces, e.g. `grep:filter->counter`.
+    label: Arc<str>,
+    /// Tracer captured at connect time (ports outlive `Ssd::attach_tracer`
+    /// ordering concerns because applications connect after attachment).
+    trace: Option<Tracer>,
     /// Producer endpoints that have not yet finished; the queue closes when
     /// this reaches zero.
     producers: Mutex<usize>,
@@ -112,15 +118,62 @@ impl Connection {
         type_name: &'static str,
         capacity: usize,
         codec: Option<Codec>,
+        label: impl Into<Arc<str>>,
+        trace: Option<Tracer>,
     ) -> Arc<Connection> {
+        let label: Arc<str> = label.into();
+        let queue = SimQueue::new(capacity);
+        if let Some(tracer) = &trace {
+            queue.set_trace(tracer.clone(), Arc::clone(&label));
+        }
         Arc::new(Connection {
             kind,
             type_id,
             type_name,
-            queue: SimQueue::new(capacity),
+            queue,
             codec,
+            label,
+            trace,
             producers: Mutex::new(0),
         })
+    }
+
+    fn kind_str(&self) -> &'static str {
+        match self.kind {
+            PortKind::InterSsdlet => "inter-ssdlet",
+            PortKind::InterApp => "inter-app",
+            PortKind::HostToDevice => "h2d",
+            PortKind::DeviceToHost => "d2h",
+        }
+    }
+
+    /// Records one send (`send == true`) or receive at the current fiber
+    /// time. `bytes` is the wire size for boundary kinds, 0 for typed
+    /// in-device traffic.
+    #[inline]
+    pub(crate) fn trace_port(&self, ctx: &Ctx, send: bool, bytes: u64) {
+        if let Some(tracer) = &self.trace {
+            tracer.emit(|| {
+                let at = ctx.now();
+                let port = Arc::clone(&self.label);
+                let kind = self.kind_str();
+                if send {
+                    TraceEvent::PortSend {
+                        at,
+                        port,
+                        kind,
+                        bytes,
+                    }
+                } else {
+                    TraceEvent::PortRecv {
+                        at,
+                        port,
+                        kind,
+                        bytes,
+                    }
+                }
+            });
+        }
     }
 
     pub(crate) fn add_producer(&self) {
@@ -147,20 +200,22 @@ impl Connection {
         link: &HostLink,
         value: Box<dyn Any + Send>,
     ) -> BiscuitResult<()> {
-        let (ready_at, value): (SimTime, Box<dyn Any + Send>) = match self.kind {
-            PortKind::InterSsdlet => (ctx.now(), value),
+        let (ready_at, value, bytes): (SimTime, Box<dyn Any + Send>, u64) = match self.kind {
+            PortKind::InterSsdlet => (ctx.now(), value, 0),
             PortKind::InterApp => {
                 // Serialization is explicit for inter-app traffic; cost is
                 // folded into the receiver's scheduling charge (Table II
                 // shows inter-app *below* inter-SSDlet: no type machinery).
                 let pkt = (self.codec.as_ref().expect("inter-app has codec").encode)(value);
-                (ctx.now(), Box::new(pkt))
+                let bytes = pkt.len() as u64;
+                (ctx.now(), Box::new(pkt), bytes)
             }
             PortKind::DeviceToHost => {
                 ctx.sleep(cfg.cm_send_device);
                 let pkt = (self.codec.as_ref().expect("boundary has codec").encode)(value);
-                let dma_end = link.enqueue_dma_to_host(ctx.now(), pkt.len() as u64);
-                (dma_end + cfg.link_fixed, Box::new(pkt))
+                let bytes = pkt.len() as u64;
+                let dma_end = link.enqueue_dma_to_host(ctx.now(), bytes);
+                (dma_end + cfg.link_fixed, Box::new(pkt), bytes)
             }
             PortKind::HostToDevice => {
                 return Err(BiscuitError::InvalidState(
@@ -170,7 +225,9 @@ impl Connection {
         };
         self.queue
             .push(ctx, Envelope { ready_at, value })
-            .map_err(|_| BiscuitError::InvalidState("port closed".into()))
+            .map_err(|_| BiscuitError::InvalidState("port closed".into()))?;
+        self.trace_port(ctx, true, bytes);
+        Ok(())
     }
 
     /// Device-side receive. Charges Table II receive-side latency.
@@ -184,6 +241,7 @@ impl Connection {
         match self.kind {
             PortKind::InterSsdlet => {
                 ctx.sleep(cfg.inter_ssdlet_latency());
+                self.trace_port(ctx, false, 0);
                 Some(env.value)
             }
             PortKind::InterApp => {
@@ -192,6 +250,7 @@ impl Connection {
                     .value
                     .downcast::<Packet>()
                     .expect("inter-app envelope holds a packet");
+                self.trace_port(ctx, false, pkt.len() as u64);
                 Some((self.codec.as_ref().expect("inter-app has codec").decode)(&pkt))
             }
             PortKind::HostToDevice => {
@@ -200,6 +259,7 @@ impl Connection {
                     .value
                     .downcast::<Packet>()
                     .expect("boundary envelope holds a packet");
+                self.trace_port(ctx, false, pkt.len() as u64);
                 Some((self.codec.as_ref().expect("boundary has codec").decode)(&pkt))
             }
             PortKind::DeviceToHost => None, // devices never read their own output channel
@@ -234,6 +294,7 @@ impl<T: Wire + Any + Send> HostInPort<T> {
             .value
             .downcast::<Packet>()
             .expect("boundary envelope holds a packet");
+        self.conn.trace_port(ctx, false, pkt.len() as u64);
         let v = (self.conn.codec.as_ref().expect("boundary has codec").decode)(&pkt);
         Some(*v.downcast::<T>().expect("codec produced declared type"))
     }
@@ -269,7 +330,8 @@ impl<T: Wire + Any + Send> HostOutPort<T> {
         }
         ctx.sleep(self.cfg.cm_send_host);
         let pkt = value.to_packet();
-        let dma_end = self.link.enqueue_dma_to_device(ctx.now(), pkt.len() as u64);
+        let bytes = pkt.len() as u64;
+        let dma_end = self.link.enqueue_dma_to_device(ctx.now(), bytes);
         self.conn
             .queue
             .push(
@@ -279,7 +341,9 @@ impl<T: Wire + Any + Send> HostOutPort<T> {
                     value: Box::new(pkt),
                 },
             )
-            .map_err(|_| BiscuitError::InvalidState("port closed".into()))
+            .map_err(|_| BiscuitError::InvalidState("port closed".into()))?;
+        self.conn.trace_port(ctx, true, bytes);
+        Ok(())
     }
 
     /// Signals end-of-stream to the consuming SSDlet. Idempotent.

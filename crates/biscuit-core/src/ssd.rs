@@ -6,12 +6,12 @@
 //! command over the link, the module image DMA, and device-side symbol
 //! relocation at the (slow) module-processing rate.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use biscuit_fs::Fs;
 use biscuit_proto::{HostLink, LinkConfig};
 use biscuit_sim::time::SimDuration;
-use biscuit_sim::Ctx;
+use biscuit_sim::{Ctx, Tracer};
 use biscuit_ssd::SsdDevice;
 
 use crate::config::CoreConfig;
@@ -47,6 +47,7 @@ pub(crate) struct SsdShared {
     pub link: Arc<HostLink>,
     pub cfg: Arc<CoreConfig>,
     pub rt: DeviceRuntime,
+    pub trace: OnceLock<Tracer>,
 }
 
 impl std::fmt::Debug for Ssd {
@@ -74,8 +75,26 @@ impl Ssd {
                 link,
                 cfg: Arc::new(cfg),
                 rt: DeviceRuntime::new(),
+                trace: OnceLock::new(),
             }),
         }
+    }
+
+    /// Enables structured tracing for the whole platform in one call: the
+    /// device datapath (NAND, buses, pattern matchers, cores), the host
+    /// link's DMA directions, port traffic of applications built on this
+    /// handle, and the DB planner's offload verdicts all record into
+    /// `tracer`. Pass `sim.tracer()` after `sim.enable_trace(..)`. The
+    /// first call wins; later calls are ignored.
+    pub fn attach_tracer(&self, tracer: &Tracer) {
+        self.inner.device.attach_tracer(tracer);
+        self.inner.link.attach_tracer(tracer);
+        let _ = self.inner.trace.set(tracer.clone());
+    }
+
+    /// The tracer attached via [`Ssd::attach_tracer`], if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.inner.trace.get()
     }
 
     /// The simulated device.

@@ -23,6 +23,7 @@ use biscuit_core::{Application, Ssd};
 use biscuit_fs::Mode;
 use biscuit_host::{ConvIo, HostConfig, HostLoad};
 use biscuit_sim::time::{SimDuration, SimTime};
+use biscuit_sim::trace::TraceEvent;
 use biscuit_sim::Ctx;
 
 use crate::error::{DbError, DbResult};
@@ -334,19 +335,46 @@ impl Db {
                 offload_keys: None,
                 est_selectivity: 1.0,
             };
-            if mode == ExecMode::Biscuit && meta.pages >= self.cfg.min_table_pages {
-                if let Some(keys) = scan.predicate.as_ref().and_then(pattern_keys) {
+            if mode == ExecMode::Biscuit {
+                if meta.pages < self.cfg.min_table_pages {
+                    self.trace_verdict(ctx, &meta.name, false, 1.0, "table smaller than min_table_pages");
+                } else if let Some(keys) = scan.predicate.as_ref().and_then(pattern_keys) {
                     let predicate = scan.predicate.as_ref().expect("keys imply a predicate");
                     let est = self.sample_selectivity(ctx, meta, predicate, load)?;
                     plan.est_selectivity = est;
                     if est <= self.cfg.selectivity_threshold {
                         plan.offload_keys = Some(keys);
+                        self.trace_verdict(ctx, &meta.name, true, est, "selectivity below threshold");
+                    } else {
+                        self.trace_verdict(ctx, &meta.name, false, est, "selectivity above threshold");
                     }
+                } else {
+                    self.trace_verdict(ctx, &meta.name, false, 1.0, "no pattern keys");
                 }
             }
             plans.push(plan);
         }
         Ok(plans)
+    }
+
+    /// Records one planner offload decision into the attached tracer, if any.
+    fn trace_verdict(
+        &self,
+        ctx: &Ctx,
+        table: &str,
+        offloaded: bool,
+        est_selectivity: f64,
+        reason: &'static str,
+    ) {
+        if let Some(tracer) = self.ssd.tracer() {
+            tracer.emit(|| TraceEvent::OffloadVerdict {
+                at: ctx.now(),
+                table: Arc::from(table),
+                offloaded,
+                est_selectivity,
+                reason,
+            });
+        }
     }
 
     /// The paper's "quick check on the table to estimate selectivity using

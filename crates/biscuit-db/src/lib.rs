@@ -7,12 +7,71 @@
 //! offload-candidate scans, samples page selectivity, and pushes
 //! qualifying filters into a device-side SSDlet over the real framework.
 //!
-//! - [`value`]/[`schema`]/[`table`] — storage layer.
+//! ## Crate layout
+//!
+//! - [`value`]/[`schema`]/[`table`] — storage layer: typed values, table
+//!   schemas, and the text page format the pattern matcher can scan.
 //! - [`expr`] — expressions, `LIKE`, pattern-key extraction.
-//! - [`spec`] — declarative query specs.
-//! - [`offload`] — the scan-filter SSDlet module.
-//! - [`engine`] — the planner and executor ([`Db`]).
+//! - [`spec`] — declarative query specs ([`SelectSpec`], [`ExecMode`]).
+//! - [`offload`] — the scan-filter SSDlet module deployed to the device.
+//! - [`engine`] — the planner and executor ([`Db`]). In Biscuit mode the
+//!   planner emits a [`biscuit_sim::trace::TraceEvent::OffloadVerdict`] per
+//!   scanned table when the [`Ssd`](biscuit_core::Ssd) carries a tracer
+//!   (see `docs/TRACING.md` at the repo root).
+//! - [`exec`] — joins, aggregation, ordering.
+//! - [`error`] — [`DbError`] / [`DbResult`].
 //! - [`tpch`] — TPC-H schema, dbgen-style generator, and all 22 queries.
+//!
+//! ## Example: a filtered scan end to end
+//!
+//! A table is created on the simulated SSD, then queried inside the
+//! simulation in conventional (host-scan) mode:
+//!
+//! ```
+//! use biscuit_core::{CoreConfig, Ssd};
+//! use biscuit_db::spec::ExecMode;
+//! use biscuit_db::{CmpOp, Db, DbConfig, Expr, Schema, SelectSpec, Value};
+//! use biscuit_db::value::ColumnType;
+//! use biscuit_fs::Fs;
+//! use biscuit_host::{HostConfig, HostLoad};
+//! use biscuit_sim::Simulation;
+//! use biscuit_ssd::{SsdConfig, SsdDevice};
+//! use std::sync::Arc;
+//!
+//! let dev = Arc::new(SsdDevice::new(SsdConfig {
+//!     logical_capacity: 64 << 20,
+//!     ..SsdConfig::paper_default()
+//! }));
+//! let ssd = Ssd::new(Fs::format(dev), CoreConfig::paper_default());
+//! let mut db = Db::new(ssd, HostConfig::paper_default(), DbConfig::paper_default());
+//!
+//! let schema = Schema::new(&[("id", ColumnType::Int), ("qty", ColumnType::Int)]);
+//! let rows: Vec<Vec<Value>> = (0..100)
+//!     .map(|i| vec![Value::Int(i), Value::Int(i * 2)])
+//!     .collect();
+//! db.create_table("orders", schema, &rows).unwrap();
+//!
+//! let db = Arc::new(db);
+//! let sim = Simulation::new(0);
+//! sim.spawn("host", move |ctx| {
+//!     let mut spec = SelectSpec::new("small-orders");
+//!     spec.scan(
+//!         "orders",
+//!         Some(Expr::Cmp(
+//!             CmpOp::Lt,
+//!             Box::new(Expr::Col(1)),
+//!             Box::new(Expr::Lit(Value::Int(20))),
+//!         )),
+//!     );
+//!     let out = db.execute(ctx, &spec, ExecMode::Conv, HostLoad::IDLE).unwrap();
+//!     assert_eq!(out.rows.len(), 10); // qty = 0, 2, ..., 18
+//! });
+//! sim.run().assert_quiescent();
+//! ```
+//!
+//! Switch `ExecMode::Conv` to [`ExecMode::Biscuit`](spec::ExecMode::Biscuit)
+//! and the planner samples selectivity and — when profitable — deploys the
+//! [`offload`] SSDlet so the filter runs next to the flash.
 
 #![warn(missing_docs)]
 

@@ -119,6 +119,13 @@ impl HostLink {
         &self.cfg
     }
 
+    /// Records every DMA reservation in both directions into `tracer` as
+    /// `link.to_host` / `link.to_device` spans. The first call wins.
+    pub fn attach_tracer(&self, tracer: &biscuit_sim::Tracer) {
+        self.to_host.set_trace(tracer.clone(), "link.to_host");
+        self.to_device.set_trace(tracer.clone(), "link.to_device");
+    }
+
     /// Acquires a command slot, blocking while the queue is full. The slot is
     /// released when the returned guard is handed back via
     /// [`HostLink::release_slot`] or dropped *after* the caller has finished.

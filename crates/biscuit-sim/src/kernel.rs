@@ -25,6 +25,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceConfig, TraceEvent, Tracer};
 
 /// Identifier of a simulated process (fiber).
 pub type Pid = usize;
@@ -103,6 +104,7 @@ struct KernelInner {
 pub struct Kernel {
     inner: Mutex<KernelInner>,
     yield_tx: Sender<(Pid, YieldMsg)>,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -120,6 +122,12 @@ impl Kernel {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.inner.lock().now
+    }
+
+    /// The simulation's tracer (disabled unless
+    /// [`Simulation::enable_trace`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Schedules a wake event for `(pid, gen)` at absolute time `at`.
@@ -150,6 +158,11 @@ impl Kernel {
             .stack_size(512 * 1024)
             .spawn(move || fiber_main(kernel, pid, resume_rx, f))
             .expect("failed to spawn fiber thread");
+        let trace_name: Option<Arc<str>> = if self.tracer.is_enabled() {
+            Some(Arc::from(name.as_str()))
+        } else {
+            None
+        };
         inner.fibers.push(FiberSlot {
             name,
             state: FiberState::Parked,
@@ -167,6 +180,14 @@ impl Kernel {
             pid,
             gen: 1,
         });
+        drop(inner);
+        if let Some(name) = trace_name {
+            self.tracer.record(TraceEvent::FiberSpawn {
+                at: now,
+                pid,
+                name,
+            });
+        }
         pid
     }
 }
@@ -293,12 +314,18 @@ impl Ctx {
     /// generation (via [`Ctx::sleep`], a wait queue registration, etc.),
     /// otherwise the fiber blocks until simulation teardown.
     pub(crate) fn park(&self) {
-        {
+        let now = {
             let mut inner = self.kernel.inner.lock();
             let slot = &mut inner.fibers[self.pid];
             slot.park_gen += 1;
             slot.state = FiberState::Parked;
-        }
+            inner.now
+        };
+        // Emitted before the Parked handshake, so the scheduler (which is
+        // blocked on yield_rx until then) cannot interleave its own events.
+        self.kernel
+            .tracer
+            .emit(|| TraceEvent::FiberBlock { at: now, pid: self.pid });
         self.kernel
             .yield_tx
             .send((self.pid, YieldMsg::Parked))
@@ -322,6 +349,10 @@ pub struct SimReport {
     pub fibers_spawned: usize,
     /// Total wake events processed.
     pub events_processed: u64,
+    /// Snapshot of the structured event trace (empty unless
+    /// [`Simulation::enable_trace`] was called). Export it with
+    /// [`Trace::to_chrome_json`] or summarize it with [`Trace::metrics`].
+    pub trace: Trace,
 }
 
 impl SimReport {
@@ -402,6 +433,7 @@ impl Simulation {
                 events_processed: 0,
             }),
             yield_tx,
+            tracer: Tracer::new(),
         });
         Simulation {
             kernel,
@@ -420,6 +452,22 @@ impl Simulation {
     /// Shared kernel handle (needed by library code that schedules work).
     pub fn kernel(&self) -> &Arc<Kernel> {
         &self.kernel
+    }
+
+    /// Enables structured event tracing for this simulation, resetting the
+    /// trace buffer to `cfg.capacity` events. Attach the returned/shared
+    /// [`Tracer`] (see [`Simulation::tracer`]) to device components to
+    /// capture their events too; the final [`SimReport::trace`] holds the
+    /// recorded snapshot.
+    pub fn enable_trace(&self, cfg: TraceConfig) {
+        self.kernel.tracer.enable(cfg);
+    }
+
+    /// The simulation's tracer handle (disabled until
+    /// [`Simulation::enable_trace`]). Clone it into queues, resources, and
+    /// devices via their `set_trace`/`attach_tracer` methods.
+    pub fn tracer(&self) -> &Tracer {
+        self.kernel.tracer()
     }
 
     /// Spawns a fiber that starts at the current virtual time.
@@ -458,14 +506,17 @@ impl Simulation {
                                 }
                                 let tx = inner.fibers[ev.pid].resume_tx.clone();
                                 inner.fibers[ev.pid].state = FiberState::Running;
-                                break Some((ev.pid, tx));
+                                break Some((ev.pid, tx, ev.time));
                             }
                             // Stale wake: generation mismatch or fiber done.
                         }
                     }
                 }
             };
-            let Some((pid, tx)) = next else { break };
+            let Some((pid, tx, at)) = next else { break };
+            self.kernel
+                .tracer
+                .emit(|| TraceEvent::FiberResume { at, pid });
             tx.send(Resume::Go).expect("fiber hung up");
             // Wait until that fiber parks or finishes.
             match self.yield_rx.recv().expect("all fibers hung up") {
@@ -475,7 +526,11 @@ impl Simulation {
                     let mut inner = self.kernel.inner.lock();
                     inner.fibers[fpid].state = FiberState::Finished;
                     let handle = inner.fibers[fpid].handle.take();
+                    let now = inner.now;
                     drop(inner);
+                    self.kernel
+                        .tracer
+                        .emit(|| TraceEvent::FiberFinish { at: now, pid: fpid });
                     if let Some(h) = handle {
                         let _ = h.join();
                     }
@@ -509,6 +564,7 @@ impl Simulation {
                 .collect(),
             fibers_spawned: inner.fibers.len(),
             events_processed: inner.events_processed,
+            trace: self.kernel.tracer.snapshot(),
         }
     }
 

@@ -15,6 +15,8 @@
 //! - [`resource`] — FCFS bandwidth shapers and server banks.
 //! - [`power`] — two-state power components integrated into Joules.
 //! - [`stats`] — latency/counter collectors for the experiment harnesses.
+//! - [`trace`] — structured event tracing: Chrome `trace_event` export and
+//!   flat metrics (see `docs/TRACING.md` at the repo root).
 //!
 //! ## Example
 //!
@@ -52,6 +54,8 @@ pub mod queue;
 pub mod resource;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use kernel::{Ctx, Kernel, Pid, SimReport, Simulation};
 pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceConfig, TraceEvent, Tracer};

@@ -6,11 +6,12 @@
 //! [`Semaphore`]. All of them suspend the calling fiber in *virtual* time.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
 use crate::kernel::{Ctx, Pid};
+use crate::trace::{TraceEvent, Tracer};
 
 /// A FIFO list of parked fibers, analogous to a condition variable.
 ///
@@ -87,6 +88,26 @@ struct QueueInner<T> {
     state: Mutex<QueueState<T>>,
     not_full: WaitQueue,
     not_empty: WaitQueue,
+    /// Tracer + label, set at most once via [`SimQueue::set_trace`]. The
+    /// `OnceLock` keeps the untraced hot path to a single atomic load.
+    trace: OnceLock<(Tracer, Arc<str>)>,
+}
+
+impl<T> QueueInner<T> {
+    #[inline]
+    fn trace_depth(&self, ctx: &Ctx, push: bool, depth: usize) {
+        if let Some((tracer, label)) = self.trace.get() {
+            tracer.emit(|| {
+                let at = ctx.now();
+                let queue = Arc::clone(label);
+                if push {
+                    TraceEvent::QueuePush { at, queue, depth }
+                } else {
+                    TraceEvent::QueuePop { at, queue, depth }
+                }
+            });
+        }
+    }
 }
 
 /// A bounded multi-producer multi-consumer FIFO with close semantics.
@@ -150,8 +171,15 @@ impl<T: Send> SimQueue<T> {
                 }),
                 not_full: WaitQueue::new(),
                 not_empty: WaitQueue::new(),
+                trace: OnceLock::new(),
             }),
         }
+    }
+
+    /// Labels this queue and records push/pop depth events into `tracer`.
+    /// The first call wins; later calls are ignored.
+    pub fn set_trace(&self, tracer: Tracer, label: impl Into<Arc<str>>) {
+        let _ = self.inner.trace.set((tracer, label.into()));
     }
 
     /// Maximum number of buffered items.
@@ -188,7 +216,9 @@ impl<T: Send> SimQueue<T> {
                 }
                 if st.buf.len() < self.inner.capacity {
                     st.buf.push_back(v);
+                    let depth = st.buf.len();
                     drop(st);
+                    self.inner.trace_depth(ctx, true, depth);
                     self.inner.not_empty.notify_one(ctx);
                     return Ok(());
                 }
@@ -211,7 +241,9 @@ impl<T: Send> SimQueue<T> {
             return Err(TryPushError::Full(v));
         }
         st.buf.push_back(v);
+        let depth = st.buf.len();
         drop(st);
+        self.inner.trace_depth(ctx, true, depth);
         self.inner.not_empty.notify_one(ctx);
         Ok(())
     }
@@ -223,7 +255,9 @@ impl<T: Send> SimQueue<T> {
             {
                 let mut st = self.inner.state.lock();
                 if let Some(v) = st.buf.pop_front() {
+                    let depth = st.buf.len();
                     drop(st);
+                    self.inner.trace_depth(ctx, false, depth);
                     self.inner.not_full.notify_one(ctx);
                     return Some(v);
                 }
@@ -246,7 +280,9 @@ impl<T: Send> SimQueue<T> {
     pub fn try_pop(&self, ctx: &Ctx) -> Result<Option<T>, TryPopEmptyError> {
         let mut st = self.inner.state.lock();
         if let Some(v) = st.buf.pop_front() {
+            let depth = st.buf.len();
             drop(st);
+            self.inner.trace_depth(ctx, false, depth);
             self.inner.not_full.notify_one(ctx);
             return Ok(Some(v));
         }

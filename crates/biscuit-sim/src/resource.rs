@@ -6,10 +6,13 @@
 //! from a byte count and a rate (plus an optional fixed per-operation cost).
 //! Contention and queueing emerge naturally from the `avail` bookkeeping.
 
+use std::sync::{Arc, OnceLock};
+
 use parking_lot::Mutex;
 
 use crate::kernel::Ctx;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, Tracer};
 
 #[derive(Debug)]
 struct ShaperState {
@@ -45,6 +48,7 @@ pub struct Shaper {
     bytes_per_sec: f64,
     fixed: SimDuration,
     state: Mutex<ShaperState>,
+    trace: OnceLock<(Tracer, Arc<str>)>,
 }
 
 impl Shaper {
@@ -68,7 +72,14 @@ impl Shaper {
                 ops: 0,
                 bytes: 0,
             }),
+            trace: OnceLock::new(),
         }
+    }
+
+    /// Labels this shaper and records a service span into `tracer` for each
+    /// reservation. The first call wins; later calls are ignored.
+    pub fn set_trace(&self, tracer: Tracer, label: impl Into<Arc<str>>) {
+        let _ = self.trace.set((tracer, label.into()));
     }
 
     /// The configured byte rate.
@@ -89,13 +100,25 @@ impl Shaper {
     /// whether) to wait. This enables asynchronous I/O modeling.
     pub fn enqueue(&self, now: SimTime, bytes: u64) -> SimTime {
         let service = self.fixed + SimDuration::for_bytes(bytes, self.bytes_per_sec);
-        let mut st = self.state.lock();
-        let start = st.avail.max(now);
-        let end = start + service;
-        st.avail = end;
-        st.busy_total += service;
-        st.ops += 1;
-        st.bytes += bytes;
+        let (start, end) = {
+            let mut st = self.state.lock();
+            let start = st.avail.max(now);
+            let end = start + service;
+            st.avail = end;
+            st.busy_total += service;
+            st.ops += 1;
+            st.bytes += bytes;
+            (start, end)
+        };
+        if let Some((tracer, label)) = self.trace.get() {
+            tracer.emit(|| TraceEvent::ResourceSpan {
+                resource: Arc::clone(label),
+                server: None,
+                start,
+                end,
+                bytes,
+            });
+        }
         end
     }
 
@@ -126,6 +149,7 @@ impl Shaper {
 pub struct ServerBank {
     servers: Vec<Mutex<SimTime>>,
     busy: Mutex<SimDuration>,
+    trace: OnceLock<(Tracer, Arc<str>)>,
 }
 
 impl ServerBank {
@@ -139,7 +163,14 @@ impl ServerBank {
         ServerBank {
             servers: (0..n).map(|_| Mutex::new(SimTime::ZERO)).collect(),
             busy: Mutex::new(SimDuration::ZERO),
+            trace: OnceLock::new(),
         }
+    }
+
+    /// Labels this bank and records a per-server service span into `tracer`
+    /// for each reservation. The first call wins; later calls are ignored.
+    pub fn set_trace(&self, tracer: Tracer, label: impl Into<Arc<str>>) {
+        let _ = self.trace.set((tracer, label.into()));
     }
 
     /// Number of servers in the bank.
@@ -159,12 +190,31 @@ impl ServerBank {
     ///
     /// Panics if `idx` is out of range.
     pub fn enqueue(&self, now: SimTime, idx: usize, service: SimDuration) -> SimTime {
-        let mut avail = self.servers[idx].lock();
-        let start = (*avail).max(now);
-        let end = start + service;
-        *avail = end;
+        self.enqueue_span(now, idx, service).1
+    }
+
+    /// Like [`ServerBank::enqueue`], but returns the `(start, end)` pair of
+    /// the reserved service window — callers that emit their own
+    /// domain-specific trace spans (e.g. NAND operations) need the start.
+    pub fn enqueue_span(&self, now: SimTime, idx: usize, service: SimDuration) -> (SimTime, SimTime) {
+        let (start, end) = {
+            let mut avail = self.servers[idx].lock();
+            let start = (*avail).max(now);
+            let end = start + service;
+            *avail = end;
+            (start, end)
+        };
         *self.busy.lock() += service;
-        end
+        if let Some((tracer, label)) = self.trace.get() {
+            tracer.emit(|| TraceEvent::ResourceSpan {
+                resource: Arc::clone(label),
+                server: Some(idx),
+                start,
+                end,
+                bytes: 0,
+            });
+        }
+        (start, end)
     }
 
     /// Reserves service on server `idx` and blocks the fiber until complete.

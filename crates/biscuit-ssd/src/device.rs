@@ -14,7 +14,7 @@
 //!   an extra per-request IP-setup cost, landing between Conv and raw
 //!   Biscuit bandwidth (Fig. 7), while only matching pages surface.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -22,6 +22,7 @@ use biscuit_sim::power::{ComponentId, PowerMeter};
 use biscuit_sim::resource::ServerBank;
 use biscuit_sim::stats::Counter;
 use biscuit_sim::time::{SimDuration, SimTime};
+use biscuit_sim::trace::{NandOpKind, TraceEvent, Tracer};
 use biscuit_sim::Ctx;
 
 use crate::config::SsdConfig;
@@ -103,6 +104,7 @@ pub struct SsdDevice {
     mem: DeviceMemory,
     stats: DeviceStats,
     power: Mutex<Option<PowerHook>>,
+    trace: OnceLock<Tracer>,
     zero_page: PageBuf,
 }
 
@@ -146,6 +148,7 @@ impl SsdDevice {
             mem: DeviceMemory::new(64 << 20, cfg.dram_bytes),
             stats: DeviceStats::default(),
             power: Mutex::new(None),
+            trace: OnceLock::new(),
             storage: Mutex::new(Storage { nand, ftl }),
             zero_page,
             cfg,
@@ -176,6 +179,21 @@ impl SsdDevice {
     pub fn gc_stats(&self) -> (u64, u64) {
         let st = self.storage.lock();
         (st.ftl.gc_runs(), st.ftl.relocated_total())
+    }
+
+    /// Records the device's datapath into `tracer`: NAND die operations,
+    /// channel-bus transfers, and pattern-matcher invocations per channel,
+    /// plus per-core software-overhead spans (`cpu.core.N`). The first call
+    /// wins; later calls are ignored. Tracing disabled (the default state of
+    /// a [`Tracer`]) costs one atomic load per operation.
+    pub fn attach_tracer(&self, tracer: &Tracer) {
+        self.cores.set_trace(tracer.clone(), "cpu.core");
+        let _ = self.trace.set(tracer.clone());
+    }
+
+    #[inline]
+    fn trace(&self) -> Option<&Tracer> {
+        self.trace.get()
     }
 
     /// Attaches a power meter component toggled while the datapath is busy.
@@ -263,14 +281,29 @@ impl SsdDevice {
             Some(d) => d.materialize(self.cfg.page_size),
             None => Arc::clone(&self.zero_page),
         };
-        let die_end = self
+        let (die_start, die_end) = self
             .dies
-            .enqueue(start, self.die_index(ppa), self.cfg.t_read);
-        let xfer = SimDuration::for_bytes(
-            bytes.min(self.cfg.page_size) as u64,
-            self.cfg.channel_rate,
-        );
-        let bus_end = self.buses.enqueue(die_end, ppa.channel as usize, xfer);
+            .enqueue_span(start, self.die_index(ppa), self.cfg.t_read);
+        let xfer_bytes = bytes.min(self.cfg.page_size) as u64;
+        let xfer = SimDuration::for_bytes(xfer_bytes, self.cfg.channel_rate);
+        let (bus_start, bus_end) =
+            self.buses
+                .enqueue_span(die_end, ppa.channel as usize, xfer);
+        if let Some(tracer) = self.trace() {
+            tracer.emit(|| TraceEvent::NandOp {
+                kind: NandOpKind::Read,
+                channel: ppa.channel,
+                way: ppa.way,
+                start: die_start,
+                end: die_end,
+            });
+            tracer.emit(|| TraceEvent::ChannelTransfer {
+                channel: ppa.channel,
+                start: bus_start,
+                end: bus_end,
+                bytes: xfer_bytes,
+            });
+        }
         self.stats.pages_read.add(1);
         Ok((bus_end, buf))
     }
@@ -288,11 +321,13 @@ impl SsdDevice {
         pattern: &PatternSet,
     ) -> DeviceResult<(SimTime, Option<PageBuf>)> {
         let (ppa, data) = self.fetch(lpn)?;
-        let die_end = self
+        let (die_start, die_end) = self
             .dies
-            .enqueue(start, self.die_index(ppa), self.cfg.t_read);
+            .enqueue_span(start, self.die_index(ppa), self.cfg.t_read);
         let xfer = SimDuration::for_bytes(self.cfg.page_size as u64, self.cfg.pm_rate);
-        let bus_end = self.buses.enqueue(die_end, ppa.channel as usize, xfer);
+        let (bus_start, bus_end) =
+            self.buses
+                .enqueue_span(die_end, ppa.channel as usize, xfer);
         self.stats.pages_scanned.add(1);
         let hit = match data {
             Some(d) => {
@@ -306,6 +341,23 @@ impl SsdDevice {
             }
             None => None,
         };
+        if let Some(tracer) = self.trace() {
+            let matched = hit.is_some();
+            tracer.emit(|| TraceEvent::NandOp {
+                kind: NandOpKind::Read,
+                channel: ppa.channel,
+                way: ppa.way,
+                start: die_start,
+                end: die_end,
+            });
+            tracer.emit(|| TraceEvent::PatternScan {
+                channel: ppa.channel,
+                start: bus_start,
+                end: bus_end,
+                bytes: self.cfg.page_size as u64,
+                matched,
+            });
+        }
         Ok((bus_end, hit))
     }
 
@@ -492,17 +544,44 @@ impl SsdDevice {
                 .expect("checked")
                 .expect("just written");
             let start = self.charge_request_overhead(ctx.now());
-            let die_end = self
+            let (die_start, die_end) = self
                 .dies
-                .enqueue(start, self.die_index(ppa), self.cfg.t_program);
+                .enqueue_span(start, self.die_index(ppa), self.cfg.t_program);
             let xfer =
                 SimDuration::for_bytes(self.cfg.page_size as u64, self.cfg.channel_rate);
-            let mut end = self.buses.enqueue(die_end, ppa.channel as usize, xfer);
+            let (bus_start, bus_end) =
+                self.buses
+                    .enqueue_span(die_end, ppa.channel as usize, xfer);
+            let mut end = bus_end;
             // Amortized GC penalty.
             if outcome.relocated > 0 || outcome.erased_blocks > 0 {
                 let gc_time = (self.cfg.t_read + self.cfg.t_program) * outcome.relocated
                     + self.cfg.t_erase * outcome.erased_blocks;
                 end += gc_time;
+            }
+            if let Some(tracer) = self.trace() {
+                tracer.emit(|| TraceEvent::NandOp {
+                    kind: NandOpKind::Program,
+                    channel: ppa.channel,
+                    way: ppa.way,
+                    start: die_start,
+                    end: die_end,
+                });
+                tracer.emit(|| TraceEvent::ChannelTransfer {
+                    channel: ppa.channel,
+                    start: bus_start,
+                    end: bus_end,
+                    bytes: self.cfg.page_size as u64,
+                });
+                if end > bus_end {
+                    tracer.emit(|| TraceEvent::NandOp {
+                        kind: NandOpKind::Erase,
+                        channel: ppa.channel,
+                        way: ppa.way,
+                        start: bus_end,
+                        end,
+                    });
+                }
             }
             self.stats.pages_written.add(1);
             ctx.sleep_until(end);
@@ -566,12 +645,29 @@ impl SsdDevice {
                     .expect("checked")
                     .expect("just written");
                 let start = self.charge_request_overhead(ctx.now());
-                let die_end = self
+                let (die_start, die_end) = self
                     .dies
-                    .enqueue(start, self.die_index(ppa), self.cfg.t_program);
+                    .enqueue_span(start, self.die_index(ppa), self.cfg.t_program);
                 let xfer =
                     SimDuration::for_bytes(self.cfg.page_size as u64, self.cfg.channel_rate);
-                let end = self.buses.enqueue(die_end, ppa.channel as usize, xfer);
+                let (bus_start, end) =
+                    self.buses
+                        .enqueue_span(die_end, ppa.channel as usize, xfer);
+                if let Some(tracer) = self.trace() {
+                    tracer.emit(|| TraceEvent::NandOp {
+                        kind: NandOpKind::Program,
+                        channel: ppa.channel,
+                        way: ppa.way,
+                        start: die_start,
+                        end: die_end,
+                    });
+                    tracer.emit(|| TraceEvent::ChannelTransfer {
+                        channel: ppa.channel,
+                        start: bus_start,
+                        end,
+                        bytes: self.cfg.page_size as u64,
+                    });
+                }
                 gc_penalty += (self.cfg.t_read + self.cfg.t_program) * outcome.relocated
                     + self.cfg.t_erase * outcome.erased_blocks;
                 self.stats.pages_written.add(1);

@@ -7,6 +7,26 @@
 //! internal datapath ([`device`]) whose latencies and bandwidths are
 //! calibrated to Section V-B of the paper.
 //!
+//! ## Crate layout
+//!
+//! - [`config`] — [`SsdConfig`]: geometry, timing, and bandwidth knobs,
+//!   with [`SsdConfig::paper_default`] matching Table I.
+//! - [`nand`] — the NAND array: channels × ways of dies holding real page
+//!   bytes ([`PageData`]), plus deterministic content generators.
+//! - [`ftl`] — page-mapped flash translation layer with greedy garbage
+//!   collection and wear leveling.
+//! - [`pattern`] — the per-channel hardware pattern matcher ([`PatternSet`],
+//!   multi-key substring scan with [`PatternLimits`]).
+//! - [`memory`] — the dual-arena device DRAM budget.
+//! - [`device`] — [`SsdDevice`], the timed façade gluing the above into the
+//!   internal datapath: die reservations, channel-bus transfers, matcher
+//!   streaming, and per-core software overheads.
+//!
+//! The datapath is observable: [`SsdDevice::attach_tracer`] records every
+//! NAND operation, bus transfer, and pattern-matcher scan into a
+//! [`biscuit_sim::Tracer`] as per-channel span tracks (see `docs/TRACING.md`
+//! at the repo root).
+//!
 //! ## Example
 //!
 //! ```

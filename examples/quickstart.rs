@@ -6,13 +6,17 @@
 //! ports — exactly the structure of the paper's Code 3.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Set `BISCUIT_TRACE=wordcount.json` to capture a Chrome trace of the
+//! whole dataflow — every fiber, flash operation, and port message (see
+//! `docs/TRACING.md`).
 
 use std::sync::Arc;
 
 use biscuit::apps::wordcount::{reference_wordcount, run_wordcount};
 use biscuit::core::{CoreConfig, Ssd};
 use biscuit::fs::{Fs, Mode};
-use biscuit::sim::Simulation;
+use biscuit::sim::{Simulation, TraceConfig};
 use biscuit::ssd::{SsdConfig, SsdDevice};
 
 fn main() {
@@ -36,6 +40,10 @@ fn main() {
     let ssd = Ssd::new(fs, CoreConfig::paper_default());
     let expected = reference_wordcount(corpus.as_bytes());
     let sim = Simulation::new(0);
+    if let Some(cfg) = TraceConfig::from_env() {
+        sim.enable_trace(cfg);
+        ssd.attach_tracer(sim.tracer());
+    }
     sim.spawn("host-program", move |ctx| {
         let t0 = ctx.now();
         let pairs = run_wordcount(ctx, &ssd, &file, 2, 2).expect("wordcount");
@@ -49,5 +57,10 @@ fn main() {
             ctx.now() - t0
         );
     });
-    sim.run().assert_quiescent();
+    let report = sim.run();
+    report.assert_quiescent();
+    if let Some(path) = std::env::var("BISCUIT_TRACE").ok().filter(|p| !p.is_empty()) {
+        report.trace.write_chrome_json(&path).expect("write trace");
+        println!("trace written to {path} — open in chrome://tracing or Perfetto");
+    }
 }

@@ -4,6 +4,10 @@
 //! paper's standout query.
 //!
 //! Run with: `cargo run --release --example tpch_offload`
+//!
+//! Set `BISCUIT_TRACE=q14.json` to capture a Chrome trace of the whole run,
+//! including the planner's offload verdicts (see `docs/TRACING.md` for an
+//! annotated walkthrough of exactly this trace).
 
 use std::sync::Arc;
 
@@ -13,7 +17,7 @@ use biscuit::db::tpch::{all_queries, TpchData};
 use biscuit::db::{Db, DbConfig};
 use biscuit::fs::Fs;
 use biscuit::host::{HostConfig, HostLoad};
-use biscuit::sim::Simulation;
+use biscuit::sim::{Simulation, TraceConfig};
 use biscuit::ssd::{SsdConfig, SsdDevice};
 
 const SF: f64 = 0.02;
@@ -25,6 +29,7 @@ fn main() {
         ..SsdConfig::paper_default()
     }));
     let ssd = Ssd::new(Fs::format(device), CoreConfig::paper_default());
+    let ssd_handle = ssd.clone();
     let mut db = Db::new(
         ssd,
         HostConfig::paper_default(),
@@ -42,6 +47,10 @@ fn main() {
     }
 
     let sim = Simulation::new(0);
+    if let Some(cfg) = TraceConfig::from_env() {
+        sim.enable_trace(cfg);
+        ssd_handle.attach_tracer(sim.tracer());
+    }
     sim.spawn("host-program", move |ctx| {
         db.prepare(ctx).expect("deploy scan module");
         let q14 = all_queries().into_iter().nth(13).expect("Q14");
@@ -103,7 +112,13 @@ fn main() {
         );
         println!("offloaded tables: {:?}", bis.stats.offloaded_tables);
     });
-    sim.run().assert_quiescent();
+    let report = sim.run();
+    report.assert_quiescent();
+    if let Some(path) = std::env::var("BISCUIT_TRACE").ok().filter(|p| !p.is_empty()) {
+        report.trace.write_chrome_json(&path).expect("write trace");
+        println!("\n{}", report.trace.metrics());
+        println!("trace written to {path} — open in chrome://tracing or Perfetto");
+    }
 }
 
 fn promo_pct(out: &biscuit::db::QueryOutput) -> f64 {

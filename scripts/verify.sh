@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# The full local gate: everything CI runs, in tier order.
+#
+#   scripts/verify.sh            # run all gates
+#   scripts/verify.sh --docs     # docs gates only (rustdoc + doc tests)
+#
+# Tier 1 (build + tests) must pass before anything merges; the docs gates
+# keep `#![warn(missing_docs)]` honest and every doc example compiling.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+docs_only=false
+if [[ "${1:-}" == "--docs" ]]; then
+    docs_only=true
+fi
+
+if ! $docs_only; then
+    echo "== tier 1: release build"
+    cargo build --release
+    echo "== tier 1: test suite"
+    cargo test -q
+fi
+
+echo "== docs: rustdoc, warnings as errors"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "== docs: doc tests"
+cargo test --doc --workspace
+
+echo "verify: all gates passed"

@@ -11,7 +11,7 @@ use biscuit::apps::weblog::{WeblogGen, NEEDLE};
 use biscuit::core::{CoreConfig, Ssd};
 use biscuit::fs::{Fs, Mode};
 use biscuit::host::{ConvIo, HostConfig, HostLoad};
-use biscuit::sim::Simulation;
+use biscuit::sim::{Simulation, TraceConfig};
 use biscuit::ssd::{SsdConfig, SsdDevice};
 
 /// One complete run: build a platform, search a synthetic log both ways,
@@ -63,4 +63,66 @@ fn identical_runs_are_bit_identical() {
     // And internally consistent: both search paths agree.
     assert_eq!(first.0, first.1);
     assert!(first.0 > 0, "the corpus plants needles");
+}
+
+/// The same run with full tracing enabled, returning the exported Chrome
+/// JSON — the strongest observable: every fiber switch, NAND operation,
+/// queue movement, and port message in emission order.
+fn traced_run_json() -> String {
+    let device = Arc::new(SsdDevice::new(SsdConfig {
+        logical_capacity: 128 << 20,
+        ..SsdConfig::paper_default()
+    }));
+    let fs = Fs::format(Arc::clone(&device));
+    let page = device.config().page_size as u64;
+    fs.create_synthetic("log", 512 * page, Arc::new(WeblogGen::new(7, 400)))
+        .unwrap();
+    let file = fs.open("log", Mode::ReadOnly).unwrap();
+    let ssd = Ssd::new(fs, CoreConfig::paper_default());
+    let conv = ConvIo::new(
+        Arc::clone(ssd.device()),
+        Arc::clone(ssd.link()),
+        HostConfig::paper_default(),
+    );
+
+    let sim = Simulation::new(1234);
+    sim.enable_trace(TraceConfig::default());
+    ssd.attach_tracer(sim.tracer());
+    sim.spawn("host", move |ctx| {
+        let mid = load_grep_module(ctx, &ssd).unwrap();
+        let a = conv_grep(ctx, &conv, &file, NEEDLE.as_bytes(), HostLoad::new(6)).unwrap();
+        let b = biscuit_grep(ctx, &ssd, mid, &file, NEEDLE.as_bytes()).unwrap();
+        assert_eq!(a, b);
+    });
+    let report = sim.run();
+    report.assert_quiescent();
+    assert!(!report.trace.is_empty(), "tracing was enabled");
+    report.trace.to_chrome_json()
+}
+
+#[test]
+fn traced_runs_export_byte_identical_json() {
+    let first = traced_run_json();
+    let second = traced_run_json();
+    assert_eq!(
+        first, second,
+        "trace export must be byte-identical across identical seeded runs"
+    );
+
+    // Structural spot checks on the export itself.
+    assert!(first.starts_with("{\"traceEvents\":["));
+    assert!(first.ends_with("\"displayTimeUnit\":\"ms\"}"));
+
+    // Timestamps must be monotonically non-decreasing in file order (what
+    // chrome://tracing and Perfetto expect from a well-formed stream).
+    let mut last = -1.0f64;
+    for chunk in first.split("\"ts\":").skip(1) {
+        let end = chunk
+            .find([',', '}'])
+            .expect("ts value is followed by more JSON");
+        let ts: f64 = chunk[..end].parse().expect("ts is a plain decimal");
+        assert!(ts >= last, "ts went backwards: {ts} after {last}");
+        last = ts;
+    }
+    assert!(last >= 0.0, "the trace contains timestamped events");
 }
