@@ -7,7 +7,8 @@
 //! exceeds it by ~1 GB/s; pattern-matched reads sit between; async reaches
 //! the plateau by ~512 KiB while sync still climbs at 4 MiB.
 
-use biscuit_bench::{header, platform, row, simulate, Platform};
+use biscuit_bench::{header, platform, row, simulate_metered, BenchReport, Platform};
+use biscuit_sim::metrics::MetricsSnapshot;
 use biscuit_fs::Mode;
 use biscuit_host::HostLoad;
 use biscuit_ssd::PatternSet;
@@ -36,8 +37,14 @@ fn setup() -> Platform {
 }
 
 /// Bandwidth in GB/s for reading `TOTAL_BYTES` at the given request size.
-fn run(plat: Platform, request: u64, queue_depth: usize, series: &'static str) -> f64 {
-    simulate(move |ctx| {
+fn run(
+    plat: Platform,
+    request: u64,
+    queue_depth: usize,
+    series: &'static str,
+) -> (f64, MetricsSnapshot) {
+    simulate_metered("fig7", move |ctx| {
+        plat.ssd.attach_metrics(ctx.metrics());
         let page = plat.ssd.device().config().page_size as u64;
         let file = plat.ssd.fs().open("corpus", Mode::ReadOnly).expect("open");
         let request_pages = (request / page).max(1) as usize;
@@ -80,13 +87,13 @@ fn run(plat: Platform, request: u64, queue_depth: usize, series: &'static str) -
     })
 }
 
-fn panel(title: &str, queue_depth: usize) {
+fn panel(report: &mut BenchReport, title: &str, panel_key: &str, queue_depth: usize) {
     header(title);
     row(&["request size", "Conv GB/s", "Biscuit GB/s", "Biscuit+PM GB/s"]);
     for size in SIZES {
-        let conv = run(setup(), size, queue_depth, "conv");
-        let bis = run(setup(), size, queue_depth, "biscuit");
-        let pm = run(setup(), size, queue_depth, "pm");
+        let (conv, _) = run(setup(), size, queue_depth, "conv");
+        let (bis, metrics) = run(setup(), size, queue_depth, "biscuit");
+        let (pm, _) = run(setup(), size, queue_depth, "pm");
         let label = if size >= 1 << 20 {
             format!("{} MiB", size >> 20)
         } else {
@@ -98,12 +105,27 @@ fn panel(title: &str, queue_depth: usize) {
             &format!("{bis:.2}"),
             &format!("{pm:.2}"),
         ]);
+        for (series, gbps) in [("conv", conv), ("biscuit", bis), ("pm", pm)] {
+            report.push(
+                &format!("{panel_key}_{series}_{}k_gbps", size >> 10),
+                "GB/s",
+                None,
+                gbps,
+            );
+        }
+        // Keep a snapshot of the largest async internal read: it exercises
+        // every channel and both panels share the same platform shape.
+        if size == *SIZES.last().expect("sizes nonempty") && queue_depth > 1 {
+            report.set_metrics(metrics);
+        }
     }
 }
 
 fn main() {
-    panel("Fig. 7 (left): synchronous read bandwidth (qd=1)", 1);
-    panel("Fig. 7 (right): asynchronous read bandwidth (qd=32)", 32);
+    let mut report = BenchReport::new("fig7_read_bandwidth");
+    panel(&mut report, "Fig. 7 (left): synchronous read bandwidth (qd=1)", "sync", 1);
+    panel(&mut report, "Fig. 7 (right): asynchronous read bandwidth (qd=32)", "async", 32);
     println!("\npaper shape: Conv caps at ~3.2 GB/s (PCIe); Biscuit internal ~+1 GB/s;");
     println!("pattern-matched in between; async saturates by ~512 KiB requests.");
+    report.write();
 }

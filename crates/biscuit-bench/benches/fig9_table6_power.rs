@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use biscuit_bench::{header, row, simulate, tpch_db};
+use biscuit_bench::{header, row, simulate_metered, tpch_db, BenchReport, GATE_LOOSE};
 use biscuit_db::expr::Expr;
 use biscuit_db::spec::{ExecMode, SelectSpec};
 use biscuit_db::tpch::schema::l;
@@ -39,9 +39,11 @@ struct PowerRun {
     avg_watts: f64,
 }
 
-fn run(mode: ExecMode) -> PowerRun {
-    let (_plat, db) = tpch_db(SF);
-    simulate(move |ctx| {
+fn run(mode: ExecMode) -> (PowerRun, biscuit_sim::metrics::MetricsSnapshot) {
+    let (plat, db) = tpch_db(SF);
+    let name = if mode == ExecMode::Conv { "fig9/conv" } else { "fig9/biscuit" };
+    simulate_metered(name, move |ctx| {
+        plat.ssd.attach_metrics(ctx.metrics());
         db.prepare(ctx).expect("module load");
         let meter = Arc::new(PowerMeter::new());
         meter.register("baseline", 103.0, 103.0);
@@ -99,8 +101,8 @@ fn sparkline(trace: &[(f64, f64)], window: f64) -> String {
 }
 
 fn main() {
-    let conv = run(ExecMode::Conv);
-    let bis = run(ExecMode::Biscuit);
+    let (conv, _) = run(ExecMode::Conv);
+    let (bis, metrics) = run(ExecMode::Biscuit);
 
     header(&format!("Fig. 9: power during Query 1 (TPC-H SF {SF})"));
     println!("power ramp over each run's own window (103W idle .. 136W peak):");
@@ -121,4 +123,12 @@ fn main() {
     );
     println!("(the paper's window includes a post-query buffer-sync tail that");
     println!(" lengthens the Biscuit window; we report the pure execution window)");
+
+    // TPC-H data comes from `rand`: gate the power/energy shape loosely.
+    let mut report = BenchReport::new("fig9_table6_power");
+    report.push_tol("conv_avg_watts", "W", Some(122.0), conv.avg_watts, GATE_LOOSE);
+    report.push_tol("biscuit_avg_watts", "W", Some(136.0), bis.avg_watts, GATE_LOOSE);
+    report.push_tol("energy_ratio", "x", Some(5.0), conv.energy_j / bis.energy_j, GATE_LOOSE);
+    report.set_metrics(metrics);
+    report.write();
 }

@@ -1,7 +1,7 @@
 //! Table I — SSD specification: prints the simulated device's configuration
 //! next to the paper's target hardware.
 
-use biscuit_bench::{header, row};
+use biscuit_bench::{header, row, BenchReport};
 use biscuit_proto::LinkConfig;
 use biscuit_ssd::SsdConfig;
 
@@ -43,4 +43,15 @@ fn main() {
         cfg.internal_bandwidth() / 1e9,
         link.bandwidth_bytes_per_sec / 1e9
     );
+
+    // Pure configuration constants: gate them exactly so an accidental
+    // calibration change (e.g. editing `paper_default`) is caught.
+    let mut report = BenchReport::new("table1_spec");
+    report.push_tol("host_bandwidth_gbps", "GB/s", Some(3.2), link.bandwidth_bytes_per_sec / 1e9, 0.0);
+    report.push_tol("channels", "", None, cfg.channels as f64, 0.0);
+    report.push_tol("ways", "", None, cfg.ways as f64, 0.0);
+    report.push_tol("cores", "", Some(2.0), cfg.cores as f64, 0.0);
+    report.push_tol("pm_max_keys", "", None, cfg.pm_max_keys as f64, 0.0);
+    report.push_tol("internal_bandwidth_gbps", "GB/s", None, cfg.internal_bandwidth() / 1e9, 0.0);
+    report.write();
 }

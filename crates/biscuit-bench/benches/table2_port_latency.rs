@@ -6,7 +6,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use biscuit_bench::{header, platform, row, simulate, Platform};
+use biscuit_bench::{header, platform, row, simulate_metered, BenchReport, Platform};
+use biscuit_sim::metrics::MetricsSnapshot;
 use biscuit_core::module::{ModuleBuilder, SsdletSpec};
 use biscuit_core::task::{args_as, Ssdlet, TaskCtx};
 use biscuit_core::{connect_apps, Application};
@@ -41,10 +42,11 @@ fn module() -> biscuit_core::SsdletModule {
         .build()
 }
 
-fn h2d(plat: Platform) -> f64 {
+fn h2d(plat: Platform) -> (f64, MetricsSnapshot) {
     let cell = Arc::new(AtomicU64::new(0));
     let c = Arc::clone(&cell);
-    simulate(move |ctx| {
+    simulate_metered("table2/h2d", move |ctx| {
+        plat.ssd.attach_metrics(ctx.metrics());
         let mid = plat.ssd.load_module(ctx, module()).expect("load");
         let app = Application::new(&plat.ssd, "h2d");
         let r = app.ssdlet_with(mid, "idRecv", Arc::clone(&c)).expect("proxy");
@@ -58,8 +60,9 @@ fn h2d(plat: Platform) -> f64 {
     })
 }
 
-fn d2h(plat: Platform) -> f64 {
-    simulate(move |ctx| {
+fn d2h(plat: Platform) -> (f64, MetricsSnapshot) {
+    simulate_metered("table2/d2h", move |ctx| {
+        plat.ssd.attach_metrics(ctx.metrics());
         let mid = plat.ssd.load_module(ctx, module()).expect("load");
         let app = Application::new(&plat.ssd, "d2h");
         let t = app.ssdlet(mid, "idSend").expect("proxy");
@@ -72,10 +75,11 @@ fn d2h(plat: Platform) -> f64 {
     })
 }
 
-fn inter_ssdlet(plat: Platform) -> f64 {
+fn inter_ssdlet(plat: Platform) -> (f64, MetricsSnapshot) {
     let cell = Arc::new(AtomicU64::new(0));
     let c = Arc::clone(&cell);
-    simulate(move |ctx| {
+    simulate_metered("table2/inter_ssdlet", move |ctx| {
+        plat.ssd.attach_metrics(ctx.metrics());
         let mid = plat.ssd.load_module(ctx, module()).expect("load");
         let app = Application::new(&plat.ssd, "inter");
         let t = app.ssdlet(mid, "idSend").expect("proxy");
@@ -87,10 +91,11 @@ fn inter_ssdlet(plat: Platform) -> f64 {
     })
 }
 
-fn inter_app(plat: Platform) -> f64 {
+fn inter_app(plat: Platform) -> (f64, MetricsSnapshot) {
     let cell = Arc::new(AtomicU64::new(0));
     let c = Arc::clone(&cell);
-    simulate(move |ctx| {
+    simulate_metered("table2/inter_app", move |ctx| {
+        plat.ssd.attach_metrics(ctx.metrics());
         let mid = plat.ssd.load_module(ctx, module()).expect("load");
         let app_a = Application::new(&plat.ssd, "A");
         let app_b = Application::new(&plat.ssd, "B");
@@ -110,13 +115,21 @@ fn inter_app(plat: Platform) -> f64 {
 fn main() {
     header("Table II: I/O port one-way latency");
     row(&["port type", "paper (us)", "measured (us)"]);
+    let (h2d_us, h2d_metrics) = h2d(platform(64 << 20));
+    let (d2h_us, _) = d2h(platform(64 << 20));
+    let (inter_ssdlet_us, _) = inter_ssdlet(platform(64 << 20));
+    let (inter_app_us, _) = inter_app(platform(64 << 20));
     let results = [
-        ("host-to-device (H2D)", 301.6, h2d(platform(64 << 20))),
-        ("device-to-host (D2H)", 130.1, d2h(platform(64 << 20))),
-        ("inter-SSDlet", 31.0, inter_ssdlet(platform(64 << 20))),
-        ("inter-application", 10.7, inter_app(platform(64 << 20))),
+        ("host-to-device (H2D)", "h2d_us", 301.6, h2d_us),
+        ("device-to-host (D2H)", "d2h_us", 130.1, d2h_us),
+        ("inter-SSDlet", "inter_ssdlet_us", 31.0, inter_ssdlet_us),
+        ("inter-application", "inter_app_us", 10.7, inter_app_us),
     ];
-    for (name, paper, measured) in results {
+    let mut report = BenchReport::new("table2_port_latency");
+    for (name, key, paper, measured) in results {
         row(&[name, &format!("{paper:.1}"), &format!("{measured:.1}")]);
+        report.push(key, "us", Some(paper), measured);
     }
+    report.set_metrics(h2d_metrics);
+    report.write();
 }

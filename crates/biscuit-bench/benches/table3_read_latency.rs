@@ -1,7 +1,7 @@
 //! Table III — 4 KiB read latency: Conv (host pread) vs Biscuit (internal
 //! read from an SSDlet). Paper: 90.0 µs vs 75.9 µs, an 18% gain.
 
-use biscuit_bench::{header, platform, row, simulate};
+use biscuit_bench::{header, platform, row, simulate_metered, BenchReport};
 use biscuit_fs::Mode;
 use biscuit_host::HostLoad;
 
@@ -14,7 +14,9 @@ fn main() {
         .expect("load");
     let file = plat.ssd.fs().open("blk", Mode::ReadOnly).expect("open");
 
-    let (conv_us, biscuit_us) = simulate(move |ctx| {
+    let ssd = plat.ssd.clone();
+    let ((conv_us, biscuit_us), metrics) = simulate_metered("table3", move |ctx| {
+        ssd.attach_metrics(ctx.metrics());
         // Average over several reads at distinct offsets.
         let mut conv_total = 0.0;
         let mut int_total = 0.0;
@@ -41,4 +43,11 @@ fn main() {
         "\ngain: paper 18%, measured {:.0}%",
         (1.0 - biscuit_us / conv_us) * 100.0
     );
+
+    let mut report = BenchReport::new("table3_read_latency");
+    report.push("conv_us", "us", Some(90.0), conv_us);
+    report.push("biscuit_us", "us", Some(75.9), biscuit_us);
+    report.push("gain_pct", "%", Some(18.0), (1.0 - biscuit_us / conv_us) * 100.0);
+    report.set_metrics(metrics);
+    report.write();
 }

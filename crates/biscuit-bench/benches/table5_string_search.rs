@@ -13,7 +13,7 @@
 
 use biscuit_apps::search::{biscuit_grep, conv_grep, load_grep_module};
 use biscuit_apps::weblog::NEEDLE;
-use biscuit_bench::{header, platform, row, simulate, weblog_file};
+use biscuit_bench::{header, platform, row, simulate_metered, weblog_file, BenchReport};
 use biscuit_host::HostLoad;
 
 const CORPUS_PAGES: u64 = 16 << 10; // 256 MiB of 16 KiB pages
@@ -25,7 +25,8 @@ fn main() {
     let paper_bytes = 7.8 * (1u64 << 30) as f64;
 
     let loads = [0u32, 6, 12, 18, 24];
-    let results = simulate(move |ctx| {
+    let (results, metrics) = simulate_metered("table5", move |ctx| {
+        plat.ssd.attach_metrics(ctx.metrics());
         let module = load_grep_module(ctx, &plat.ssd).expect("load");
         let mut out = Vec::new();
         for threads in loads {
@@ -66,4 +67,24 @@ fn main() {
         ]);
     }
     println!("\npaper: 5.3x idle growing to 8.3x at 24 threads; Biscuit flat.");
+
+    // The synthetic web log is fully deterministic (no `rand`), so the
+    // extrapolated times gate tightly.
+    let mut report = BenchReport::new("table5_string_search");
+    for (i, (threads, conv_t, bis_t)) in results.iter().enumerate() {
+        report.push(
+            &format!("conv_load{threads}_s"),
+            "s",
+            Some(paper_conv[i]),
+            conv_t * scale,
+        );
+        report.push(
+            &format!("biscuit_load{threads}_s"),
+            "s",
+            Some(paper_bis[i]),
+            bis_t * scale,
+        );
+    }
+    report.set_metrics(metrics);
+    report.write();
 }

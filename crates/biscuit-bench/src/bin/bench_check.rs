@@ -1,0 +1,89 @@
+//! The bench regression gate.
+//!
+//! Compares the `BENCH_<id>.json` reports produced by
+//! `cargo bench --workspace` against the committed
+//! `benchmarks/baseline.json` and exits nonzero when any gated row drifts
+//! beyond its tolerance. Run via `scripts/bench_check.sh`, or directly:
+//!
+//! ```text
+//! cargo run --release -p biscuit-bench --bin bench_check
+//! cargo run --release -p biscuit-bench --bin bench_check -- --update
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use biscuit_bench::report::{bench_output_dir, check_reports, update_baseline};
+
+const USAGE: &str = "usage: bench_check [--update] [--baseline <path>] [--dir <path>]
+
+  --update          rewrite the baseline from the current BENCH_*.json files
+  --baseline <path> baseline file (default: <dir>/benchmarks/baseline.json)
+  --dir <path>      directory holding BENCH_*.json (default: workspace root,
+                    or $BISCUIT_BENCH_DIR)";
+
+fn main() -> ExitCode {
+    let mut update = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--update" => update = true,
+            "--baseline" => match argv.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage_error("--baseline needs a path"),
+            },
+            "--dir" => match argv.next() {
+                Some(p) => dir = Some(PathBuf::from(p)),
+                None => return usage_error("--dir needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+    let dir = dir.unwrap_or_else(bench_output_dir);
+    let baseline = baseline.unwrap_or_else(|| dir.join("benchmarks").join("baseline.json"));
+
+    if update {
+        return match update_baseline(&baseline, &dir) {
+            Ok(n) => {
+                println!("baseline {} updated from {n} bench reports", baseline.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_check: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match check_reports(&baseline, &dir) {
+        Ok(outcome) => {
+            for line in &outcome.lines {
+                println!("{line}");
+            }
+            let gated = outcome.lines.iter().filter(|l| !l.starts_with("new")).count();
+            if outcome.passed {
+                println!("\nbench_check: PASS ({gated} gated rows within tolerance)");
+                ExitCode::SUCCESS
+            } else {
+                let failed = outcome.lines.iter().filter(|l| l.starts_with("FAIL")).count();
+                println!("\nbench_check: FAIL ({failed} of {gated} gated rows out of tolerance)");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("bench_check: {msg}\n{USAGE}");
+    ExitCode::FAILURE
+}

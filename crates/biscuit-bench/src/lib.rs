@@ -10,8 +10,13 @@
 //! ```
 //!
 //! This library holds the shared plumbing: a one-fiber simulation runner,
-//! platform builders, and table printing.
+//! platform builders, table printing, and the machine-readable
+//! [`report::BenchReport`] / regression-gate machinery behind
+//! `BENCH_<id>.json` and `scripts/bench_check.sh`.
 
+pub mod report;
+
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -22,29 +27,91 @@ use biscuit_db::tpch::TpchData;
 use biscuit_db::{Db, DbConfig};
 use biscuit_fs::{File, Fs, Mode};
 use biscuit_host::{ConvIo, HostConfig};
+use biscuit_sim::metrics::MetricsSnapshot;
 use biscuit_sim::{Ctx, Simulation};
 use biscuit_ssd::{SsdConfig, SsdDevice};
+
+pub use report::{BenchReport, GATE_LOOSE, GATE_TIGHT};
 
 /// Runs `f` as the sole host fiber of a fresh simulation and returns its
 /// result.
 ///
 /// # Panics
 ///
-/// Panics if the simulation ends with blocked fibers.
+/// Panics if the simulation ends with blocked fibers, or re-raises (with
+/// bench context) a panic from inside the fiber.
 pub fn simulate<R, F>(f: F) -> R
 where
     R: Send + 'static,
     F: FnOnce(&Ctx) -> R + Send + 'static,
 {
+    simulate_named("bench", f)
+}
+
+/// [`simulate`], but panics carry `name` so a failing harness identifies
+/// itself instead of dying with a bare fiber panic.
+///
+/// # Panics
+///
+/// See [`simulate`].
+pub fn simulate_named<R, F>(name: &str, f: F) -> R
+where
+    R: Send + 'static,
+    F: FnOnce(&Ctx) -> R + Send + 'static,
+{
+    run_sim(name, false, f).0
+}
+
+/// Like [`simulate_named`], but with metrics enabled: returns the fiber's
+/// result plus the simulation's final [`MetricsSnapshot`]. The closure can
+/// wire a platform into the registry via
+/// `plat.ssd.attach_metrics(ctx.metrics())`.
+///
+/// # Panics
+///
+/// See [`simulate`].
+pub fn simulate_metered<R, F>(name: &str, f: F) -> (R, MetricsSnapshot)
+where
+    R: Send + 'static,
+    F: FnOnce(&Ctx) -> R + Send + 'static,
+{
+    run_sim(name, true, f)
+}
+
+fn run_sim<R, F>(name: &str, metered: bool, f: F) -> (R, MetricsSnapshot)
+where
+    R: Send + 'static,
+    F: FnOnce(&Ctx) -> R + Send + 'static,
+{
     let sim = Simulation::new(0);
+    if metered {
+        sim.enable_metrics();
+    }
     let out: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
     let o = Arc::clone(&out);
     sim.spawn("bench-host", move |ctx| {
         *o.lock() = Some(f(ctx));
     });
-    sim.run().assert_quiescent();
-    let result = out.lock().take().expect("bench fiber completed");
-    result
+    // The kernel re-raises the first fiber panic from `run()`; catch it so
+    // the abort names the bench that died instead of an anonymous fiber.
+    let sim_report = match panic::catch_unwind(AssertUnwindSafe(|| sim.run())) {
+        Ok(rep) => rep,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&'static str>()
+                .copied()
+                .map(str::to_owned)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            panic!("bench '{name}': simulation fiber panicked: {msg}");
+        }
+    };
+    sim_report.assert_quiescent();
+    let result = out
+        .lock()
+        .take()
+        .unwrap_or_else(|| panic!("bench '{name}': fiber exited without producing a result"));
+    (result, sim_report.metrics)
 }
 
 /// A host + Biscuit SSD pair sharing one PCIe link.
@@ -165,6 +232,34 @@ mod tests {
             ctx.now().as_micros()
         });
         assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn simulate_named_propagates_fiber_panic_with_bench_name() {
+        let err = std::panic::catch_unwind(|| {
+            simulate_named("table9_explodes", |_ctx| -> u64 {
+                panic!("boom in fiber");
+            })
+        })
+        .expect_err("fiber panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string panic payload");
+        assert!(msg.contains("table9_explodes"), "got: {msg}");
+        assert!(msg.contains("boom in fiber"), "got: {msg}");
+    }
+
+    #[test]
+    fn simulate_metered_returns_snapshot() {
+        let (v, snap) = simulate_metered("meter-check", |ctx| {
+            ctx.sleep(biscuit_sim::time::SimDuration::from_micros(1));
+            7u64
+        });
+        assert_eq!(v, 7);
+        // The kernel's own scheduling counters are always registered when
+        // metrics are on, so the snapshot is never empty.
+        assert!(!snap.is_empty());
     }
 
     #[test]

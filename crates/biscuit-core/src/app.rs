@@ -299,6 +299,7 @@ impl Application {
                     None,
                     label,
                     self.ssd.tracer().cloned(),
+                    self.ssd.metrics().cloned(),
                 );
                 conn.add_producer();
                 st.tasks[out.task].outputs[out.port] = Some(Arc::clone(&conn));
@@ -363,6 +364,7 @@ impl Application {
             Some(Codec::of::<T>()),
             label,
             self.ssd.tracer().cloned(),
+            self.ssd.metrics().cloned(),
         );
         conn.add_producer();
         st.tasks[out.task].outputs[out.port] = Some(Arc::clone(&conn));
@@ -406,6 +408,7 @@ impl Application {
             Some(Codec::of::<T>()),
             label,
             self.ssd.tracer().cloned(),
+            self.ssd.metrics().cloned(),
         );
         conn.add_producer(); // the host port is the producer
         st.tasks[input.task].inputs[input.port] = Some(Arc::clone(&conn));
@@ -604,6 +607,7 @@ pub fn connect_apps<T: Wire + Any + Send>(
         Some(Codec::of::<T>()),
         label,
         app_a.ssd.tracer().cloned(),
+        app_a.ssd.metrics().cloned(),
     );
     conn.add_producer();
     st_a.tasks[out.task].outputs[out.port] = Some(Arc::clone(&conn));

@@ -23,6 +23,7 @@ use parking_lot::Mutex;
 
 use biscuit_proto::wire::Wire;
 use biscuit_proto::{HostLink, Packet};
+use biscuit_sim::metrics::{self, MetricsRegistry};
 use biscuit_sim::queue::SimQueue;
 use biscuit_sim::time::SimTime;
 use biscuit_sim::trace::{TraceEvent, Tracer};
@@ -59,6 +60,15 @@ impl std::fmt::Debug for Envelope {
     }
 }
 
+fn kind_str(kind: PortKind) -> &'static str {
+    match kind {
+        PortKind::InterSsdlet => "inter-ssdlet",
+        PortKind::InterApp => "inter-app",
+        PortKind::HostToDevice => "h2d",
+        PortKind::DeviceToHost => "d2h",
+    }
+}
+
 type EncodeFn = dyn Fn(Box<dyn Any + Send>) -> Packet + Send + Sync;
 type DecodeFn = dyn Fn(&Packet) -> Box<dyn Any + Send> + Send + Sync;
 
@@ -85,6 +95,14 @@ impl Codec {
     }
 }
 
+/// Per-port counters registered as `port_sends_total` / `port_recvs_total`
+/// / `port_bytes_total`, all labeled `{port=<label>, kind=<kind>}`.
+pub(crate) struct PortInstruments {
+    sends: metrics::Counter,
+    recvs: metrics::Counter,
+    bytes: metrics::Counter,
+}
+
 /// One edge of the dataflow graph.
 pub(crate) struct Connection {
     pub kind: PortKind,
@@ -97,6 +115,8 @@ pub(crate) struct Connection {
     /// Tracer captured at connect time (ports outlive `Ssd::attach_tracer`
     /// ordering concerns because applications connect after attachment).
     trace: Option<Tracer>,
+    /// Metrics handles captured at connect time, like `trace`.
+    metrics: Option<PortInstruments>,
     /// Producer endpoints that have not yet finished; the queue closes when
     /// this reaches zero.
     producers: Mutex<usize>,
@@ -120,12 +140,23 @@ impl Connection {
         codec: Option<Codec>,
         label: impl Into<Arc<str>>,
         trace: Option<Tracer>,
+        registry: Option<MetricsRegistry>,
     ) -> Arc<Connection> {
         let label: Arc<str> = label.into();
         let queue = SimQueue::new(capacity);
         if let Some(tracer) = &trace {
             queue.set_trace(tracer.clone(), Arc::clone(&label));
         }
+        let metrics = registry.map(|reg| {
+            queue.set_metrics(&reg, &label);
+            let kind = kind_str(kind);
+            let labels: &[(&str, &str)] = &[("port", &label), ("kind", kind)];
+            PortInstruments {
+                sends: reg.counter("port_sends_total", labels),
+                recvs: reg.counter("port_recvs_total", labels),
+                bytes: reg.counter("port_bytes_total", labels),
+            }
+        });
         Arc::new(Connection {
             kind,
             type_id,
@@ -134,17 +165,13 @@ impl Connection {
             codec,
             label,
             trace,
+            metrics,
             producers: Mutex::new(0),
         })
     }
 
     fn kind_str(&self) -> &'static str {
-        match self.kind {
-            PortKind::InterSsdlet => "inter-ssdlet",
-            PortKind::InterApp => "inter-app",
-            PortKind::HostToDevice => "h2d",
-            PortKind::DeviceToHost => "d2h",
-        }
+        kind_str(self.kind)
     }
 
     /// Records one send (`send == true`) or receive at the current fiber
@@ -152,6 +179,14 @@ impl Connection {
     /// in-device traffic.
     #[inline]
     pub(crate) fn trace_port(&self, ctx: &Ctx, send: bool, bytes: u64) {
+        if let Some(m) = &self.metrics {
+            if send {
+                m.sends.inc();
+                m.bytes.add(bytes);
+            } else {
+                m.recvs.inc();
+            }
+        }
         if let Some(tracer) = &self.trace {
             tracer.emit(|| {
                 let at = ctx.now();

@@ -11,7 +11,7 @@ use std::sync::{Arc, OnceLock};
 use biscuit_fs::Fs;
 use biscuit_proto::{HostLink, LinkConfig};
 use biscuit_sim::time::SimDuration;
-use biscuit_sim::{Ctx, Tracer};
+use biscuit_sim::{Ctx, MetricsRegistry, Tracer};
 use biscuit_ssd::SsdDevice;
 
 use crate::config::CoreConfig;
@@ -48,6 +48,7 @@ pub(crate) struct SsdShared {
     pub cfg: Arc<CoreConfig>,
     pub rt: DeviceRuntime,
     pub trace: OnceLock<Tracer>,
+    pub metrics: OnceLock<MetricsRegistry>,
 }
 
 impl std::fmt::Debug for Ssd {
@@ -76,6 +77,7 @@ impl Ssd {
                 cfg: Arc::new(cfg),
                 rt: DeviceRuntime::new(),
                 trace: OnceLock::new(),
+                metrics: OnceLock::new(),
             }),
         }
     }
@@ -95,6 +97,23 @@ impl Ssd {
     /// The tracer attached via [`Ssd::attach_tracer`], if any.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.inner.trace.get()
+    }
+
+    /// Registers the whole platform in an aggregate metrics registry in one
+    /// call: per-channel NAND/bus/pattern-matcher counters, FTL lookups and
+    /// core spans from the device, both host-link DMA directions, the port
+    /// counters of applications built on this handle, and the DB planner's
+    /// offload verdict counters. Pass `sim.metrics()` after
+    /// `sim.enable_metrics()`. The first call wins; later calls are ignored.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        self.inner.device.attach_metrics(registry);
+        self.inner.link.attach_metrics(registry);
+        let _ = self.inner.metrics.set(registry.clone());
+    }
+
+    /// The registry attached via [`Ssd::attach_metrics`], if any.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.inner.metrics.get()
     }
 
     /// The simulated device.

@@ -357,7 +357,8 @@ impl Db {
         Ok(plans)
     }
 
-    /// Records one planner offload decision into the attached tracer, if any.
+    /// Records one planner offload decision into the attached tracer and
+    /// metrics registry, if any.
     fn trace_verdict(
         &self,
         ctx: &Ctx,
@@ -374,6 +375,19 @@ impl Db {
                 est_selectivity,
                 reason,
             });
+        }
+        // Planner verdicts are rare (one per scanned table), so the counter
+        // is looked up per verdict rather than pre-registered.
+        if let Some(registry) = self.ssd.metrics() {
+            if registry.is_enabled() {
+                let decision = if offloaded { "offload" } else { "host-scan" };
+                registry
+                    .counter(
+                        "db_offload_verdicts_total",
+                        &[("decision", decision), ("reason", reason)],
+                    )
+                    .inc();
+            }
         }
     }
 

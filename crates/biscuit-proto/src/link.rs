@@ -126,6 +126,16 @@ impl HostLink {
         self.to_device.set_trace(tracer.clone(), "link.to_device");
     }
 
+    /// Registers both link directions in `registry` as
+    /// `resource_{ops,bytes,busy_ps}_total` / `resource_span_ps` samples
+    /// labeled `resource=link.to_host` / `resource=link.to_device`, from
+    /// which the exporter derives per-direction link utilization. The first
+    /// call wins.
+    pub fn attach_metrics(&self, registry: &biscuit_sim::MetricsRegistry) {
+        self.to_host.set_metrics(registry, "link.to_host");
+        self.to_device.set_metrics(registry, "link.to_device");
+    }
+
     /// Acquires a command slot, blocking while the queue is full. The slot is
     /// released when the returned guard is handed back via
     /// [`HostLink::release_slot`] or dropped *after* the caller has finished.

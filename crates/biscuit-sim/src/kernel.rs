@@ -24,6 +24,7 @@ use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::metrics::{self, MetricsRegistry, MetricsSnapshot};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceConfig, TraceEvent, Tracer};
 
@@ -99,12 +100,33 @@ struct KernelInner {
     events_processed: u64,
 }
 
+/// Pre-registered scheduler instruments (see `docs/METRICS.md`). Handles
+/// share the registry's enabled flag, so each costs one relaxed atomic load
+/// while metrics are off.
+struct SchedMetrics {
+    fibers_spawned: metrics::Counter,
+    context_switches: metrics::Counter,
+    runnable: metrics::Gauge,
+}
+
+impl SchedMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        SchedMetrics {
+            fibers_spawned: registry.counter("sim_fibers_spawned_total", &[]),
+            context_switches: registry.counter("sim_context_switches_total", &[]),
+            runnable: registry.gauge("sim_runnable_queue_depth", &[]),
+        }
+    }
+}
+
 /// Shared kernel state. Fibers hold an `Arc<Kernel>` through their [`Ctx`].
 // Manual Debug below (KernelInner holds non-Debug channel internals).
 pub struct Kernel {
     inner: Mutex<KernelInner>,
     yield_tx: Sender<(Pid, YieldMsg)>,
     tracer: Tracer,
+    metrics: MetricsRegistry,
+    sched: SchedMetrics,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -128,6 +150,12 @@ impl Kernel {
     /// [`Simulation::enable_trace`] was called).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The simulation's metrics registry (disabled unless
+    /// [`Simulation::enable_metrics`] was called).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Schedules a wake event for `(pid, gen)` at absolute time `at`.
@@ -181,6 +209,7 @@ impl Kernel {
             gen: 1,
         });
         drop(inner);
+        self.sched.fibers_spawned.inc();
         if let Some(name) = trace_name {
             self.tracer.record(TraceEvent::FiberSpawn {
                 at: now,
@@ -295,6 +324,13 @@ impl Ctx {
         f(&mut self.kernel.inner.lock().rng)
     }
 
+    /// The simulation's metrics registry. Fibers (e.g. bench bodies) use
+    /// this to attach device components mid-run via their
+    /// `set_metrics`/`attach_metrics` methods.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.kernel.metrics()
+    }
+
     /// Registers the fiber's *next* park generation; used by wait queues to
     /// target a wake at the park the fiber is about to enter.
     pub(crate) fn next_park_gen(&self) -> u64 {
@@ -353,6 +389,10 @@ pub struct SimReport {
     /// [`Simulation::enable_trace`] was called). Export it with
     /// [`Trace::to_chrome_json`] or summarize it with [`Trace::metrics`].
     pub trace: Trace,
+    /// Snapshot of the aggregate metrics registry (empty unless
+    /// [`Simulation::enable_metrics`] was called). Export it with
+    /// [`MetricsSnapshot::to_json`] or [`MetricsSnapshot::to_prometheus`].
+    pub metrics: MetricsSnapshot,
 }
 
 impl SimReport {
@@ -423,6 +463,8 @@ impl Simulation {
     pub fn new(seed: u64) -> Self {
         install_panic_hook();
         let (yield_tx, yield_rx) = unbounded();
+        let metrics = MetricsRegistry::new();
+        let sched = SchedMetrics::new(&metrics);
         let kernel = Arc::new(Kernel {
             inner: Mutex::new(KernelInner {
                 now: SimTime::ZERO,
@@ -434,6 +476,8 @@ impl Simulation {
             }),
             yield_tx,
             tracer: Tracer::new(),
+            metrics,
+            sched,
         });
         Simulation {
             kernel,
@@ -468,6 +512,21 @@ impl Simulation {
     /// devices via their `set_trace`/`attach_tracer` methods.
     pub fn tracer(&self) -> &Tracer {
         self.kernel.tracer()
+    }
+
+    /// Enables aggregate metrics collection for this simulation. Attach the
+    /// shared [`MetricsRegistry`] (see [`Simulation::metrics`]) to device
+    /// components via their `set_metrics`/`attach_metrics` methods; the
+    /// final [`SimReport::metrics`] holds the recorded snapshot.
+    pub fn enable_metrics(&self) {
+        self.kernel.metrics.enable();
+    }
+
+    /// The simulation's metrics registry handle (disabled until
+    /// [`Simulation::enable_metrics`]). Clone it into queues, resources,
+    /// and devices via their `set_metrics`/`attach_metrics` methods.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.kernel.metrics()
     }
 
     /// Spawns a fiber that starts at the current virtual time.
@@ -506,14 +565,16 @@ impl Simulation {
                                 }
                                 let tx = inner.fibers[ev.pid].resume_tx.clone();
                                 inner.fibers[ev.pid].state = FiberState::Running;
-                                break Some((ev.pid, tx, ev.time));
+                                break Some((ev.pid, tx, ev.time, inner.events.len()));
                             }
                             // Stale wake: generation mismatch or fiber done.
                         }
                     }
                 }
             };
-            let Some((pid, tx, at)) = next else { break };
+            let Some((pid, tx, at, pending)) = next else { break };
+            self.kernel.sched.context_switches.inc();
+            self.kernel.sched.runnable.set(pending as i64);
             self.kernel
                 .tracer
                 .emit(|| TraceEvent::FiberResume { at, pid });
@@ -554,6 +615,7 @@ impl Simulation {
 
     fn build_report(&self) -> SimReport {
         let inner = self.kernel.inner.lock();
+        self.kernel.metrics.set_horizon(inner.now);
         SimReport {
             end_time: inner.now,
             blocked: inner
@@ -565,6 +627,7 @@ impl Simulation {
             fibers_spawned: inner.fibers.len(),
             events_processed: inner.events_processed,
             trace: self.kernel.tracer.snapshot(),
+            metrics: self.kernel.metrics.snapshot(),
         }
     }
 

@@ -15,6 +15,9 @@
 //! - [`resource`] — FCFS bandwidth shapers and server banks.
 //! - [`power`] — two-state power components integrated into Joules.
 //! - [`stats`] — latency/counter collectors for the experiment harnesses.
+//! - [`metrics`] — the aggregate metrics registry: counters, gauges, and
+//!   log-bucketed histograms with Prometheus text + stable JSON exports
+//!   (see `docs/METRICS.md` at the repo root).
 //! - [`trace`] — structured event tracing: Chrome `trace_event` export and
 //!   flat metrics (see `docs/TRACING.md` at the repo root).
 //!
@@ -49,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod kernel;
+pub mod metrics;
 pub mod power;
 pub mod queue;
 pub mod resource;
@@ -57,5 +61,6 @@ pub mod time;
 pub mod trace;
 
 pub use kernel::{Ctx, Kernel, Pid, SimReport, Simulation};
+pub use metrics::{MetricsConfig, MetricsRegistry, MetricsSnapshot};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceConfig, TraceEvent, Tracer};

@@ -11,6 +11,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 
 use crate::kernel::{Ctx, Pid};
+use crate::metrics::{self, MetricsRegistry};
 use crate::trace::{TraceEvent, Tracer};
 
 /// A FIFO list of parked fibers, analogous to a condition variable.
@@ -91,6 +92,17 @@ struct QueueInner<T> {
     /// Tracer + label, set at most once via [`SimQueue::set_trace`]. The
     /// `OnceLock` keeps the untraced hot path to a single atomic load.
     trace: OnceLock<(Tracer, Arc<str>)>,
+    /// Pre-registered aggregate instruments, set at most once via
+    /// [`SimQueue::set_metrics`]; same single-atomic-load hot path.
+    metrics: OnceLock<QueueInstruments>,
+}
+
+/// Occupancy instruments for one labeled queue (see `docs/METRICS.md`).
+#[derive(Debug)]
+struct QueueInstruments {
+    pushes: metrics::Counter,
+    pops: metrics::Counter,
+    depth: metrics::Gauge,
 }
 
 impl<T> QueueInner<T> {
@@ -106,6 +118,14 @@ impl<T> QueueInner<T> {
                     TraceEvent::QueuePop { at, queue, depth }
                 }
             });
+        }
+        if let Some(m) = self.metrics.get() {
+            if push {
+                m.pushes.inc();
+            } else {
+                m.pops.inc();
+            }
+            m.depth.set(depth as i64);
         }
     }
 }
@@ -172,6 +192,7 @@ impl<T: Send> SimQueue<T> {
                 not_full: WaitQueue::new(),
                 not_empty: WaitQueue::new(),
                 trace: OnceLock::new(),
+                metrics: OnceLock::new(),
             }),
         }
     }
@@ -180,6 +201,19 @@ impl<T: Send> SimQueue<T> {
     /// The first call wins; later calls are ignored.
     pub fn set_trace(&self, tracer: Tracer, label: impl Into<Arc<str>>) {
         let _ = self.inner.trace.set((tracer, label.into()));
+    }
+
+    /// Labels this queue and registers occupancy instruments in `registry`:
+    /// `queue_pushes_total`, `queue_pops_total`, and the `queue_depth` gauge
+    /// (with high-water mark), all labeled `queue=<label>`. The first call
+    /// wins; later calls are ignored.
+    pub fn set_metrics(&self, registry: &MetricsRegistry, label: &str) {
+        let labels = [("queue", label)];
+        let _ = self.inner.metrics.set(QueueInstruments {
+            pushes: registry.counter("queue_pushes_total", &labels),
+            pops: registry.counter("queue_pops_total", &labels),
+            depth: registry.gauge("queue_depth", &labels),
+        });
     }
 
     /// Maximum number of buffered items.

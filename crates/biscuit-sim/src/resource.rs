@@ -11,8 +11,40 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 
 use crate::kernel::Ctx;
+use crate::metrics::{self, MetricsRegistry};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, Tracer};
+
+/// Throughput instruments for one labeled FCFS resource (a shaper, or one
+/// server of a bank): operation and byte counters, busy virtual time, and a
+/// service-span histogram. See `docs/METRICS.md` for the naming scheme.
+#[derive(Debug)]
+struct ResourceInstruments {
+    ops: metrics::Counter,
+    bytes: metrics::Counter,
+    busy_ps: metrics::Counter,
+    span_ps: metrics::Histogram,
+}
+
+impl ResourceInstruments {
+    fn new(registry: &MetricsRegistry, label: &str) -> Self {
+        let labels = [("resource", label)];
+        ResourceInstruments {
+            ops: registry.counter("resource_ops_total", &labels),
+            bytes: registry.counter("resource_bytes_total", &labels),
+            busy_ps: registry.counter("resource_busy_ps_total", &labels),
+            span_ps: registry.histogram("resource_span_ps", &labels),
+        }
+    }
+
+    #[inline]
+    fn record(&self, service: SimDuration, bytes: u64) {
+        self.ops.inc();
+        self.bytes.add(bytes);
+        self.busy_ps.add(service.as_ps());
+        self.span_ps.record(service.as_ps());
+    }
+}
 
 #[derive(Debug)]
 struct ShaperState {
@@ -49,6 +81,7 @@ pub struct Shaper {
     fixed: SimDuration,
     state: Mutex<ShaperState>,
     trace: OnceLock<(Tracer, Arc<str>)>,
+    metrics: OnceLock<ResourceInstruments>,
 }
 
 impl Shaper {
@@ -73,6 +106,7 @@ impl Shaper {
                 bytes: 0,
             }),
             trace: OnceLock::new(),
+            metrics: OnceLock::new(),
         }
     }
 
@@ -80,6 +114,14 @@ impl Shaper {
     /// reservation. The first call wins; later calls are ignored.
     pub fn set_trace(&self, tracer: Tracer, label: impl Into<Arc<str>>) {
         let _ = self.trace.set((tracer, label.into()));
+    }
+
+    /// Labels this shaper and registers throughput instruments in
+    /// `registry` (`resource_ops_total`, `resource_bytes_total`,
+    /// `resource_busy_ps_total`, `resource_span_ps`, all labeled
+    /// `resource=<label>`). The first call wins; later calls are ignored.
+    pub fn set_metrics(&self, registry: &MetricsRegistry, label: &str) {
+        let _ = self.metrics.set(ResourceInstruments::new(registry, label));
     }
 
     /// The configured byte rate.
@@ -119,6 +161,9 @@ impl Shaper {
                 bytes,
             });
         }
+        if let Some(m) = self.metrics.get() {
+            m.record(service, bytes);
+        }
         end
     }
 
@@ -150,6 +195,8 @@ pub struct ServerBank {
     servers: Vec<Mutex<SimTime>>,
     busy: Mutex<SimDuration>,
     trace: OnceLock<(Tracer, Arc<str>)>,
+    /// One instrument set per server, labeled `resource=<label>.<idx>`.
+    metrics: OnceLock<Vec<ResourceInstruments>>,
 }
 
 impl ServerBank {
@@ -164,6 +211,7 @@ impl ServerBank {
             servers: (0..n).map(|_| Mutex::new(SimTime::ZERO)).collect(),
             busy: Mutex::new(SimDuration::ZERO),
             trace: OnceLock::new(),
+            metrics: OnceLock::new(),
         }
     }
 
@@ -171,6 +219,17 @@ impl ServerBank {
     /// for each reservation. The first call wins; later calls are ignored.
     pub fn set_trace(&self, tracer: Tracer, label: impl Into<Arc<str>>) {
         let _ = self.trace.set((tracer, label.into()));
+    }
+
+    /// Labels this bank and registers per-server throughput instruments in
+    /// `registry`, keyed `resource=<label>.<idx>` (same names as
+    /// [`Shaper::set_metrics`]). The first call wins; later calls are
+    /// ignored.
+    pub fn set_metrics(&self, registry: &MetricsRegistry, label: &str) {
+        let instruments = (0..self.servers.len())
+            .map(|idx| ResourceInstruments::new(registry, &format!("{label}.{idx}")))
+            .collect();
+        let _ = self.metrics.set(instruments);
     }
 
     /// Number of servers in the bank.
@@ -213,6 +272,9 @@ impl ServerBank {
                 end,
                 bytes: 0,
             });
+        }
+        if let Some(m) = self.metrics.get() {
+            m[idx].record(service, 0);
         }
         (start, end)
     }

@@ -18,6 +18,7 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
+use biscuit_sim::metrics::{self, MetricsRegistry};
 use biscuit_sim::power::{ComponentId, PowerMeter};
 use biscuit_sim::resource::ServerBank;
 use biscuit_sim::stats::Counter;
@@ -83,6 +84,70 @@ pub struct DeviceStats {
     pub pages_written: Counter,
 }
 
+/// Per-channel flash-path instruments registered in a
+/// [`MetricsRegistry`] by [`SsdDevice::attach_metrics`].
+struct ChannelInstruments {
+    /// `nand_ops_total{channel,kind=read|program|erase}`.
+    nand_read: metrics::Counter,
+    nand_program: metrics::Counter,
+    nand_erase: metrics::Counter,
+    /// `nand_busy_ps_total{channel}` — die occupancy (sense + program).
+    nand_busy_ps: metrics::Counter,
+    /// `bus_bytes_total{channel}` / `bus_busy_ps_total{channel}`.
+    bus_bytes: metrics::Counter,
+    bus_busy_ps: metrics::Counter,
+    /// Pattern-matcher IP: `pm_scans_total` / `pm_hits_total` /
+    /// `pm_bytes_total` / `pm_busy_ps_total`, all `{channel}`.
+    pm_scans: metrics::Counter,
+    pm_hits: metrics::Counter,
+    pm_bytes: metrics::Counter,
+    pm_busy_ps: metrics::Counter,
+}
+
+struct DeviceInstruments {
+    channels: Vec<ChannelInstruments>,
+    /// `ftl_lookups_total` — logical-to-physical map resolutions.
+    ftl_lookups: metrics::Counter,
+    /// Whole-device page counters mirroring [`DeviceStats`].
+    pages_read: metrics::Counter,
+    pages_scanned: metrics::Counter,
+    pages_matched: metrics::Counter,
+    pages_written: metrics::Counter,
+}
+
+impl DeviceInstruments {
+    fn new(registry: &MetricsRegistry, channels: usize) -> Self {
+        let per_channel = (0..channels)
+            .map(|ch| {
+                let ch = ch.to_string();
+                let l = |kind: &str| {
+                    registry.counter("nand_ops_total", &[("channel", &ch), ("kind", kind)])
+                };
+                ChannelInstruments {
+                    nand_read: l("read"),
+                    nand_program: l("program"),
+                    nand_erase: l("erase"),
+                    nand_busy_ps: registry.counter("nand_busy_ps_total", &[("channel", &ch)]),
+                    bus_bytes: registry.counter("bus_bytes_total", &[("channel", &ch)]),
+                    bus_busy_ps: registry.counter("bus_busy_ps_total", &[("channel", &ch)]),
+                    pm_scans: registry.counter("pm_scans_total", &[("channel", &ch)]),
+                    pm_hits: registry.counter("pm_hits_total", &[("channel", &ch)]),
+                    pm_bytes: registry.counter("pm_bytes_total", &[("channel", &ch)]),
+                    pm_busy_ps: registry.counter("pm_busy_ps_total", &[("channel", &ch)]),
+                }
+            })
+            .collect();
+        DeviceInstruments {
+            channels: per_channel,
+            ftl_lookups: registry.counter("ftl_lookups_total", &[]),
+            pages_read: registry.counter("device_pages_read_total", &[]),
+            pages_scanned: registry.counter("device_pages_scanned_total", &[]),
+            pages_matched: registry.counter("device_pages_matched_total", &[]),
+            pages_written: registry.counter("device_pages_written_total", &[]),
+        }
+    }
+}
+
 struct PowerHook {
     meter: Arc<PowerMeter>,
     component: ComponentId,
@@ -105,6 +170,7 @@ pub struct SsdDevice {
     stats: DeviceStats,
     power: Mutex<Option<PowerHook>>,
     trace: OnceLock<Tracer>,
+    metrics: OnceLock<DeviceInstruments>,
     zero_page: PageBuf,
 }
 
@@ -149,6 +215,7 @@ impl SsdDevice {
             stats: DeviceStats::default(),
             power: Mutex::new(None),
             trace: OnceLock::new(),
+            metrics: OnceLock::new(),
             storage: Mutex::new(Storage { nand, ftl }),
             zero_page,
             cfg,
@@ -194,6 +261,24 @@ impl SsdDevice {
     #[inline]
     fn trace(&self) -> Option<&Tracer> {
         self.trace.get()
+    }
+
+    /// Registers the device's datapath in `registry`: per-channel NAND op
+    /// and busy-time counters, channel-bus bytes/busy time, pattern-matcher
+    /// scan/hit/byte counters, FTL map lookups, whole-device page counters,
+    /// and per-core service spans (`resource=cpu.core.N`). The first call
+    /// wins; later calls are ignored. With the registry disabled (the
+    /// default), each site costs one relaxed atomic load.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        self.cores.set_metrics(registry, "cpu.core");
+        let _ = self
+            .metrics
+            .set(DeviceInstruments::new(registry, self.cfg.channels));
+    }
+
+    #[inline]
+    fn instruments(&self) -> Option<&DeviceInstruments> {
+        self.metrics.get()
     }
 
     /// Attaches a power meter component toggled while the datapath is busy.
@@ -243,6 +328,9 @@ impl SsdDevice {
 
     /// Fetches page contents and its physical location without timing.
     fn fetch(&self, lpn: u64) -> DeviceResult<(Ppa, Option<PageData>)> {
+        if let Some(m) = self.instruments() {
+            m.ftl_lookups.inc();
+        }
         let st = self.storage.lock();
         match st.ftl.lookup(lpn)? {
             Some(ppa) => {
@@ -304,6 +392,14 @@ impl SsdDevice {
                 bytes: xfer_bytes,
             });
         }
+        if let Some(m) = self.instruments() {
+            let ch = &m.channels[ppa.channel as usize];
+            ch.nand_read.inc();
+            ch.nand_busy_ps.add((die_end - die_start).as_ps());
+            ch.bus_bytes.add(xfer_bytes);
+            ch.bus_busy_ps.add((bus_end - bus_start).as_ps());
+            m.pages_read.inc();
+        }
         self.stats.pages_read.add(1);
         Ok((bus_end, buf))
     }
@@ -357,6 +453,19 @@ impl SsdDevice {
                 bytes: self.cfg.page_size as u64,
                 matched,
             });
+        }
+        if let Some(m) = self.instruments() {
+            let ch = &m.channels[ppa.channel as usize];
+            ch.nand_read.inc();
+            ch.nand_busy_ps.add((die_end - die_start).as_ps());
+            ch.pm_scans.inc();
+            ch.pm_bytes.add(self.cfg.page_size as u64);
+            ch.pm_busy_ps.add((bus_end - bus_start).as_ps());
+            m.pages_scanned.inc();
+            if hit.is_some() {
+                ch.pm_hits.inc();
+                m.pages_matched.inc();
+            }
         }
         Ok((bus_end, hit))
     }
@@ -583,6 +692,18 @@ impl SsdDevice {
                     });
                 }
             }
+            if let Some(m) = self.instruments() {
+                let ch = &m.channels[ppa.channel as usize];
+                ch.nand_program.inc();
+                ch.nand_busy_ps.add((die_end - die_start).as_ps());
+                ch.bus_bytes.add(self.cfg.page_size as u64);
+                ch.bus_busy_ps.add((bus_end - bus_start).as_ps());
+                if end > bus_end {
+                    ch.nand_erase.add(outcome.erased_blocks);
+                    ch.nand_busy_ps.add((end - bus_end).as_ps());
+                }
+                m.pages_written.inc();
+            }
             self.stats.pages_written.add(1);
             ctx.sleep_until(end);
             Ok(())
@@ -667,6 +788,15 @@ impl SsdDevice {
                         end,
                         bytes: self.cfg.page_size as u64,
                     });
+                }
+                if let Some(m) = self.instruments() {
+                    let ch = &m.channels[ppa.channel as usize];
+                    ch.nand_program.inc();
+                    ch.nand_busy_ps.add((die_end - die_start).as_ps());
+                    ch.bus_bytes.add(self.cfg.page_size as u64);
+                    ch.bus_busy_ps.add((end - bus_start).as_ps());
+                    ch.nand_erase.add(outcome.erased_blocks);
+                    m.pages_written.inc();
                 }
                 gc_penalty += (self.cfg.t_read + self.cfg.t_program) * outcome.relocated
                     + self.cfg.t_erase * outcome.erased_blocks;

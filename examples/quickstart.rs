@@ -9,14 +9,17 @@
 //!
 //! Set `BISCUIT_TRACE=wordcount.json` to capture a Chrome trace of the
 //! whole dataflow — every fiber, flash operation, and port message (see
-//! `docs/TRACING.md`).
+//! `docs/TRACING.md`). Set `BISCUIT_METRICS=wordcount-metrics.json` (or
+//! `.prom` for Prometheus text) to export the aggregate counters — NAND
+//! ops per channel, link bytes, port traffic, scheduler activity (see
+//! `docs/METRICS.md`).
 
 use std::sync::Arc;
 
 use biscuit::apps::wordcount::{reference_wordcount, run_wordcount};
 use biscuit::core::{CoreConfig, Ssd};
 use biscuit::fs::{Fs, Mode};
-use biscuit::sim::{Simulation, TraceConfig};
+use biscuit::sim::{MetricsConfig, Simulation, TraceConfig};
 use biscuit::ssd::{SsdConfig, SsdDevice};
 
 fn main() {
@@ -44,6 +47,11 @@ fn main() {
         sim.enable_trace(cfg);
         ssd.attach_tracer(sim.tracer());
     }
+    let metrics_out = MetricsConfig::from_env();
+    if metrics_out.is_some() {
+        sim.enable_metrics();
+        ssd.attach_metrics(sim.metrics());
+    }
     sim.spawn("host-program", move |ctx| {
         let t0 = ctx.now();
         let pairs = run_wordcount(ctx, &ssd, &file, 2, 2).expect("wordcount");
@@ -62,5 +70,9 @@ fn main() {
     if let Some(path) = std::env::var("BISCUIT_TRACE").ok().filter(|p| !p.is_empty()) {
         report.trace.write_chrome_json(&path).expect("write trace");
         println!("trace written to {path} — open in chrome://tracing or Perfetto");
+    }
+    if let Some(cfg) = metrics_out {
+        cfg.write(&report.metrics).expect("write metrics");
+        println!("metrics written to {}", cfg.path);
     }
 }

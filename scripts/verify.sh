@@ -19,6 +19,8 @@ if ! $docs_only; then
     cargo build --release
     echo "== tier 1: test suite"
     cargo test -q
+    echo "== lint: clippy, warnings as errors"
+    cargo clippy --workspace --all-targets -- -D warnings
 fi
 
 echo "== docs: rustdoc, warnings as errors"

@@ -100,6 +100,88 @@ fn traced_run_json() -> String {
     report.trace.to_chrome_json()
 }
 
+/// The same run with aggregate metrics enabled, returning the exported
+/// metrics JSON — every counter, gauge, and histogram keyed by metric name
+/// and labels.
+fn metered_run_snapshot() -> biscuit::sim::metrics::MetricsSnapshot {
+    let device = Arc::new(SsdDevice::new(SsdConfig {
+        logical_capacity: 128 << 20,
+        ..SsdConfig::paper_default()
+    }));
+    let fs = Fs::format(Arc::clone(&device));
+    let page = device.config().page_size as u64;
+    fs.create_synthetic("log", 512 * page, Arc::new(WeblogGen::new(7, 400)))
+        .unwrap();
+    let file = fs.open("log", Mode::ReadOnly).unwrap();
+    let ssd = Ssd::new(fs, CoreConfig::paper_default());
+    let conv = ConvIo::new(
+        Arc::clone(ssd.device()),
+        Arc::clone(ssd.link()),
+        HostConfig::paper_default(),
+    );
+
+    let sim = Simulation::new(1234);
+    sim.enable_metrics();
+    ssd.attach_metrics(sim.metrics());
+    sim.spawn("host", move |ctx| {
+        let mid = load_grep_module(ctx, &ssd).unwrap();
+        let a = conv_grep(ctx, &conv, &file, NEEDLE.as_bytes(), HostLoad::new(6)).unwrap();
+        let b = biscuit_grep(ctx, &ssd, mid, &file, NEEDLE.as_bytes()).unwrap();
+        assert_eq!(a, b);
+    });
+    let report = sim.run();
+    report.assert_quiescent();
+    report.metrics
+}
+
+#[test]
+fn metrics_export_is_byte_identical_across_identical_runs() {
+    let first = metered_run_snapshot().to_json();
+    let second = metered_run_snapshot().to_json();
+    assert_eq!(
+        first, second,
+        "metrics export must be byte-identical across identical seeded runs"
+    );
+    assert!(first.starts_with('{') && first.trim_end().ends_with('}'));
+}
+
+#[test]
+fn quickstart_style_run_reports_nand_and_port_activity() {
+    let snap = metered_run_snapshot();
+
+    // The grep workload reads the whole corpus: every NAND channel did work
+    // and the device moved bytes over its channel buses.
+    assert!(
+        snap.counter_sum("nand_ops_total") > 0,
+        "NAND channels recorded no operations"
+    );
+    assert!(snap.counter_sum("bus_bytes_total") > 0);
+    assert!(snap.counter_sum("ftl_lookups_total") > 0);
+    // The pattern matchers scanned pages and found the planted needles.
+    assert!(snap.counter_sum("pm_scans_total") > 0);
+    assert!(snap.counter_sum("pm_hits_total") > 0);
+
+    // The Biscuit grep streams matches back over a D2H port.
+    assert!(
+        snap.counter_sum("port_sends_total") > 0,
+        "no port traffic recorded"
+    );
+    assert_eq!(
+        snap.counter_sum("port_sends_total"),
+        snap.counter_sum("port_recvs_total"),
+        "every sent message was received"
+    );
+    assert!(snap.counter_sum("port_bytes_total") > 0);
+
+    // Both host-link DMA directions carried data (module image down,
+    // conv reads up), and the scheduler ran more than one fiber.
+    assert!(snap.counter_value("resource_bytes_total", &[("resource", "link.to_host")]) > Some(0));
+    assert!(
+        snap.counter_value("resource_bytes_total", &[("resource", "link.to_device")]) > Some(0)
+    );
+    assert!(snap.counter_sum("sim_fibers_spawned_total") > 1);
+}
+
 #[test]
 fn traced_runs_export_byte_identical_json() {
     let first = traced_run_json();
