@@ -20,6 +20,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use biscuit_proto::wire::Wire;
+use biscuit_sim::fault::{FaultSite, SsdletDisruption};
 use biscuit_sim::queue::WaitQueue;
 use biscuit_sim::Ctx;
 use biscuit_ssd::memory::{Arena, MemoryGrant};
@@ -99,6 +100,12 @@ struct AppShared {
     /// Device user memory charged to the owning session, returned at
     /// application teardown.
     session_memory: Mutex<u64>,
+    /// First SSDlet that died with its restart budget exhausted:
+    /// `(fiber name, restarts attempted)`. The application still tears
+    /// down cleanly — consumers see closed ports, not a hang — and the
+    /// failure surfaces through [`Application::failure`] /
+    /// [`Application::join_checked`].
+    failed: Mutex<Option<(String, u32)>>,
 }
 
 /// A group of SSDlets that run cooperatively (paper §III-B).
@@ -147,6 +154,7 @@ impl Application {
                 done: WaitQueue::new(),
                 grants: Mutex::new(Vec::new()),
                 session_memory: Mutex::new(0),
+                failed: Mutex::new(None),
             }),
         }
     }
@@ -504,6 +512,7 @@ impl Application {
             let mid = slot.mid;
             ssd.runtime().task_started(mid);
             let fiber_name = name.clone();
+            let plan = self.ssd.fault_plan();
             ctx.spawn(fiber_name, move |fctx| {
                 let mut tc = TaskCtx {
                     sim: fctx,
@@ -515,7 +524,61 @@ impl Application {
                     device: Arc::clone(&device),
                     core,
                 };
-                instance.run(&mut tc);
+                if plan.is_active() {
+                    // Fault-injected execution: draw a disruption before
+                    // each attempt, catch panics, and restart the same
+                    // instance up to the plan's budget. Injected panics
+                    // strike at attempt entry — before any output — so a
+                    // re-run is idempotent. A fault-free plan never enters
+                    // this arm, keeping panic semantics (propagate and
+                    // kill the run) identical to the unfaulted platform.
+                    let max_restarts = plan.max_restarts();
+                    let mut restarts = 0u32;
+                    loop {
+                        let disruption = plan.ssdlet_disruption();
+                        if let Some(SsdletDisruption::Stall(d)) = disruption {
+                            plan.record_injected(
+                                fctx.now(),
+                                FaultSite::Ssdlet,
+                                &format!("{} stalled", tc.name),
+                            );
+                            fctx.sleep(d);
+                            plan.record_recovered(fctx.now(), FaultSite::Ssdlet, "resume");
+                        }
+                        let inject_panic = matches!(disruption, Some(SsdletDisruption::Panic));
+                        if inject_panic {
+                            plan.record_injected(
+                                fctx.now(),
+                                FaultSite::Ssdlet,
+                                &format!("{} panicked", tc.name),
+                            );
+                        }
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                if inject_panic {
+                                    panic!("injected SSDlet panic");
+                                }
+                                instance.run(&mut tc);
+                            }));
+                        match outcome {
+                            Ok(()) => break,
+                            Err(_) if restarts < max_restarts => {
+                                restarts += 1;
+                                plan.record_recovered(fctx.now(), FaultSite::Ssdlet, "restart");
+                            }
+                            Err(_) => {
+                                plan.record_failed(fctx.now(), FaultSite::Ssdlet, "restart");
+                                let mut failed = shared.failed.lock();
+                                if failed.is_none() {
+                                    *failed = Some((tc.name.clone(), restarts));
+                                }
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    instance.run(&mut tc);
+                }
                 // End of execution: this task stops producing on all of its
                 // output connections.
                 for conn in tc.outputs.iter().flatten() {
@@ -555,6 +618,34 @@ impl Application {
             }
             self.shared.done.wait(ctx);
         }
+    }
+
+    /// Waits for every SSDlet and reports how the application ended: `Ok`
+    /// on clean completion, [`BiscuitError::SsdletPanicked`] if any SSDlet
+    /// died with its restart budget exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first SSDlet failure recorded during execution.
+    pub fn join_checked(&self, ctx: &Ctx) -> BiscuitResult<()> {
+        self.join(ctx);
+        match self.failure() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The first unrecovered SSDlet failure, if any (never set while the
+    /// fault plan's restart policy still succeeds).
+    pub fn failure(&self) -> Option<BiscuitError> {
+        self.shared
+            .failed
+            .lock()
+            .as_ref()
+            .map(|(ssdlet, restarts)| BiscuitError::SsdletPanicked {
+                ssdlet: ssdlet.clone(),
+                restarts: *restarts,
+            })
     }
 
     /// True once every SSDlet has finished (never true before `start`).

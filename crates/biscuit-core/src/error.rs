@@ -51,6 +51,27 @@ pub enum BiscuitError {
     },
     /// An SSDlet argument had an unexpected type.
     BadArgument(String),
+    /// A send or receive hit a port whose peer already closed.
+    PortClosed {
+        /// Connection label (e.g. `app:filter.out0->host`).
+        port: String,
+    },
+    /// A host-side receive exceeded its deadline (fault-recovery path:
+    /// the caller typically falls back to a host-side plan).
+    RequestTimeout {
+        /// Connection label the host was receiving on.
+        port: String,
+        /// The configured timeout that elapsed.
+        timeout: biscuit_sim::time::SimDuration,
+    },
+    /// An SSDlet panicked and exhausted its restart budget; the owning
+    /// application is marked failed.
+    SsdletPanicked {
+        /// Fiber name of the failing SSDlet instance.
+        ssdlet: String,
+        /// Restarts attempted before giving up.
+        restarts: u32,
+    },
     /// Filesystem failure.
     Fs(FsError),
     /// Device failure.
@@ -83,6 +104,15 @@ impl std::fmt::Display for BiscuitError {
                 write!(f, "channel pool exhausted ({open}/{limit} open)")
             }
             BiscuitError::BadArgument(msg) => write!(f, "bad SSDlet argument: {msg}"),
+            BiscuitError::PortClosed { port } => write!(f, "port '{port}' closed"),
+            BiscuitError::RequestTimeout { port, timeout } => write!(
+                f,
+                "receive on port '{port}' timed out after {}us",
+                timeout.as_micros()
+            ),
+            BiscuitError::SsdletPanicked { ssdlet, restarts } => {
+                write!(f, "SSDlet '{ssdlet}' panicked after {restarts} restart(s)")
+            }
             BiscuitError::Fs(e) => write!(f, "filesystem: {e}"),
             BiscuitError::Device(e) => write!(f, "device: {e}"),
         }

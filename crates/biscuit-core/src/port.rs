@@ -25,7 +25,7 @@ use biscuit_proto::wire::Wire;
 use biscuit_proto::{HostLink, Packet};
 use biscuit_sim::metrics::{self, MetricsRegistry};
 use biscuit_sim::queue::SimQueue;
-use biscuit_sim::time::SimTime;
+use biscuit_sim::time::{SimDuration, SimTime};
 use biscuit_sim::trace::{TraceEvent, Tracer};
 use biscuit_sim::Ctx;
 
@@ -260,7 +260,9 @@ impl Connection {
         };
         self.queue
             .push(ctx, Envelope { ready_at, value })
-            .map_err(|_| BiscuitError::InvalidState("port closed".into()))?;
+            .map_err(|_| BiscuitError::PortClosed {
+                port: self.label.to_string(),
+            })?;
         self.trace_port(ctx, true, bytes);
         Ok(())
     }
@@ -286,7 +288,9 @@ impl Connection {
                     .downcast::<Packet>()
                     .expect("inter-app envelope holds a packet");
                 self.trace_port(ctx, false, pkt.len() as u64);
-                Some((self.codec.as_ref().expect("inter-app has codec").decode)(&pkt))
+                Some((self.codec.as_ref().expect("inter-app has codec").decode)(
+                    &pkt,
+                ))
             }
             PortKind::HostToDevice => {
                 ctx.sleep(cfg.cm_recv_device);
@@ -295,7 +299,9 @@ impl Connection {
                     .downcast::<Packet>()
                     .expect("boundary envelope holds a packet");
                 self.trace_port(ctx, false, pkt.len() as u64);
-                Some((self.codec.as_ref().expect("boundary has codec").decode)(&pkt))
+                Some((self.codec.as_ref().expect("boundary has codec").decode)(
+                    &pkt,
+                ))
             }
             PortKind::DeviceToHost => None, // devices never read their own output channel
         }
@@ -333,6 +339,39 @@ impl<T: Wire + Any + Send> HostInPort<T> {
         let v = (self.conn.codec.as_ref().expect("boundary has codec").decode)(&pkt);
         Some(*v.downcast::<T>().expect("codec produced declared type"))
     }
+
+    /// Like [`HostInPort::get`], but gives up after `timeout` of virtual
+    /// time with no arrival. `Ok(None)` still means end-of-stream; a
+    /// [`BiscuitError::RequestTimeout`] means the producer is stalled (or
+    /// dead) and the caller should trigger its recovery policy — e.g. the
+    /// DB layer falls back to a host-side scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BiscuitError::RequestTimeout`] when the deadline passes.
+    pub fn get_deadline(&self, ctx: &Ctx, timeout: SimDuration) -> BiscuitResult<Option<T>> {
+        let deadline = ctx.now() + timeout;
+        match self.conn.queue.pop_deadline(ctx, deadline) {
+            Ok(Some(env)) => {
+                ctx.sleep_until(env.ready_at);
+                ctx.sleep(self.cfg.cm_recv_host);
+                let pkt = env
+                    .value
+                    .downcast::<Packet>()
+                    .expect("boundary envelope holds a packet");
+                self.conn.trace_port(ctx, false, pkt.len() as u64);
+                let v = (self.conn.codec.as_ref().expect("boundary has codec").decode)(&pkt);
+                Ok(Some(
+                    *v.downcast::<T>().expect("codec produced declared type"),
+                ))
+            }
+            Ok(None) => Ok(None),
+            Err(_) => Err(BiscuitError::RequestTimeout {
+                port: self.conn.label.to_string(),
+                timeout,
+            }),
+        }
+    }
 }
 
 /// Host-side sending end of a host→device connection
@@ -361,7 +400,9 @@ impl<T: Wire + Any + Send> HostOutPort<T> {
     /// Returns an error if the port was closed.
     pub fn put(&self, ctx: &Ctx, value: T) -> BiscuitResult<()> {
         if *self.closed.lock() {
-            return Err(BiscuitError::InvalidState("port already closed".into()));
+            return Err(BiscuitError::PortClosed {
+                port: self.conn.label.to_string(),
+            });
         }
         ctx.sleep(self.cfg.cm_send_host);
         let pkt = value.to_packet();
@@ -376,7 +417,9 @@ impl<T: Wire + Any + Send> HostOutPort<T> {
                     value: Box::new(pkt),
                 },
             )
-            .map_err(|_| BiscuitError::InvalidState("port closed".into()))?;
+            .map_err(|_| BiscuitError::PortClosed {
+                port: self.conn.label.to_string(),
+            })?;
         self.conn.trace_port(ctx, true, bytes);
         Ok(())
     }

@@ -11,7 +11,7 @@ use std::sync::{Arc, OnceLock};
 use biscuit_fs::Fs;
 use biscuit_proto::{HostLink, LinkConfig};
 use biscuit_sim::time::SimDuration;
-use biscuit_sim::{Ctx, MetricsRegistry, Tracer};
+use biscuit_sim::{Ctx, FaultPlan, MetricsRegistry, Tracer};
 use biscuit_ssd::SsdDevice;
 
 use crate::config::CoreConfig;
@@ -49,6 +49,7 @@ pub(crate) struct SsdShared {
     pub rt: DeviceRuntime,
     pub trace: OnceLock<Tracer>,
     pub metrics: OnceLock<MetricsRegistry>,
+    pub fault: OnceLock<FaultPlan>,
 }
 
 impl std::fmt::Debug for Ssd {
@@ -78,6 +79,7 @@ impl Ssd {
                 rt: DeviceRuntime::new(),
                 trace: OnceLock::new(),
                 metrics: OnceLock::new(),
+                fault: OnceLock::new(),
             }),
         }
     }
@@ -91,6 +93,9 @@ impl Ssd {
     pub fn attach_tracer(&self, tracer: &Tracer) {
         self.inner.device.attach_tracer(tracer);
         self.inner.link.attach_tracer(tracer);
+        if let Some(plan) = self.inner.fault.get() {
+            plan.attach_tracer(tracer);
+        }
         let _ = self.inner.trace.set(tracer.clone());
     }
 
@@ -108,12 +113,44 @@ impl Ssd {
     pub fn attach_metrics(&self, registry: &MetricsRegistry) {
         self.inner.device.attach_metrics(registry);
         self.inner.link.attach_metrics(registry);
+        if let Some(plan) = self.inner.fault.get() {
+            plan.attach_metrics(registry);
+        }
         let _ = self.inner.metrics.set(registry.clone());
     }
 
     /// The registry attached via [`Ssd::attach_metrics`], if any.
     pub fn metrics(&self) -> Option<&MetricsRegistry> {
         self.inner.metrics.get()
+    }
+
+    /// Arms the whole platform with a fault plan in one call: the device's
+    /// NAND/core sites, both host-link DMA directions, SSDlet panic/stall
+    /// injection in applications built on this handle, and the host-side
+    /// request-timeout policy all draw from `plan`. Any tracer or registry
+    /// already attached (or attached later) also receives the plan's fault
+    /// events. The first call wins; a [`FaultPlan::none`] plan (or no call)
+    /// leaves every path byte-identical to the fault-free platform.
+    pub fn attach_fault_plan(&self, plan: &FaultPlan) {
+        self.inner.device.set_fault_plan(plan);
+        self.inner.link.set_fault_plan(plan);
+        if let Some(tracer) = self.inner.trace.get() {
+            plan.attach_tracer(tracer);
+        }
+        if let Some(registry) = self.inner.metrics.get() {
+            plan.attach_metrics(registry);
+        }
+        let _ = self.inner.fault.set(plan.clone());
+    }
+
+    /// The fault plan armed via [`Ssd::attach_fault_plan`], or the inert
+    /// [`FaultPlan::none`] when the platform runs fault-free.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.inner
+            .fault
+            .get()
+            .cloned()
+            .unwrap_or_else(FaultPlan::none)
     }
 
     /// The simulated device.
@@ -140,7 +177,6 @@ impl Ssd {
     pub fn runtime(&self) -> &DeviceRuntime {
         &self.inner.rt
     }
-
 
     /// Loads a module onto the device (paper Code 3: `ssd.loadModule`).
     /// Charges the control command, the image transfer, and device-side

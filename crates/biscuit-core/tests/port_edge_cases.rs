@@ -120,7 +120,7 @@ fn host_put_after_close_errors() {
         tx.close(ctx);
         assert!(matches!(
             tx.put(ctx, 2),
-            Err(BiscuitError::InvalidState(_))
+            Err(BiscuitError::PortClosed { .. })
         ));
         tx.close(ctx); // idempotent
         app.join(ctx);
@@ -156,7 +156,8 @@ fn deep_pipeline_preserves_order() {
             .map(|_| app.ssdlet(mid, "idPlusOne").unwrap())
             .collect();
         for pair in stages.windows(2) {
-            app.connect::<u64>(pair[0].out(0), pair[1].input(0)).unwrap();
+            app.connect::<u64>(pair[0].out(0), pair[1].input(0))
+                .unwrap();
         }
         let tx = app.connect_from::<u64>(stages[0].input(0)).unwrap();
         let rx = app.connect_to::<u64>(stages[STAGES - 1].out(0)).unwrap();

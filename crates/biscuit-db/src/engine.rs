@@ -19,12 +19,12 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use biscuit_core::runtime::ModuleId;
-use biscuit_core::{Application, Ssd};
+use biscuit_core::{Application, BiscuitError, Ssd};
 use biscuit_fs::Mode;
 use biscuit_host::{ConvIo, HostConfig, HostLoad};
 use biscuit_sim::time::{SimDuration, SimTime};
 use biscuit_sim::trace::TraceEvent;
-use biscuit_sim::Ctx;
+use biscuit_sim::{Ctx, FaultSite};
 
 use crate::error::{DbError, DbResult};
 use crate::exec;
@@ -209,11 +209,7 @@ impl std::fmt::Debug for Db {
 impl Db {
     /// Creates an engine over a Biscuit-enabled SSD.
     pub fn new(ssd: Ssd, host_cfg: HostConfig, cfg: DbConfig) -> Db {
-        let conv = ConvIo::new(
-            Arc::clone(ssd.device()),
-            Arc::clone(ssd.link()),
-            host_cfg,
-        );
+        let conv = ConvIo::new(Arc::clone(ssd.device()), Arc::clone(ssd.link()), host_cfg);
         Db {
             ssd,
             conv,
@@ -296,13 +292,13 @@ impl Db {
         let mut rows = Vec::with_capacity(meta.rows as usize);
         for lpn_idx in 0..meta.pages {
             let file = self.ssd.fs().open(&meta.file_path, Mode::ReadOnly)?;
-            let lpns = file.lpns_for_range(
-                lpn_idx * self.page_size() as u64,
-                self.page_size() as u64,
-            )?;
-            let page = self.ssd.device().peek_page(lpns[0]).map_err(|e| {
-                DbError::Fs(biscuit_fs::FsError::Device(e))
-            })?;
+            let lpns =
+                file.lpns_for_range(lpn_idx * self.page_size() as u64, self.page_size() as u64)?;
+            let page = self
+                .ssd
+                .device()
+                .peek_page(lpns[0])
+                .map_err(|e| DbError::Fs(biscuit_fs::FsError::Device(e)))?;
             rows.extend(table::parse_page(&meta.schema, &meta.name, &page)?);
         }
         let rows = Arc::new(rows);
@@ -337,16 +333,34 @@ impl Db {
             };
             if mode == ExecMode::Biscuit {
                 if meta.pages < self.cfg.min_table_pages {
-                    self.trace_verdict(ctx, &meta.name, false, 1.0, "table smaller than min_table_pages");
+                    self.trace_verdict(
+                        ctx,
+                        &meta.name,
+                        false,
+                        1.0,
+                        "table smaller than min_table_pages",
+                    );
                 } else if let Some(keys) = scan.predicate.as_ref().and_then(pattern_keys) {
                     let predicate = scan.predicate.as_ref().expect("keys imply a predicate");
                     let est = self.sample_selectivity(ctx, meta, predicate, load)?;
                     plan.est_selectivity = est;
                     if est <= self.cfg.selectivity_threshold {
                         plan.offload_keys = Some(keys);
-                        self.trace_verdict(ctx, &meta.name, true, est, "selectivity below threshold");
+                        self.trace_verdict(
+                            ctx,
+                            &meta.name,
+                            true,
+                            est,
+                            "selectivity below threshold",
+                        );
                     } else {
-                        self.trace_verdict(ctx, &meta.name, false, est, "selectivity above threshold");
+                        self.trace_verdict(
+                            ctx,
+                            &meta.name,
+                            false,
+                            est,
+                            "selectivity above threshold",
+                        );
                     }
                 } else {
                     self.trace_verdict(ctx, &meta.name, false, 1.0, "no pattern keys");
@@ -497,10 +511,7 @@ impl Db {
         load: HostLoad,
     ) -> DbResult<Vec<Row>> {
         let mid = self.ensure_scan_module(ctx)?;
-        let file = self
-            .ssd
-            .fs()
-            .open(&meta.file_path, Mode::ReadOnly)?;
+        let file = self.ssd.fs().open(&meta.file_path, Mode::ReadOnly)?;
         let app = Application::new(&self.ssd, format!("scan-{}", meta.name));
         let scanner = app.ssdlet_with(
             mid,
@@ -517,15 +528,63 @@ impl Db {
         )?;
         let rx = app.connect_to::<Vec<Row>>(scanner.out(0))?;
         app.start(ctx)?;
+        let plan = self.ssd.fault_plan();
         let mut rows = Vec::new();
-        while let Some(batch) = rx.get(ctx) {
-            // The host still runs returned rows through the upper executor
-            // layers.
-            let bytes: usize = batch.len() * 64;
-            self.charge_host_rows(ctx, bytes as u64, load);
-            rows.extend(batch);
+        let mut fallback: Option<&'static str> = None;
+        if let Some(timeout) = plan.host_timeout() {
+            loop {
+                match rx.get_deadline(ctx, timeout) {
+                    Ok(Some(batch)) => {
+                        // The host still runs returned rows through the upper
+                        // executor layers.
+                        let bytes: usize = batch.len() * 64;
+                        self.charge_host_rows(ctx, bytes as u64, load);
+                        rows.extend(batch);
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        // The offload blew past the host deadline. Keep
+                        // draining (discarding) so the device fibers can
+                        // finish, then degrade to the host path.
+                        plan.record_failed(ctx.now(), FaultSite::Ssdlet, "host_timeout");
+                        fallback = Some("timeout");
+                        while rx.get(ctx).is_some() {}
+                        break;
+                    }
+                }
+            }
+        } else {
+            while let Some(batch) = rx.get(ctx) {
+                // The host still runs returned rows through the upper executor
+                // layers.
+                let bytes: usize = batch.len() * 64;
+                self.charge_host_rows(ctx, bytes as u64, load);
+                rows.extend(batch);
+            }
         }
         app.join(ctx);
+        if fallback.is_none() && app.failure().is_some() {
+            fallback = Some("ssdlet_failure");
+        }
+        if let Some(cause) = fallback {
+            // Graceful degradation: discard the partial offload output and
+            // re-run the scan on the host path. Results stay byte-identical
+            // because both paths evaluate the same predicate over the same
+            // cached rows.
+            rows.clear();
+            if let Some(registry) = self.ssd.metrics() {
+                if registry.is_enabled() {
+                    registry
+                        .counter(
+                            "db_host_fallbacks_total",
+                            &[("table", meta.name.as_str()), ("cause", cause)],
+                        )
+                        .inc();
+                }
+            }
+            plan.record_recovered(ctx.now(), FaultSite::Ssdlet, "host_fallback");
+            return self.scan_conv(ctx, meta, Some(predicate), load);
+        }
         Ok(rows)
     }
 
@@ -568,12 +627,34 @@ impl Db {
         app.connect::<Vec<Row>>(scanner.out(0), agg.input(0))?;
         let rx = app.connect_to::<Vec<Row>>(agg.out(0))?;
         app.start(ctx)?;
+        let plan = self.ssd.fault_plan();
         let mut rows = Vec::new();
-        while let Some(batch) = rx.get(ctx) {
-            self.charge_host_rows(ctx, (batch.len() * 16) as u64, load);
-            rows.extend(batch);
+        if let Some(timeout) = plan.host_timeout() {
+            loop {
+                match rx.get_deadline(ctx, timeout) {
+                    Ok(Some(batch)) => {
+                        self.charge_host_rows(ctx, (batch.len() * 16) as u64, load);
+                        rows.extend(batch);
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        // Drain (discarding) so the device pipeline can
+                        // finish, then surface the typed timeout; the caller
+                        // degrades to the host execution path.
+                        plan.record_failed(ctx.now(), FaultSite::Ssdlet, "host_timeout");
+                        while rx.get(ctx).is_some() {}
+                        app.join(ctx);
+                        return Err(e.into());
+                    }
+                }
+            }
+        } else {
+            while let Some(batch) = rx.get(ctx) {
+                self.charge_host_rows(ctx, (batch.len() * 16) as u64, load);
+                rows.extend(batch);
+            }
         }
-        app.join(ctx);
+        app.join_checked(ctx)?;
         Ok(rows)
     }
 
@@ -706,23 +787,45 @@ impl Db {
             let scan = &spec.scans[0];
             let meta = self.meta(&scan.table)?;
             let keys = plans[0].offload_keys.as_ref().expect("qualified");
-            let mut rows = self.scan_ndp_aggregate(
+            match self.scan_ndp_aggregate(
                 ctx,
                 meta,
                 scan.predicate.as_ref().expect("keys imply predicate"),
                 keys,
                 &spec.aggregates,
                 load,
-            )?;
-            exec::order_and_limit(&mut rows, &spec.order_by, spec.limit);
-            let stats = QueryStats {
-                offloaded_tables: vec![scan.table.clone()],
-                link_bytes_to_host: self.ssd.link().bytes_to_host() - link0,
-                device_pages_scanned: self.ssd.device().stats().pages_scanned.get() - dev0,
-                rows_out: rows.len(),
-                elapsed: ctx.now() - t0,
-            };
-            return Ok(QueryOutput { rows, stats });
+            ) {
+                Ok(mut rows) => {
+                    exec::order_and_limit(&mut rows, &spec.order_by, spec.limit);
+                    let stats = QueryStats {
+                        offloaded_tables: vec![scan.table.clone()],
+                        link_bytes_to_host: self.ssd.link().bytes_to_host() - link0,
+                        device_pages_scanned: self.ssd.device().stats().pages_scanned.get() - dev0,
+                        rows_out: rows.len(),
+                        elapsed: ctx.now() - t0,
+                    };
+                    return Ok(QueryOutput { rows, stats });
+                }
+                Err(DbError::Biscuit(
+                    BiscuitError::RequestTimeout { .. } | BiscuitError::SsdletPanicked { .. },
+                )) => {
+                    // Graceful degradation: the pushed-down pipeline failed
+                    // past its recovery budget; fall through to the general
+                    // host-side execution path (whose scans carry their own
+                    // fallback) for byte-identical results.
+                    if let Some(registry) = self.ssd.metrics() {
+                        if registry.is_enabled() {
+                            registry
+                                .counter(
+                                    "db_host_fallbacks_total",
+                                    &[("table", scan.table.as_str()), ("cause", "agg_pushdown")],
+                                )
+                                .inc();
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
 
         let order = self.join_order(spec, &plans)?;

@@ -36,7 +36,11 @@ fn load_items(db: &mut Db, rows: usize, stride: usize) {
     ]);
     let data: Vec<Row> = (0..rows)
         .map(|i| {
-            let cat = if i % stride == 0 { "TARGETCAT" } else { "FILLER" };
+            let cat = if i % stride == 0 {
+                "TARGETCAT"
+            } else {
+                "FILLER"
+            };
             vec![
                 Value::Int(i as i64),
                 Value::Str(format!("{cat}{:03}", i % 7)),
@@ -171,7 +175,10 @@ fn join_and_aggregate_agree_across_modes() {
             (AggFun::Count, Expr::Lit(Value::Int(1))),
             (AggFun::Sum, Expr::Col(2)),
         ];
-        spec.order_by = vec![OrderKey { col: 0, desc: false }];
+        spec.order_by = vec![OrderKey {
+            col: 0,
+            desc: false,
+        }];
         spec
     };
     let conv = run_query(Arc::clone(&db), build(), ExecMode::Conv);
@@ -191,7 +198,10 @@ fn projection_order_limit() {
     spec.projection = vec![Expr::Col(0), Expr::Col(2)];
     spec.order_by = vec![
         OrderKey { col: 1, desc: true },
-        OrderKey { col: 0, desc: false },
+        OrderKey {
+            col: 0,
+            desc: false,
+        },
     ];
     spec.limit = Some(5);
     let out = run_query(db, spec, ExecMode::Conv);
@@ -222,7 +232,9 @@ fn explain_reports_offload_and_join_order() {
         );
         let cats = spec.scan("categories", None);
         spec.join(items, 1, cats, 0);
-        let plan = db.explain(ctx, &spec, ExecMode::Biscuit, HostLoad::IDLE).unwrap();
+        let plan = db
+            .explain(ctx, &spec, ExecMode::Biscuit, HostLoad::IDLE)
+            .unwrap();
         *o.lock() = Some(plan);
     });
     sim.run().assert_quiescent();
@@ -308,5 +320,115 @@ fn aggregate_pushdown_extension_matches_host_aggregation() {
         "pushdown {} vs filter-only {}",
         pushed.stats.link_bytes_to_host,
         plain.stats.link_bytes_to_host
+    );
+}
+
+/// With the panic budget larger than the restart budget the scan SSDlet
+/// fails terminally; the engine must degrade to a host-side scan and still
+/// return byte-identical rows.
+#[test]
+fn ssdlet_failure_falls_back_to_host_scan() {
+    use biscuit_sim::fault::{FaultConfig, FaultSite};
+    use biscuit_sim::FaultPlan;
+
+    let mut db = make_db();
+    load_items(&mut db, 30_000, 500);
+    let db = Arc::new(db);
+    let clean = run_query(Arc::clone(&db), selective_spec(), ExecMode::Biscuit);
+
+    let mut db = make_db();
+    load_items(&mut db, 30_000, 500);
+    let plan = FaultPlan::seeded(
+        7,
+        FaultConfig {
+            ssdlet_panics: 2,
+            ssdlet_stalls: 0,
+            ssdlet_max_restarts: 1,
+            ..FaultConfig::default()
+        },
+    );
+    db.ssd().attach_fault_plan(&plan);
+    let db = Arc::new(db);
+    let faulty = run_query(Arc::clone(&db), selective_spec(), ExecMode::Biscuit);
+
+    assert_eq!(clean.rows, faulty.rows);
+    assert!(plan.failed_total() >= 1, "restart budget must be exhausted");
+    assert!(
+        plan.recovered_at(FaultSite::Ssdlet) >= 1,
+        "host fallback must be recorded as a recovery"
+    );
+}
+
+/// A panic within the restart budget recovers in place: the restarted
+/// SSDlet completes the offload and no host fallback happens.
+#[test]
+fn ssdlet_restart_recovers_without_fallback() {
+    use biscuit_sim::fault::FaultConfig;
+    use biscuit_sim::FaultPlan;
+
+    let mut db = make_db();
+    load_items(&mut db, 30_000, 500);
+    let db = Arc::new(db);
+    let clean = run_query(Arc::clone(&db), selective_spec(), ExecMode::Biscuit);
+
+    let mut db = make_db();
+    load_items(&mut db, 30_000, 500);
+    let plan = FaultPlan::seeded(
+        7,
+        FaultConfig {
+            ssdlet_panics: 1,
+            ssdlet_stalls: 0,
+            ssdlet_max_restarts: 2,
+            ..FaultConfig::default()
+        },
+    );
+    db.ssd().attach_fault_plan(&plan);
+    let db = Arc::new(db);
+    let faulty = run_query(Arc::clone(&db), selective_spec(), ExecMode::Biscuit);
+
+    assert_eq!(clean.rows, faulty.rows);
+    assert_eq!(plan.failed_total(), 0, "restart must succeed");
+    assert!(plan.recovered_total() >= 1, "restart must be recorded");
+    assert_eq!(
+        faulty.stats.offloaded_tables,
+        vec!["items".to_string()],
+        "offload must complete on-device after the restart"
+    );
+}
+
+/// An aggressively small host timeout abandons a healthy offload mid-query;
+/// the conventional fallback must still produce identical rows.
+#[test]
+fn host_timeout_falls_back_to_host_scan() {
+    use biscuit_sim::fault::{FaultConfig, FaultSite};
+    use biscuit_sim::time::SimDuration;
+    use biscuit_sim::FaultPlan;
+
+    let mut db = make_db();
+    load_items(&mut db, 30_000, 500);
+    let db = Arc::new(db);
+    let clean = run_query(Arc::clone(&db), selective_spec(), ExecMode::Biscuit);
+
+    let mut db = make_db();
+    load_items(&mut db, 30_000, 500);
+    let plan = FaultPlan::seeded(
+        7,
+        FaultConfig {
+            host_timeout: Some(SimDuration::from_nanos(50)),
+            ..FaultConfig::default()
+        },
+    );
+    db.ssd().attach_fault_plan(&plan);
+    let db = Arc::new(db);
+    let faulty = run_query(Arc::clone(&db), selective_spec(), ExecMode::Biscuit);
+
+    assert_eq!(clean.rows, faulty.rows);
+    assert!(
+        plan.failed_total() >= 1,
+        "the timed-out request must be recorded as failed"
+    );
+    assert!(
+        plan.recovered_at(FaultSite::Ssdlet) >= 1,
+        "host fallback must be recorded as a recovery"
     );
 }

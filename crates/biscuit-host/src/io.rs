@@ -7,6 +7,13 @@
 //! host completion processing. Synchronous reads issue one request at a
 //! time; asynchronous reads keep a queue-depth window in flight — the two
 //! curves of Fig. 7.
+//!
+//! The Conv path shares its fault surface with the offload path: a
+//! [`biscuit_sim::fault::FaultPlan`] armed on the device and link (via
+//! `Ssd::attach_fault_plan` or directly) injects NAND read-retries,
+//! bad-block retirement, core stalls, and link replays into these reads
+//! too. All of those recoveries are data-transparent — only latency
+//! changes — which the tests below pin down.
 
 use std::sync::Arc;
 
@@ -285,7 +292,8 @@ mod tests {
         fs.create("big").unwrap();
         let total: u64 = 128 << 20;
         // Load via device bulk API to keep setup fast.
-        fs.append_untimed("big", &vec![1u8; total as usize]).unwrap();
+        fs.append_untimed("big", &vec![1u8; total as usize])
+            .unwrap();
         let f = fs.open("big", Mode::ReadOnly).unwrap();
         let sim = Simulation::new(0);
         let t = Arc::new(AtomicU64::new(0));
@@ -348,5 +356,54 @@ mod tests {
             assert_eq!(got, got2);
         });
         sim.run().assert_quiescent();
+    }
+
+    /// Injected NAND and link faults slow a Conv read down but never change
+    /// the bytes it returns.
+    #[test]
+    fn faulted_conv_read_is_slower_but_data_identical() {
+        use biscuit_sim::fault::{FaultConfig, FaultPlan};
+
+        let run = |plan: Option<FaultPlan>| -> (Vec<u8>, u64) {
+            let (fs, io) = setup();
+            if let Some(p) = &plan {
+                io.device().set_fault_plan(p);
+                io.link().set_fault_plan(p);
+            }
+            fs.create("f").unwrap();
+            let data: Vec<u8> = (0..100_000u32).map(|i| (i % 241) as u8).collect();
+            fs.append_untimed("f", &data).unwrap();
+            let f = fs.open("f", Mode::ReadOnly).unwrap();
+            let sim = Simulation::new(0);
+            let out = Arc::new(parking_lot::Mutex::new((Vec::new(), 0u64)));
+            let o = Arc::clone(&out);
+            sim.spawn("r", move |ctx| {
+                let start = ctx.now();
+                let got = io.read(ctx, &f, 0, 100_000, HostLoad::IDLE).unwrap();
+                *o.lock() = (got, (ctx.now() - start).as_nanos());
+            });
+            sim.run().assert_quiescent();
+            let r = out.lock().clone();
+            r
+        };
+
+        let (clean, clean_ns) = run(None);
+        let plan = FaultPlan::seeded(
+            11,
+            FaultConfig {
+                nand_read_error_rate: 1.0,
+                link_corrupt_rate: 1.0,
+                core_stall_rate: 1.0,
+                ..FaultConfig::default()
+            },
+        );
+        let (faulty, faulty_ns) = run(Some(plan.clone()));
+        assert_eq!(clean, faulty, "recoveries must be data-transparent");
+        assert!(
+            faulty_ns > clean_ns,
+            "retries/replays/stalls must cost time: {faulty_ns} vs {clean_ns}"
+        );
+        assert!(plan.injected_total() >= 1);
+        assert_eq!(plan.recovered_total(), plan.injected_total());
     }
 }

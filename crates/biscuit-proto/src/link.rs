@@ -7,8 +7,9 @@
 //! internal reads skip the link entirely — that asymmetry is the root of the
 //! Table III latency gap and the Fig. 7 bandwidth gap.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use biscuit_sim::fault::{FaultPlan, FaultSite};
 use biscuit_sim::queue::Semaphore;
 use biscuit_sim::resource::Shaper;
 use biscuit_sim::time::{SimDuration, SimTime};
@@ -96,6 +97,7 @@ pub struct HostLink {
     to_host: Shaper,
     to_device: Shaper,
     slots: Arc<Semaphore>,
+    fault: OnceLock<FaultPlan>,
 }
 
 impl HostLink {
@@ -110,8 +112,58 @@ impl HostLink {
             to_host: Shaper::new(cfg.bandwidth_bytes_per_sec, SimDuration::ZERO),
             to_device: Shaper::new(cfg.bandwidth_bytes_per_sec, SimDuration::ZERO),
             slots: Arc::new(Semaphore::new(cfg.queue_depth)),
+            fault: OnceLock::new(),
             cfg,
         }
+    }
+
+    /// Arms the link's fault-injection sites with `plan`: every DMA
+    /// reservation in either direction may draw packet corruption. A
+    /// corrupted attempt is caught by the link CRC and replayed after
+    /// exponential backoff (`link_backoff_base × 2^(k−1)` before the k-th
+    /// replay), re-reserving link bandwidth each time. The first call wins;
+    /// a [`FaultPlan::none`] plan leaves the timing path untouched.
+    pub fn set_fault_plan(&self, plan: &FaultPlan) {
+        let _ = self.fault.set(plan.clone());
+    }
+
+    #[inline]
+    fn fault(&self) -> Option<&FaultPlan> {
+        self.fault.get().filter(|p| p.is_active())
+    }
+
+    /// Extends a finished DMA reservation with CRC-replay attempts drawn
+    /// from the armed fault plan: attempt k backs off `base × 2^(k−1)` and
+    /// then re-reserves the shaper for the full payload. Returns when the
+    /// first clean attempt completes (`end` unchanged when no fault fires).
+    fn replay_corrupted(
+        &self,
+        site: FaultSite,
+        shaper: &Shaper,
+        bytes: u64,
+        mut end: SimTime,
+    ) -> SimTime {
+        let Some(plan) = self.fault() else {
+            return end;
+        };
+        let n = plan.link_corrupt_attempts(site);
+        if n == 0 {
+            return end;
+        }
+        let base = plan
+            .config()
+            .expect("active plan has a config")
+            .link_backoff_base;
+        plan.record_injected(
+            end,
+            site,
+            &format!("{bytes} bytes corrupted, {n} replay(s)"),
+        );
+        for k in 0..n {
+            end = shaper.enqueue(end + base * (1u64 << k), bytes);
+        }
+        plan.record_recovered(end, site, "link_replay");
+        end
     }
 
     /// The link's timing parameters.
@@ -167,24 +219,38 @@ impl HostLink {
         ctx.sleep(self.cfg.host_complete);
     }
 
-    /// Moves `bytes` from device to host over the link, blocking until done.
+    /// Moves `bytes` from device to host over the link, blocking until done
+    /// (including any CRC-replay attempts drawn from an armed fault plan).
     pub fn dma_to_host(&self, ctx: &Ctx, bytes: u64) -> SimTime {
-        self.to_host.transfer(ctx, bytes)
+        let end = self.to_host.transfer(ctx, bytes);
+        let end = self.replay_corrupted(FaultSite::LinkToHost, &self.to_host, bytes, end);
+        if end > ctx.now() {
+            ctx.sleep_until(end);
+        }
+        end
     }
 
-    /// Moves `bytes` from host to device over the link, blocking until done.
+    /// Moves `bytes` from host to device over the link, blocking until done
+    /// (including any CRC-replay attempts drawn from an armed fault plan).
     pub fn dma_to_device(&self, ctx: &Ctx, bytes: u64) -> SimTime {
-        self.to_device.transfer(ctx, bytes)
+        let end = self.to_device.transfer(ctx, bytes);
+        let end = self.replay_corrupted(FaultSite::LinkToDevice, &self.to_device, bytes, end);
+        if end > ctx.now() {
+            ctx.sleep_until(end);
+        }
+        end
     }
 
     /// Reserves a device-to-host DMA without blocking; returns completion time.
     pub fn enqueue_dma_to_host(&self, now: SimTime, bytes: u64) -> SimTime {
-        self.to_host.enqueue(now, bytes)
+        let end = self.to_host.enqueue(now, bytes);
+        self.replay_corrupted(FaultSite::LinkToHost, &self.to_host, bytes, end)
     }
 
     /// Reserves a host-to-device DMA without blocking; returns completion time.
     pub fn enqueue_dma_to_device(&self, now: SimTime, bytes: u64) -> SimTime {
-        self.to_device.enqueue(now, bytes)
+        let end = self.to_device.enqueue(now, bytes);
+        self.replay_corrupted(FaultSite::LinkToDevice, &self.to_device, bytes, end)
     }
 
     /// Total bytes moved device→host so far.
@@ -283,6 +349,93 @@ mod tests {
         sim.run().assert_quiescent();
         assert_eq!(link.bytes_to_host(), 1 << 20);
         assert_eq!(link.bytes_to_device(), 1 << 20);
+    }
+
+    #[test]
+    fn link_replay_backoff_matches_configured_schedule() {
+        use biscuit_sim::fault::{FaultConfig, FaultPlan, FaultSite};
+
+        fn timed_dma(plan: Option<FaultPlan>) -> u64 {
+            let sim = Simulation::new(0);
+            let link = Arc::new(HostLink::new(LinkConfig {
+                host_submit: SimDuration::ZERO,
+                device_command: SimDuration::ZERO,
+                host_complete: SimDuration::ZERO,
+                ..LinkConfig::pcie_gen3_x4()
+            }));
+            if let Some(p) = &plan {
+                link.set_fault_plan(p);
+            }
+            let l = Arc::clone(&link);
+            let done = Arc::new(AtomicU64::new(0));
+            let d = Arc::clone(&done);
+            sim.spawn("dma", move |ctx| {
+                let end = l.enqueue_dma_to_host(ctx.now(), 1 << 20);
+                ctx.sleep_until(end);
+                d.store(ctx.now().as_nanos(), Ordering::SeqCst);
+            });
+            sim.run().assert_quiescent();
+            done.load(Ordering::SeqCst)
+        }
+
+        let base = SimDuration::from_micros(10);
+        let fault_cfg = FaultConfig {
+            link_corrupt_rate: 1.0,
+            link_max_replays: 3,
+            link_backoff_base: base,
+            ..FaultConfig::default()
+        };
+        // An identically-seeded shadow plan predicts the drawn replay count.
+        let shadow = FaultPlan::seeded(99, fault_cfg.clone());
+        let n = shadow.link_corrupt_attempts(FaultSite::LinkToHost);
+        assert!((1..=3).contains(&n));
+
+        let clean_ns = timed_dma(None);
+        let plan = FaultPlan::seeded(99, fault_cfg);
+        let faulty_ns = timed_dma(Some(plan.clone()));
+
+        // n corrupted attempts: each replay waits base×2^(k−1) and then
+        // re-transfers the full payload on the idle shaper.
+        let mut expected_ns = clean_ns;
+        for k in 0..n {
+            expected_ns += (base * (1u64 << k)).as_nanos() + clean_ns;
+        }
+        assert_eq!(
+            faulty_ns, expected_ns,
+            "virtual-time replay schedule diverged (n={n})"
+        );
+        assert_eq!(plan.injected_at(FaultSite::LinkToHost), 1);
+        assert_eq!(plan.recovered_at(FaultSite::LinkToHost), 1);
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_leaves_link_timing_untouched() {
+        use biscuit_sim::fault::{FaultConfig, FaultPlan};
+
+        fn timed_dma(plan: Option<FaultPlan>) -> u64 {
+            let sim = Simulation::new(0);
+            let link = Arc::new(HostLink::new(LinkConfig::pcie_gen3_x4()));
+            if let Some(p) = &plan {
+                link.set_fault_plan(p);
+            }
+            let l = Arc::clone(&link);
+            let done = Arc::new(AtomicU64::new(0));
+            let d = Arc::clone(&done);
+            sim.spawn("dma", move |ctx| {
+                l.dma_to_host(ctx, 1 << 16);
+                l.dma_to_device(ctx, 1 << 16);
+                d.store(ctx.now().as_nanos(), Ordering::SeqCst);
+            });
+            sim.run().assert_quiescent();
+            done.load(Ordering::SeqCst)
+        }
+
+        let clean = timed_dma(None);
+        assert_eq!(clean, timed_dma(Some(FaultPlan::none())));
+        assert_eq!(
+            clean,
+            timed_dma(Some(FaultPlan::seeded(1, FaultConfig::default())))
+        );
     }
 
     #[test]

@@ -1,0 +1,646 @@
+//! Deterministic, seeded fault injection for the simulated SSD stack.
+//!
+//! A [`FaultPlan`] is a cheaply cloneable handle that instrumented sites
+//! across the stack consult before doing work: NAND page senses (read
+//! errors with escalating read-retry and uncorrectable-ECC escalation),
+//! PCIe/link DMA packets (CRC-detected corruption with replay and
+//! exponential backoff), device-core request overhead (stalls), and SSDlet
+//! run attempts (panics and hangs). The recovery policies that consume
+//! these faults live with the components themselves — the FTL retires bad
+//! blocks, the link replays corrupted packets, the runtime restarts
+//! panicked SSDlets, and the DB engine falls back to a host-side scan.
+//!
+//! ## Determinism
+//!
+//! Every decision derives from `hash(seed, site, ordinal)` where `ordinal`
+//! is a per-site counter — never from wall-clock time or the kernel's RNG —
+//! so a given seed produces the same faults at the same sites in the same
+//! order on every run, and traces/metrics stay byte-identical across
+//! repeated runs (`docs/FAULTS.md` has the full reproduction guide).
+//!
+//! [`FaultPlan::none`] is the always-disabled plan: consulting it is a
+//! single `Option` check with **zero** timing side effects, so fault-free
+//! runs are bit-identical to runs on a build without fault hooks.
+//!
+//! ## Observability
+//!
+//! Every injected, recovered, and failed fault increments the aggregate
+//! metrics registry (`fault_injected_total`, `fault_recovered_total`,
+//! `fault_failed_total`, labeled by site/action) and emits structured
+//! [`TraceEvent::FaultInjected`] / [`TraceEvent::FaultRecovered`] /
+//! [`TraceEvent::FaultFailed`] events.
+//!
+//! ```
+//! use biscuit_sim::fault::{FaultConfig, FaultPlan, FaultSite};
+//! use biscuit_sim::time::SimTime;
+//!
+//! let plan = FaultPlan::seeded(7, FaultConfig {
+//!     nand_read_error_rate: 1.0,
+//!     ..FaultConfig::default()
+//! });
+//! let f = plan.nand_read_fault().expect("rate 1.0 always fires");
+//! assert!(f.retries >= 1);
+//! plan.record_injected(SimTime::ZERO, FaultSite::NandRead, "tR retry");
+//! plan.record_recovered(SimTime::ZERO, FaultSite::NandRead, "read_retry");
+//! assert_eq!(plan.injected_total(), 1);
+//! assert_eq!(plan.recovered_total(), 1);
+//!
+//! let off = FaultPlan::none();
+//! assert!(!off.is_active());
+//! assert!(off.nand_read_fault().is_none());
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::metrics::MetricsRegistry;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, Tracer};
+
+/// Instrumented locations where a [`FaultPlan`] may inject a fault. Each
+/// site draws from its own deterministic ordinal stream, so injections at
+/// one site never perturb another site's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A NAND page sense: read error, read-retry, uncorrectable ECC.
+    NandRead,
+    /// A host-bound DMA packet on the PCIe/link model.
+    LinkToHost,
+    /// A device-bound DMA packet on the PCIe/link model.
+    LinkToDevice,
+    /// A device-core request-overhead charge (core stall).
+    CoreStall,
+    /// An SSDlet run attempt (panic or hang injection).
+    Ssdlet,
+}
+
+const SITE_COUNT: usize = 5;
+
+impl FaultSite {
+    /// Stable label used in metrics and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::NandRead => "nand_read",
+            FaultSite::LinkToHost => "link_to_host",
+            FaultSite::LinkToDevice => "link_to_device",
+            FaultSite::CoreStall => "core_stall",
+            FaultSite::Ssdlet => "ssdlet",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::NandRead => 0,
+            FaultSite::LinkToHost => 1,
+            FaultSite::LinkToDevice => 2,
+            FaultSite::CoreStall => 3,
+            FaultSite::Ssdlet => 4,
+        }
+    }
+}
+
+/// Fault rates and recovery-policy parameters for a seeded [`FaultPlan`].
+///
+/// The default config injects nothing (all rates zero, no panics or
+/// hangs) but carries sensible recovery parameters, so tests can flip on
+/// exactly one fault kind with struct-update syntax.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Probability, per NAND page sense, that the read needs retries.
+    pub nand_read_error_rate: f64,
+    /// Retry budget per faulty read; each retry charges one extra `tR` on
+    /// the die. A read that exhausts the budget is uncorrectable.
+    pub nand_max_retries: u32,
+    /// Conditional probability (given a read error) that retries cannot
+    /// correct the page: the full budget is charged and the FTL retires
+    /// the block, relocating its valid pages.
+    pub nand_uncorrectable_rate: f64,
+    /// Probability, per DMA transfer, that the packet is corrupted in
+    /// flight (detected by CRC at the receiver).
+    pub link_corrupt_rate: f64,
+    /// Maximum replay attempts for one corrupted transfer. The plan draws
+    /// how many attempts fail (1..=max); the next attempt succeeds.
+    pub link_max_replays: u32,
+    /// Backoff before the first replay; attempt `k` waits
+    /// `base * 2^(k-1)`.
+    pub link_backoff_base: SimDuration,
+    /// Probability, per request-overhead charge, that a device core stalls.
+    pub core_stall_rate: f64,
+    /// Duration of one injected core stall.
+    pub core_stall: SimDuration,
+    /// Number of SSDlet run attempts (across the plan's lifetime) that
+    /// panic at entry before any output is produced.
+    pub ssdlet_panics: u32,
+    /// Number of SSDlet run attempts that hang for [`ssdlet_stall`]
+    /// before proceeding, exercising host-side request timeouts.
+    ///
+    /// [`ssdlet_stall`]: FaultConfig::ssdlet_stall
+    pub ssdlet_stalls: u32,
+    /// Duration of one injected SSDlet hang.
+    pub ssdlet_stall: SimDuration,
+    /// How many times the runtime may restart a panicked SSDlet before
+    /// marking the application failed.
+    pub ssdlet_max_restarts: u32,
+    /// Host-side receive timeout for offloaded work. When set, consumers
+    /// that support it (the DB engine's NDP drain loop) give up on a
+    /// silent device and degrade gracefully.
+    pub host_timeout: Option<SimDuration>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            nand_read_error_rate: 0.0,
+            nand_max_retries: 3,
+            nand_uncorrectable_rate: 0.0,
+            link_corrupt_rate: 0.0,
+            link_max_replays: 4,
+            link_backoff_base: SimDuration::from_micros(1),
+            core_stall_rate: 0.0,
+            core_stall: SimDuration::from_micros(50),
+            ssdlet_panics: 0,
+            ssdlet_stalls: 0,
+            ssdlet_stall: SimDuration::from_millis(5),
+            ssdlet_max_restarts: 2,
+            host_timeout: None,
+        }
+    }
+}
+
+/// A deterministic NAND read fault, drawn per faulty page sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NandReadFault {
+    /// Extra `tR` retries charged on the die (1..=`nand_max_retries`).
+    pub retries: u32,
+    /// True when retries cannot correct the page: the FTL must retire the
+    /// block after rescuing its data.
+    pub uncorrectable: bool,
+}
+
+/// A deterministic SSDlet disruption, consumed once per affected attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SsdletDisruption {
+    /// The attempt hangs for the given duration before proceeding.
+    Stall(SimDuration),
+    /// The attempt panics at entry, before producing any output.
+    Panic,
+}
+
+#[derive(Debug, Default)]
+struct SiteStats {
+    injected: AtomicU64,
+    recovered: AtomicU64,
+    failed: AtomicU64,
+}
+
+#[derive(Debug)]
+struct PlanInner {
+    seed: u64,
+    cfg: FaultConfig,
+    /// Per-site draw ordinals: the only mutable state feeding decisions.
+    ordinals: [AtomicU64; SITE_COUNT],
+    stats: [SiteStats; SITE_COUNT],
+    panics_left: AtomicU64,
+    stalls_left: AtomicU64,
+    trace: OnceLock<Tracer>,
+    metrics: OnceLock<MetricsRegistry>,
+}
+
+/// A seeded, deterministic fault-injection plan shared across the stack.
+///
+/// Clones share state: draw ordinals and injected/recovered/failed
+/// accounting are global to the plan, so attaching one plan to a whole
+/// platform (see `Ssd::attach_fault_plan` in `biscuit-core`) yields one
+/// coherent, reproducible fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Option<Arc<PlanInner>>,
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic draw value for `(seed, site, ordinal)`.
+fn mix(seed: u64, site: u64, ordinal: u64) -> u64 {
+    splitmix64(splitmix64(seed ^ site.wrapping_mul(0xA076_1D64_78BD_642F)) ^ ordinal)
+}
+
+/// Maps a hash to a uniform value in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultPlan {
+    /// The always-disabled plan: every query is a single `Option` check
+    /// with no side effects, so timing is identical to a fault-free build.
+    pub fn none() -> Self {
+        FaultPlan { inner: None }
+    }
+
+    /// A plan that injects per `cfg`, with all randomness derived from
+    /// `seed`. The same `(seed, cfg)` always produces the same faults.
+    pub fn seeded(seed: u64, cfg: FaultConfig) -> Self {
+        let panics = cfg.ssdlet_panics as u64;
+        let stalls = cfg.ssdlet_stalls as u64;
+        FaultPlan {
+            inner: Some(Arc::new(PlanInner {
+                seed,
+                cfg,
+                ordinals: Default::default(),
+                stats: Default::default(),
+                panics_left: AtomicU64::new(panics),
+                stalls_left: AtomicU64::new(stalls),
+                trace: OnceLock::new(),
+                metrics: OnceLock::new(),
+            })),
+        }
+    }
+
+    /// True when this plan can inject faults (built with
+    /// [`FaultPlan::seeded`]).
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The plan's configuration, when active.
+    pub fn config(&self) -> Option<&FaultConfig> {
+        self.inner.as_deref().map(|i| &i.cfg)
+    }
+
+    /// Records fault trace events into `tracer`. The first call wins; a
+    /// no-op on inactive plans.
+    pub fn attach_tracer(&self, tracer: &Tracer) {
+        if let Some(inner) = &self.inner {
+            let _ = inner.trace.set(tracer.clone());
+        }
+    }
+
+    /// Registers fault counters in `registry` (lazily, per site/action).
+    /// The first call wins; a no-op on inactive plans.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        if let Some(inner) = &self.inner {
+            let _ = inner.metrics.set(registry.clone());
+        }
+    }
+
+    /// Advances `site`'s ordinal and returns the draw hash when the event
+    /// fires at probability `rate`.
+    fn roll(&self, site: FaultSite, rate: f64) -> Option<u64> {
+        let inner = self.inner.as_deref()?;
+        if rate <= 0.0 {
+            return None;
+        }
+        let n = inner.ordinals[site.index()].fetch_add(1, Ordering::Relaxed);
+        let h = mix(inner.seed, site.index() as u64 + 1, n);
+        (unit(h) < rate).then(|| splitmix64(h))
+    }
+
+    /// Draws the fault (if any) for one NAND page sense.
+    pub fn nand_read_fault(&self) -> Option<NandReadFault> {
+        let cfg = self.config()?.clone();
+        let h = self.roll(FaultSite::NandRead, cfg.nand_read_error_rate)?;
+        let max = cfg.nand_max_retries.max(1);
+        let uncorrectable = unit(splitmix64(h)) < cfg.nand_uncorrectable_rate;
+        let retries = if uncorrectable {
+            max
+        } else {
+            1 + (h % max as u64) as u32
+        };
+        Some(NandReadFault {
+            retries,
+            uncorrectable,
+        })
+    }
+
+    /// Draws how many attempts of one DMA transfer are corrupted in
+    /// flight (0 = clean). `site` must be [`FaultSite::LinkToHost`] or
+    /// [`FaultSite::LinkToDevice`]. Each corrupted attempt is replayed
+    /// after exponential backoff; the attempt after the last corrupted
+    /// one succeeds.
+    pub fn link_corrupt_attempts(&self, site: FaultSite) -> u32 {
+        debug_assert!(matches!(
+            site,
+            FaultSite::LinkToHost | FaultSite::LinkToDevice
+        ));
+        let Some(cfg) = self.config() else { return 0 };
+        let max = cfg.link_max_replays.max(1);
+        match self.roll(site, cfg.link_corrupt_rate) {
+            Some(h) => 1 + (h % max as u64) as u32,
+            None => 0,
+        }
+    }
+
+    /// Draws the stall (if any) for one device-core request charge.
+    pub fn core_stall(&self) -> Option<SimDuration> {
+        let cfg = self.config()?.clone();
+        self.roll(FaultSite::CoreStall, cfg.core_stall_rate)?;
+        Some(cfg.core_stall)
+    }
+
+    /// Consumes and returns the disruption (if any) for one SSDlet run
+    /// attempt. Hangs are consumed before panics.
+    pub fn ssdlet_disruption(&self) -> Option<SsdletDisruption> {
+        let inner = self.inner.as_deref()?;
+        // The counters are budgets, not rates: decrement-if-positive.
+        if take_one(&inner.stalls_left) {
+            return Some(SsdletDisruption::Stall(inner.cfg.ssdlet_stall));
+        }
+        if take_one(&inner.panics_left) {
+            return Some(SsdletDisruption::Panic);
+        }
+        None
+    }
+
+    /// Restart budget for panicked SSDlets (0 when inactive).
+    pub fn max_restarts(&self) -> u32 {
+        self.config().map_or(0, |c| c.ssdlet_max_restarts)
+    }
+
+    /// Host-side receive timeout for offloaded work, when configured.
+    pub fn host_timeout(&self) -> Option<SimDuration> {
+        self.config()?.host_timeout
+    }
+
+    /// Records an injected fault: counters, metrics, and a trace event.
+    pub fn record_injected(&self, now: SimTime, site: FaultSite, detail: &str) {
+        let Some(inner) = self.inner.as_deref() else {
+            return;
+        };
+        inner.stats[site.index()]
+            .injected
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(reg) = inner.metrics.get() {
+            if reg.is_enabled() {
+                reg.counter("fault_injected_total", &[("site", site.label())])
+                    .inc();
+            }
+        }
+        if let Some(tracer) = inner.trace.get() {
+            tracer.emit(|| TraceEvent::FaultInjected {
+                at: now,
+                site: site.label(),
+                detail: Arc::from(detail),
+            });
+        }
+    }
+
+    /// Records a successful recovery (`action` names the policy: e.g.
+    /// `"read_retry"`, `"block_retire"`, `"link_replay"`, `"restart"`,
+    /// `"host_fallback"`).
+    pub fn record_recovered(&self, now: SimTime, site: FaultSite, action: &'static str) {
+        let Some(inner) = self.inner.as_deref() else {
+            return;
+        };
+        inner.stats[site.index()]
+            .recovered
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(reg) = inner.metrics.get() {
+            if reg.is_enabled() {
+                reg.counter(
+                    "fault_recovered_total",
+                    &[("site", site.label()), ("action", action)],
+                )
+                .inc();
+            }
+        }
+        if let Some(tracer) = inner.trace.get() {
+            tracer.emit(|| TraceEvent::FaultRecovered {
+                at: now,
+                site: site.label(),
+                action,
+            });
+        }
+    }
+
+    /// Records an exhausted recovery policy (`action` names what gave up);
+    /// a higher layer must degrade gracefully.
+    pub fn record_failed(&self, now: SimTime, site: FaultSite, action: &'static str) {
+        let Some(inner) = self.inner.as_deref() else {
+            return;
+        };
+        inner.stats[site.index()]
+            .failed
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(reg) = inner.metrics.get() {
+            if reg.is_enabled() {
+                reg.counter(
+                    "fault_failed_total",
+                    &[("site", site.label()), ("action", action)],
+                )
+                .inc();
+            }
+        }
+        if let Some(tracer) = inner.trace.get() {
+            tracer.emit(|| TraceEvent::FaultFailed {
+                at: now,
+                site: site.label(),
+                action,
+            });
+        }
+    }
+
+    /// Total faults injected across all sites.
+    pub fn injected_total(&self) -> u64 {
+        self.stat_total(|s| &s.injected)
+    }
+
+    /// Total faults recovered across all sites.
+    pub fn recovered_total(&self) -> u64 {
+        self.stat_total(|s| &s.recovered)
+    }
+
+    /// Total recovery failures across all sites.
+    pub fn failed_total(&self) -> u64 {
+        self.stat_total(|s| &s.failed)
+    }
+
+    /// Faults injected at one site.
+    pub fn injected_at(&self, site: FaultSite) -> u64 {
+        self.inner.as_deref().map_or(0, |i| {
+            i.stats[site.index()].injected.load(Ordering::Relaxed)
+        })
+    }
+
+    /// Faults recovered at one site.
+    pub fn recovered_at(&self, site: FaultSite) -> u64 {
+        self.inner.as_deref().map_or(0, |i| {
+            i.stats[site.index()].recovered.load(Ordering::Relaxed)
+        })
+    }
+
+    fn stat_total(&self, f: impl Fn(&SiteStats) -> &AtomicU64) -> u64 {
+        self.inner.as_deref().map_or(0, |i| {
+            i.stats.iter().map(|s| f(s).load(Ordering::Relaxed)).sum()
+        })
+    }
+}
+
+/// Decrements `budget` if positive; true when a unit was taken.
+fn take_one(budget: &AtomicU64) -> bool {
+    budget
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_never_fires() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        assert!(plan.nand_read_fault().is_none());
+        assert_eq!(plan.link_corrupt_attempts(FaultSite::LinkToHost), 0);
+        assert!(plan.core_stall().is_none());
+        assert!(plan.ssdlet_disruption().is_none());
+        assert_eq!(plan.max_restarts(), 0);
+        assert!(plan.host_timeout().is_none());
+        plan.record_injected(SimTime::ZERO, FaultSite::NandRead, "x");
+        assert_eq!(plan.injected_total(), 0);
+    }
+
+    #[test]
+    fn draws_are_deterministic_for_a_seed() {
+        fn sequence(seed: u64) -> Vec<Option<NandReadFault>> {
+            let plan = FaultPlan::seeded(
+                seed,
+                FaultConfig {
+                    nand_read_error_rate: 0.3,
+                    nand_uncorrectable_rate: 0.2,
+                    ..FaultConfig::default()
+                },
+            );
+            (0..64).map(|_| plan.nand_read_fault()).collect()
+        }
+        assert_eq!(sequence(42), sequence(42));
+        assert_ne!(sequence(42), sequence(43), "different seeds diverge");
+        let fired = sequence(42).iter().filter(|f| f.is_some()).count();
+        assert!(fired > 0 && fired < 64, "rate 0.3 is neither 0 nor 1");
+    }
+
+    #[test]
+    fn sites_draw_independent_streams() {
+        let cfg = FaultConfig {
+            link_corrupt_rate: 0.5,
+            ..FaultConfig::default()
+        };
+        // Interleaving draws at another site must not shift this site's
+        // stream: compare to-host draws with and without to-device noise.
+        let a = FaultPlan::seeded(9, cfg.clone());
+        let pure: Vec<u32> = (0..32)
+            .map(|_| a.link_corrupt_attempts(FaultSite::LinkToHost))
+            .collect();
+        let b = FaultPlan::seeded(9, cfg);
+        let mixed: Vec<u32> = (0..32)
+            .map(|_| {
+                b.link_corrupt_attempts(FaultSite::LinkToDevice);
+                b.link_corrupt_attempts(FaultSite::LinkToHost)
+            })
+            .collect();
+        assert_eq!(pure, mixed);
+    }
+
+    #[test]
+    fn rate_one_always_fires_and_respects_budgets() {
+        let plan = FaultPlan::seeded(
+            1,
+            FaultConfig {
+                nand_read_error_rate: 1.0,
+                nand_max_retries: 3,
+                link_corrupt_rate: 1.0,
+                link_max_replays: 4,
+                core_stall_rate: 1.0,
+                ssdlet_panics: 1,
+                ssdlet_stalls: 1,
+                ..FaultConfig::default()
+            },
+        );
+        for _ in 0..16 {
+            let f = plan.nand_read_fault().expect("always fires");
+            assert!((1..=3).contains(&f.retries));
+            let n = plan.link_corrupt_attempts(FaultSite::LinkToDevice);
+            assert!((1..=4).contains(&n));
+            assert!(plan.core_stall().is_some());
+        }
+        // Stalls drain before panics; both budgets are finite.
+        assert!(matches!(
+            plan.ssdlet_disruption(),
+            Some(SsdletDisruption::Stall(_))
+        ));
+        assert_eq!(plan.ssdlet_disruption(), Some(SsdletDisruption::Panic));
+        assert_eq!(plan.ssdlet_disruption(), None);
+    }
+
+    #[test]
+    fn uncorrectable_reads_charge_the_full_budget() {
+        let plan = FaultPlan::seeded(
+            5,
+            FaultConfig {
+                nand_read_error_rate: 1.0,
+                nand_uncorrectable_rate: 1.0,
+                nand_max_retries: 3,
+                ..FaultConfig::default()
+            },
+        );
+        let f = plan.nand_read_fault().unwrap();
+        assert!(f.uncorrectable);
+        assert_eq!(f.retries, 3);
+    }
+
+    #[test]
+    fn accounting_and_metrics_flow() {
+        let reg = MetricsRegistry::new();
+        reg.enable();
+        let plan = FaultPlan::seeded(0, FaultConfig::default());
+        plan.attach_metrics(&reg);
+        plan.record_injected(SimTime::ZERO, FaultSite::LinkToHost, "crc");
+        plan.record_recovered(SimTime::ZERO, FaultSite::LinkToHost, "link_replay");
+        plan.record_failed(SimTime::ZERO, FaultSite::Ssdlet, "restart");
+        assert_eq!(plan.injected_total(), 1);
+        assert_eq!(plan.recovered_total(), 1);
+        assert_eq!(plan.failed_total(), 1);
+        assert_eq!(plan.injected_at(FaultSite::LinkToHost), 1);
+        assert_eq!(plan.recovered_at(FaultSite::LinkToHost), 1);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_value("fault_injected_total", &[("site", "link_to_host")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value(
+                "fault_recovered_total",
+                &[("site", "link_to_host"), ("action", "link_replay")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value(
+                "fault_failed_total",
+                &[("site", "ssdlet"), ("action", "restart")]
+            ),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let plan = FaultPlan::seeded(
+            3,
+            FaultConfig {
+                ssdlet_panics: 1,
+                ..FaultConfig::default()
+            },
+        );
+        let clone = plan.clone();
+        assert_eq!(clone.ssdlet_disruption(), Some(SsdletDisruption::Panic));
+        assert_eq!(plan.ssdlet_disruption(), None, "budget is shared");
+        clone.record_injected(SimTime::ZERO, FaultSite::Ssdlet, "panic");
+        assert_eq!(plan.injected_total(), 1);
+    }
+}

@@ -211,11 +211,8 @@ impl Kernel {
         drop(inner);
         self.sched.fibers_spawned.inc();
         if let Some(name) = trace_name {
-            self.tracer.record(TraceEvent::FiberSpawn {
-                at: now,
-                pid,
-                name,
-            });
+            self.tracer
+                .record(TraceEvent::FiberSpawn { at: now, pid, name });
         }
         pid
     }
@@ -344,6 +341,14 @@ impl Ctx {
         self.kernel.schedule_wake(now, pid, gen);
     }
 
+    /// Schedules a wake for `(pid, gen)` at absolute time `at`. Used by
+    /// deadline-aware waits to arm a timeout alongside a queue
+    /// registration; whichever wake fires first wins and the loser goes
+    /// stale via the generation check.
+    pub(crate) fn wake_at(&self, at: SimTime, pid: Pid, gen: u64) {
+        self.kernel.schedule_wake(at, pid, gen);
+    }
+
     /// Parks the calling fiber until a matching wake event fires.
     ///
     /// Callers must have arranged for a wake targeting the fiber's next park
@@ -359,9 +364,10 @@ impl Ctx {
         };
         // Emitted before the Parked handshake, so the scheduler (which is
         // blocked on yield_rx until then) cannot interleave its own events.
-        self.kernel
-            .tracer
-            .emit(|| TraceEvent::FiberBlock { at: now, pid: self.pid });
+        self.kernel.tracer.emit(|| TraceEvent::FiberBlock {
+            at: now,
+            pid: self.pid,
+        });
         self.kernel
             .yield_tx
             .send((self.pid, YieldMsg::Parked))
@@ -572,7 +578,9 @@ impl Simulation {
                     }
                 }
             };
-            let Some((pid, tx, at, pending)) = next else { break };
+            let Some((pid, tx, at, pending)) = next else {
+                break;
+            };
             self.kernel.sched.context_switches.inc();
             self.kernel.sched.runnable.set(pending as i64);
             self.kernel

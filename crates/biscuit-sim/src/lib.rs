@@ -10,6 +10,8 @@
 //! ## Layout
 //!
 //! - [`kernel`] — the event loop, fibers, and the [`Ctx`] handle.
+//! - [`fault`] — seeded, deterministic fault injection ([`FaultPlan`]) for
+//!   the instrumented sites across the stack (see `docs/FAULTS.md`).
 //! - [`time`] — [`SimTime`]/[`SimDuration`] arithmetic.
 //! - [`queue`] — blocking bounded queues, wait queues, semaphores.
 //! - [`resource`] — FCFS bandwidth shapers and server banks.
@@ -51,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fault;
 pub mod kernel;
 pub mod metrics;
 pub mod power;
@@ -60,6 +63,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use fault::{FaultConfig, FaultPlan, FaultSite};
 pub use kernel::{Ctx, Kernel, Pid, SimReport, Simulation};
 pub use metrics::{MetricsConfig, MetricsRegistry, MetricsSnapshot};
 pub use time::{SimDuration, SimTime};

@@ -36,6 +36,20 @@ impl WaitQueue {
         ctx.park();
     }
 
+    /// Parks the calling fiber until notified *or* until `deadline`,
+    /// whichever comes first. The caller's predicate loop distinguishes
+    /// the two by re-checking state and the clock. The fiber's (possibly
+    /// stale) registration is removed on wake-up, so a timeout never
+    /// swallows a notification aimed at another waiter.
+    pub fn wait_deadline(&self, ctx: &Ctx, deadline: crate::time::SimTime) {
+        let gen = ctx.next_park_gen();
+        let pid = ctx.pid();
+        self.waiters.lock().push_back((pid, gen));
+        ctx.wake_at(deadline, pid, gen);
+        ctx.park();
+        self.waiters.lock().retain(|&(p, g)| (p, g) != (pid, gen));
+    }
+
     /// Wakes the longest-waiting fiber, if any.
     pub fn notify_one(&self, ctx: &Ctx) {
         let target = self.waiters.lock().pop_front();
@@ -327,6 +341,39 @@ impl<T: Send> SimQueue<T> {
         }
     }
 
+    /// Dequeues the next item, blocking in virtual time while the queue is
+    /// empty, but gives up at absolute time `deadline`. Returns `Ok(None)`
+    /// once the queue is closed and drained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopTimedOutError`] if nothing arrived by `deadline`.
+    pub fn pop_deadline(
+        &self,
+        ctx: &Ctx,
+        deadline: crate::time::SimTime,
+    ) -> Result<Option<T>, PopTimedOutError> {
+        loop {
+            {
+                let mut st = self.inner.state.lock();
+                if let Some(v) = st.buf.pop_front() {
+                    let depth = st.buf.len();
+                    drop(st);
+                    self.inner.trace_depth(ctx, false, depth);
+                    self.inner.not_full.notify_one(ctx);
+                    return Ok(Some(v));
+                }
+                if st.closed {
+                    return Ok(None);
+                }
+            }
+            if ctx.now() >= deadline {
+                return Err(PopTimedOutError);
+            }
+            self.inner.not_empty.wait_deadline(ctx, deadline);
+        }
+    }
+
     /// Closes the queue: producers start failing, consumers drain what is
     /// left and then observe end-of-stream. Idempotent.
     pub fn close(&self, ctx: &Ctx) {
@@ -359,6 +406,19 @@ impl<T> std::fmt::Display for TryPushError<T> {
 }
 
 impl<T: std::fmt::Debug> std::error::Error for TryPushError<T> {}
+
+/// Error returned by [`SimQueue::pop_deadline`] when the deadline passed
+/// with the queue still empty and open.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PopTimedOutError;
+
+impl std::fmt::Display for PopTimedOutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("queue receive timed out")
+    }
+}
+
+impl std::error::Error for PopTimedOutError {}
 
 /// Error returned by [`SimQueue::try_pop`] when the queue is empty but open.
 #[derive(Debug, PartialEq, Eq)]
@@ -565,6 +625,28 @@ mod tests {
             q.close(ctx);
             assert_eq!(q.try_push(ctx, 9), Err(TryPushError::Closed(9)));
             assert_eq!(q.try_pop(ctx), Ok(None));
+        });
+        sim.run().assert_quiescent();
+    }
+
+    #[test]
+    fn pop_deadline_times_out_then_recovers() {
+        let sim = Simulation::new(0);
+        let q: SimQueue<u32> = SimQueue::new(2);
+        let tx = q.clone();
+        sim.spawn("late-producer", move |ctx| {
+            ctx.sleep(SimDuration::from_micros(100));
+            tx.push(ctx, 7).unwrap();
+            tx.close(ctx);
+        });
+        sim.spawn("consumer", move |ctx| {
+            let deadline = ctx.now() + SimDuration::from_micros(10);
+            assert_eq!(q.pop_deadline(ctx, deadline), Err(PopTimedOutError));
+            assert_eq!(ctx.now().as_micros(), 10, "woke exactly at the deadline");
+            let deadline = ctx.now() + SimDuration::from_micros(200);
+            assert_eq!(q.pop_deadline(ctx, deadline), Ok(Some(7)));
+            assert_eq!(ctx.now().as_micros(), 100);
+            assert_eq!(q.pop_deadline(ctx, deadline), Ok(None), "closed + drained");
         });
         sim.run().assert_quiescent();
     }

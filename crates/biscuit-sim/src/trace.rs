@@ -53,9 +53,7 @@ pub struct TraceConfig {
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        TraceConfig {
-            capacity: 1 << 20,
-        }
+        TraceConfig { capacity: 1 << 20 }
     }
 }
 
@@ -246,6 +244,34 @@ pub enum TraceEvent {
         /// Why the planner decided this way.
         reason: &'static str,
     },
+    /// A fault was injected at an instrumented site (see
+    /// [`crate::fault::FaultPlan`]).
+    FaultInjected {
+        /// Injection time.
+        at: SimTime,
+        /// Site label (`"nand_read"`, `"link_to_host"`, ...).
+        site: &'static str,
+        /// Free-form detail (retry counts, affected block, ...).
+        detail: Arc<str>,
+    },
+    /// A recovery policy absorbed a previously injected fault.
+    FaultRecovered {
+        /// Recovery completion time.
+        at: SimTime,
+        /// Site label of the recovered fault.
+        site: &'static str,
+        /// Recovery policy (`"read_retry"`, `"link_replay"`, ...).
+        action: &'static str,
+    },
+    /// A recovery policy exhausted its budget; a higher layer must degrade.
+    FaultFailed {
+        /// Failure time.
+        at: SimTime,
+        /// Site label of the unrecovered fault.
+        site: &'static str,
+        /// The policy that gave up (`"restart"`, `"host_timeout"`, ...).
+        action: &'static str,
+    },
     /// A free-form application marker.
     Mark {
         /// Marker time.
@@ -270,6 +296,9 @@ impl TraceEvent {
             | TraceEvent::PortSend { at, .. }
             | TraceEvent::PortRecv { at, .. }
             | TraceEvent::OffloadVerdict { at, .. }
+            | TraceEvent::FaultInjected { at, .. }
+            | TraceEvent::FaultRecovered { at, .. }
+            | TraceEvent::FaultFailed { at, .. }
             | TraceEvent::Mark { at, .. } => *at,
             TraceEvent::ResourceSpan { start, .. }
             | TraceEvent::NandOp { start, .. }
@@ -697,6 +726,24 @@ impl<'a> ChromeExporter<'a> {
                     );
                     self.instant(name, "planner", PID_FLOW, tid, *at, &args);
                 }
+                TraceEvent::FaultInjected { at, site, detail } => {
+                    let tid = self.flow_tid("faults".to_string());
+                    let args =
+                        format!(r#""site":{},"detail":{}"#, json_str(site), json_str(detail));
+                    self.instant("inject", "fault", PID_FLOW, tid, *at, &args);
+                }
+                TraceEvent::FaultRecovered { at, site, action } => {
+                    let tid = self.flow_tid("faults".to_string());
+                    let args =
+                        format!(r#""site":{},"action":{}"#, json_str(site), json_str(action));
+                    self.instant("recover", "fault", PID_FLOW, tid, *at, &args);
+                }
+                TraceEvent::FaultFailed { at, site, action } => {
+                    let tid = self.flow_tid("faults".to_string());
+                    let args =
+                        format!(r#""site":{},"action":{}"#, json_str(site), json_str(action));
+                    self.instant("fail", "fault", PID_FLOW, tid, *at, &args);
+                }
                 TraceEvent::Mark { at, name, detail } => {
                     let tid = self.flow_tid("marks".to_string());
                     let args = format!(r#""detail":{}"#, json_str(detail));
@@ -846,6 +893,12 @@ pub struct TraceMetrics {
     pub ports: BTreeMap<String, PortMetrics>,
     /// Planner verdicts in decision order.
     pub offloads: Vec<OffloadSummary>,
+    /// Faults injected (by site label).
+    pub faults_injected: BTreeMap<&'static str, u64>,
+    /// Faults recovered (by site label).
+    pub faults_recovered: BTreeMap<&'static str, u64>,
+    /// Recovery failures (by site label).
+    pub faults_failed: BTreeMap<&'static str, u64>,
     /// Events lost to ring-buffer overflow.
     pub dropped: u64,
 }
@@ -949,6 +1002,15 @@ impl TraceMetrics {
                         reason,
                     });
                 }
+                TraceEvent::FaultInjected { site, .. } => {
+                    *m.faults_injected.entry(site).or_default() += 1;
+                }
+                TraceEvent::FaultRecovered { site, .. } => {
+                    *m.faults_recovered.entry(site).or_default() += 1;
+                }
+                TraceEvent::FaultFailed { site, .. } => {
+                    *m.faults_failed.entry(site).or_default() += 1;
+                }
                 TraceEvent::Mark { .. } => {}
             }
         }
@@ -992,6 +1054,14 @@ impl fmt::Display for TraceMetrics {
                 f,
                 "  port {key}: {} sent, {} received, {} bytes",
                 p.sends, p.recvs, p.bytes
+            )?;
+        }
+        for (site, n) in &self.faults_injected {
+            let recovered = self.faults_recovered.get(site).copied().unwrap_or(0);
+            let failed = self.faults_failed.get(site).copied().unwrap_or(0);
+            writeln!(
+                f,
+                "  faults {site}: {n} injected, {recovered} recovered, {failed} failed"
             )?;
         }
         for o in &self.offloads {
@@ -1112,7 +1182,11 @@ mod tests {
         let t = tracer.snapshot();
         assert_eq!(t.len(), 4);
         assert_eq!(t.dropped(), 6);
-        let times: Vec<u64> = t.events().iter().map(|e| e.timestamp().as_micros()).collect();
+        let times: Vec<u64> = t
+            .events()
+            .iter()
+            .map(|e| e.timestamp().as_micros())
+            .collect();
         assert_eq!(times, vec![6, 7, 8, 9], "oldest events dropped first");
     }
 

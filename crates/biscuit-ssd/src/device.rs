@@ -18,6 +18,7 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
+use biscuit_sim::fault::{FaultPlan, FaultSite};
 use biscuit_sim::metrics::{self, MetricsRegistry};
 use biscuit_sim::power::{ComponentId, PowerMeter};
 use biscuit_sim::resource::ServerBank;
@@ -108,6 +109,10 @@ struct DeviceInstruments {
     channels: Vec<ChannelInstruments>,
     /// `ftl_lookups_total` — logical-to-physical map resolutions.
     ftl_lookups: metrics::Counter,
+    /// `ftl_bad_blocks_total` / `ftl_remapped_pages_total` — uncorrectable
+    /// ECC escalations: blocks retired and pages remapped off them.
+    ftl_bad_blocks: metrics::Counter,
+    ftl_remapped_pages: metrics::Counter,
     /// Whole-device page counters mirroring [`DeviceStats`].
     pages_read: metrics::Counter,
     pages_scanned: metrics::Counter,
@@ -140,6 +145,8 @@ impl DeviceInstruments {
         DeviceInstruments {
             channels: per_channel,
             ftl_lookups: registry.counter("ftl_lookups_total", &[]),
+            ftl_bad_blocks: registry.counter("ftl_bad_blocks_total", &[]),
+            ftl_remapped_pages: registry.counter("ftl_remapped_pages_total", &[]),
             pages_read: registry.counter("device_pages_read_total", &[]),
             pages_scanned: registry.counter("device_pages_scanned_total", &[]),
             pages_matched: registry.counter("device_pages_matched_total", &[]),
@@ -171,6 +178,7 @@ pub struct SsdDevice {
     power: Mutex<Option<PowerHook>>,
     trace: OnceLock<Tracer>,
     metrics: OnceLock<DeviceInstruments>,
+    fault: OnceLock<FaultPlan>,
     zero_page: PageBuf,
 }
 
@@ -216,6 +224,7 @@ impl SsdDevice {
             power: Mutex::new(None),
             trace: OnceLock::new(),
             metrics: OnceLock::new(),
+            fault: OnceLock::new(),
             storage: Mutex::new(Storage { nand, ftl }),
             zero_page,
             cfg,
@@ -246,6 +255,28 @@ impl SsdDevice {
     pub fn gc_stats(&self) -> (u64, u64) {
         let st = self.storage.lock();
         (st.ftl.gc_runs(), st.ftl.relocated_total())
+    }
+
+    /// Bad-block statistics `(blocks_retired, pages_remapped)` from
+    /// uncorrectable-ECC escalations.
+    pub fn bad_block_stats(&self) -> (u64, u64) {
+        let st = self.storage.lock();
+        (st.ftl.bad_blocks(), st.ftl.remapped_total())
+    }
+
+    /// Arms the device's fault-injection sites with `plan`: NAND page senses
+    /// draw read errors (extra tR per retry, uncorrectable escalation to
+    /// block retirement), and per-request core charges draw firmware stalls.
+    /// The first call wins; later calls are ignored. A [`FaultPlan::none`]
+    /// plan (or no call at all) leaves every timing and data path
+    /// bit-identical to the fault-free device.
+    pub fn set_fault_plan(&self, plan: &FaultPlan) {
+        let _ = self.fault.set(plan.clone());
+    }
+
+    #[inline]
+    fn fault(&self) -> Option<&FaultPlan> {
+        self.fault.get().filter(|p| p.is_active())
     }
 
     /// Records the device's datapath into `tracer`: NAND die operations,
@@ -346,10 +377,83 @@ impl SsdDevice {
     }
 
     /// Charges the per-request software overhead on the least-loaded core,
-    /// starting no earlier than `now`; returns when the core finishes.
+    /// starting no earlier than `now`; returns when the core finishes. An
+    /// armed fault plan may draw a firmware stall here, extending the core
+    /// occupancy by the configured stall time.
     pub fn charge_request_overhead(&self, now: SimTime) -> SimTime {
         let (idx, _) = self.cores.least_loaded();
-        self.cores.enqueue(now, idx, self.cfg.request_overhead)
+        let mut overhead = self.cfg.request_overhead;
+        if let Some(plan) = self.fault() {
+            if let Some(stall) = plan.core_stall() {
+                plan.record_injected(now, FaultSite::CoreStall, "firmware stall");
+                plan.record_recovered(now + stall, FaultSite::CoreStall, "resume");
+                overhead += stall;
+            }
+        }
+        self.cores.enqueue(now, idx, overhead)
+    }
+
+    /// Applies a drawn NAND read fault to a page sense that ended at
+    /// `die_end`: each retry re-senses the page (one extra tR on the same
+    /// die, traced as another NAND op), and an uncorrectable draw escalates
+    /// to the FTL retiring the failing block — the data survives because the
+    /// final retry rescues it before the block leaves circulation.
+    fn apply_nand_read_fault(&self, lpn: u64, ppa: Ppa, mut die_end: SimTime) -> SimTime {
+        let Some(plan) = self.fault() else {
+            return die_end;
+        };
+        let Some(f) = plan.nand_read_fault() else {
+            return die_end;
+        };
+        plan.record_injected(
+            die_end,
+            FaultSite::NandRead,
+            &format!(
+                "lpn {lpn} retries {} uncorrectable {}",
+                f.retries, f.uncorrectable
+            ),
+        );
+        for _ in 0..f.retries {
+            let (rs, re) = self
+                .dies
+                .enqueue_span(die_end, self.die_index(ppa), self.cfg.t_read);
+            if let Some(tracer) = self.trace() {
+                tracer.emit(|| TraceEvent::NandOp {
+                    kind: NandOpKind::Read,
+                    channel: ppa.channel,
+                    way: ppa.way,
+                    start: rs,
+                    end: re,
+                });
+            }
+            if let Some(m) = self.instruments() {
+                let ch = &m.channels[ppa.channel as usize];
+                ch.nand_read.inc();
+                ch.nand_busy_ps.add((re - rs).as_ps());
+            }
+            die_end = re;
+        }
+        if f.uncorrectable {
+            let blk = (ppa.channel, ppa.way, ppa.block);
+            let (newly_bad, moved) = {
+                let mut st = self.storage.lock();
+                let st = &mut *st;
+                let before = st.ftl.bad_blocks();
+                let moved = st
+                    .ftl
+                    .retire_block(&mut st.nand, blk)
+                    .expect("over-provisioned device has room to remap");
+                (st.ftl.bad_blocks() - before, moved)
+            };
+            if let Some(m) = self.instruments() {
+                m.ftl_bad_blocks.add(newly_bad);
+                m.ftl_remapped_pages.add(moved);
+            }
+            plan.record_recovered(die_end, FaultSite::NandRead, "block_retire");
+        } else {
+            plan.record_recovered(die_end, FaultSite::NandRead, "read_retry");
+        }
+        die_end
     }
 
     /// Non-blocking single-page read: reserves die + bus time and returns
@@ -369,14 +473,15 @@ impl SsdDevice {
             Some(d) => d.materialize(self.cfg.page_size),
             None => Arc::clone(&self.zero_page),
         };
-        let (die_start, die_end) = self
-            .dies
-            .enqueue_span(start, self.die_index(ppa), self.cfg.t_read);
+        let (die_start, die_end) =
+            self.dies
+                .enqueue_span(start, self.die_index(ppa), self.cfg.t_read);
+        let die_done = self.apply_nand_read_fault(lpn, ppa, die_end);
         let xfer_bytes = bytes.min(self.cfg.page_size) as u64;
         let xfer = SimDuration::for_bytes(xfer_bytes, self.cfg.channel_rate);
-        let (bus_start, bus_end) =
-            self.buses
-                .enqueue_span(die_end, ppa.channel as usize, xfer);
+        let (bus_start, bus_end) = self
+            .buses
+            .enqueue_span(die_done, ppa.channel as usize, xfer);
         if let Some(tracer) = self.trace() {
             tracer.emit(|| TraceEvent::NandOp {
                 kind: NandOpKind::Read,
@@ -417,13 +522,14 @@ impl SsdDevice {
         pattern: &PatternSet,
     ) -> DeviceResult<(SimTime, Option<PageBuf>)> {
         let (ppa, data) = self.fetch(lpn)?;
-        let (die_start, die_end) = self
-            .dies
-            .enqueue_span(start, self.die_index(ppa), self.cfg.t_read);
+        let (die_start, die_end) =
+            self.dies
+                .enqueue_span(start, self.die_index(ppa), self.cfg.t_read);
+        let die_done = self.apply_nand_read_fault(lpn, ppa, die_end);
         let xfer = SimDuration::for_bytes(self.cfg.page_size as u64, self.cfg.pm_rate);
-        let (bus_start, bus_end) =
-            self.buses
-                .enqueue_span(die_end, ppa.channel as usize, xfer);
+        let (bus_start, bus_end) = self
+            .buses
+            .enqueue_span(die_done, ppa.channel as usize, xfer);
         self.stats.pages_scanned.add(1);
         let hit = match data {
             Some(d) => {
@@ -653,14 +759,11 @@ impl SsdDevice {
                 .expect("checked")
                 .expect("just written");
             let start = self.charge_request_overhead(ctx.now());
-            let (die_start, die_end) = self
-                .dies
-                .enqueue_span(start, self.die_index(ppa), self.cfg.t_program);
-            let xfer =
-                SimDuration::for_bytes(self.cfg.page_size as u64, self.cfg.channel_rate);
-            let (bus_start, bus_end) =
-                self.buses
-                    .enqueue_span(die_end, ppa.channel as usize, xfer);
+            let (die_start, die_end) =
+                self.dies
+                    .enqueue_span(start, self.die_index(ppa), self.cfg.t_program);
+            let xfer = SimDuration::for_bytes(self.cfg.page_size as u64, self.cfg.channel_rate);
+            let (bus_start, bus_end) = self.buses.enqueue_span(die_end, ppa.channel as usize, xfer);
             let mut end = bus_end;
             // Amortized GC penalty.
             if outcome.relocated > 0 || outcome.erased_blocks > 0 {
@@ -766,14 +869,11 @@ impl SsdDevice {
                     .expect("checked")
                     .expect("just written");
                 let start = self.charge_request_overhead(ctx.now());
-                let (die_start, die_end) = self
-                    .dies
-                    .enqueue_span(start, self.die_index(ppa), self.cfg.t_program);
-                let xfer =
-                    SimDuration::for_bytes(self.cfg.page_size as u64, self.cfg.channel_rate);
-                let (bus_start, end) =
-                    self.buses
-                        .enqueue_span(die_end, ppa.channel as usize, xfer);
+                let (die_start, die_end) =
+                    self.dies
+                        .enqueue_span(start, self.die_index(ppa), self.cfg.t_program);
+                let xfer = SimDuration::for_bytes(self.cfg.page_size as u64, self.cfg.channel_rate);
+                let (bus_start, end) = self.buses.enqueue_span(die_end, ppa.channel as usize, xfer);
                 if let Some(tracer) = self.trace() {
                     tracer.emit(|| TraceEvent::NandOp {
                         kind: NandOpKind::Program,
@@ -896,7 +996,9 @@ mod tests {
         let t2 = Arc::clone(&t);
         sim.spawn("r", move |ctx| {
             let start = ctx.now();
-            let (end, _) = d.enqueue_read(d.charge_request_overhead(start), 0, 4096).unwrap();
+            let (end, _) = d
+                .enqueue_read(d.charge_request_overhead(start), 0, 4096)
+                .unwrap();
             ctx.sleep_until(end);
             t2.store((ctx.now() - start).as_nanos(), Ordering::SeqCst);
         });
@@ -1058,6 +1160,105 @@ mod tests {
             dev.peek_page(max),
             Err(DeviceError::Ftl(FtlError::LpnOutOfRange { .. }))
         ));
+    }
+
+    #[test]
+    fn read_retry_fault_adds_latency_but_keeps_data() {
+        use biscuit_sim::fault::{FaultConfig, FaultPlan, FaultSite};
+
+        fn timed_read(plan: FaultPlan) -> (u64, Vec<u8>) {
+            let sim = Simulation::new(0);
+            let dev = Arc::new(SsdDevice::new(small_cfg()));
+            dev.set_fault_plan(&plan);
+            dev.load_bytes(0, &vec![0x5A; 16 * 1024]).unwrap();
+            let d = Arc::clone(&dev);
+            let t = Arc::new(AtomicU64::new(0));
+            let t2 = Arc::clone(&t);
+            let data = Arc::new(Mutex::new(Vec::new()));
+            let data2 = Arc::clone(&data);
+            sim.spawn("r", move |ctx| {
+                let start = ctx.now();
+                let pages = d.read_pages(ctx, &[0]).unwrap();
+                t2.store((ctx.now() - start).as_nanos(), Ordering::SeqCst);
+                *data2.lock() = pages[0][..64].to_vec();
+            });
+            sim.run().assert_quiescent();
+            let bytes = data.lock().clone();
+            (t.load(Ordering::SeqCst), bytes)
+        }
+
+        let (clean_ns, clean_data) = timed_read(FaultPlan::none());
+        let plan = FaultPlan::seeded(
+            42,
+            FaultConfig {
+                nand_read_error_rate: 1.0,
+                ..FaultConfig::default()
+            },
+        );
+        let (faulty_ns, faulty_data) = timed_read(plan.clone());
+        assert_eq!(faulty_data, clean_data, "retries must not corrupt data");
+        assert!(
+            faulty_ns > clean_ns,
+            "read retries must cost time: {faulty_ns} <= {clean_ns}"
+        );
+        assert!(plan.injected_at(FaultSite::NandRead) > 0);
+        assert_eq!(
+            plan.injected_at(FaultSite::NandRead),
+            plan.recovered_at(FaultSite::NandRead),
+            "every injected read error must be recovered"
+        );
+    }
+
+    #[test]
+    fn uncorrectable_read_retires_block_and_preserves_data() {
+        use biscuit_sim::fault::{FaultConfig, FaultPlan};
+
+        let sim = Simulation::new(0);
+        let dev = Arc::new(SsdDevice::new(small_cfg()));
+        let plan = FaultPlan::seeded(
+            7,
+            FaultConfig {
+                nand_read_error_rate: 1.0,
+                nand_uncorrectable_rate: 1.0,
+                ..FaultConfig::default()
+            },
+        );
+        dev.set_fault_plan(&plan);
+        let d = Arc::clone(&dev);
+        sim.spawn("rw", move |ctx| {
+            d.write_page(ctx, 3, b"fragile payload").unwrap();
+            let pages = d.read_pages(ctx, &[3]).unwrap();
+            assert_eq!(&pages[0][..15], b"fragile payload");
+            // The block retired; a re-read hits the remapped copy.
+            let again = d.read_pages(ctx, &[3]).unwrap();
+            assert_eq!(&again[0][..15], b"fragile payload");
+        });
+        sim.run().assert_quiescent();
+        let (bad, remapped) = dev.bad_block_stats();
+        assert!(bad >= 1, "uncorrectable read must retire its block");
+        assert!(remapped >= 1, "the surviving page must be remapped");
+    }
+
+    #[test]
+    fn inactive_fault_plan_changes_nothing() {
+        fn timed_read(arm: bool) -> u64 {
+            let sim = Simulation::new(0);
+            let dev = Arc::new(SsdDevice::new(small_cfg()));
+            if arm {
+                dev.set_fault_plan(&biscuit_sim::fault::FaultPlan::none());
+            }
+            dev.load_bytes(0, &vec![1u8; 16 * 1024]).unwrap();
+            let d = Arc::clone(&dev);
+            let t = Arc::new(AtomicU64::new(0));
+            let t2 = Arc::clone(&t);
+            sim.spawn("r", move |ctx| {
+                d.read_pages(ctx, &[0]).unwrap();
+                t2.store(ctx.now().as_nanos(), Ordering::SeqCst);
+            });
+            sim.run().assert_quiescent();
+            t.load(Ordering::SeqCst)
+        }
+        assert_eq!(timed_read(false), timed_read(true));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! and a greedy cost-benefit collector reclaims blocks when free space runs
 //! low, picking the least-worn free block as the next write frontier.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::nand::{NandArray, PageData, Ppa};
 
@@ -75,6 +75,8 @@ pub struct Ftl {
     gc_reserve_blocks: usize,
     gc_runs: u64,
     relocated_total: u64,
+    bad: HashSet<(u32, u32, u32)>,
+    remapped_total: u64,
 }
 
 impl Ftl {
@@ -91,8 +93,10 @@ impl Ftl {
         pages_per_block: u32,
         logical_pages: u64,
     ) -> Self {
-        let physical_pages =
-            u64::from(channels) * u64::from(ways) * u64::from(blocks_per_die) * u64::from(pages_per_block);
+        let physical_pages = u64::from(channels)
+            * u64::from(ways)
+            * u64::from(blocks_per_die)
+            * u64::from(pages_per_block);
         assert!(
             physical_pages > logical_pages,
             "physical pages ({physical_pages}) must exceed logical pages ({logical_pages})"
@@ -124,6 +128,8 @@ impl Ftl {
             gc_reserve_blocks: 1,
             gc_runs: 0,
             relocated_total: 0,
+            bad: HashSet::new(),
+            remapped_total: 0,
         }
     }
 
@@ -320,7 +326,10 @@ impl Ftl {
                 let die = self.dies.get(&(c, w)).expect("die exists");
                 let free = &die.free_blocks;
                 for b in 0..nand_blocks(self) {
-                    if free.contains(&b) || frontier.contains(&(c, w, b)) {
+                    if free.contains(&b)
+                        || frontier.contains(&(c, w, b))
+                        || self.bad.contains(&(c, w, b))
+                    {
                         continue;
                     }
                     let valid = self.valid_count.get(&(c, w, b)).copied().unwrap_or(0);
@@ -335,7 +344,8 @@ impl Ftl {
             }
         }
         // A victim with every page still valid reclaims nothing.
-        best.filter(|&(_, v)| v < self.pages_per_block).map(|(k, _)| k)
+        best.filter(|&(_, v)| v < self.pages_per_block)
+            .map(|(k, _)| k)
     }
 
     fn reclaim_block(
@@ -365,7 +375,8 @@ impl Ftl {
             // is safe — the victim is only erased after every valid page is
             // relocated, so data is never lost.
             let new_ppa = self.try_allocate(nand).ok_or(FtlError::CapacityExhausted)?;
-            nand.program(new_ppa, data).expect("allocator produced bad ppa");
+            nand.program(new_ppa, data)
+                .expect("allocator produced bad ppa");
             self.reverse.remove(&ppa);
             self.reverse.insert(new_ppa, lpn);
             self.map[lpn as usize] = Some(new_ppa);
@@ -392,6 +403,92 @@ impl Ftl {
             .push(b);
         outcome.erased_blocks += 1;
         Ok(())
+    }
+
+    /// Retires a failing block: every valid page is remapped to a fresh
+    /// location and the block is withdrawn from circulation for good — it
+    /// leaves the free list, loses frontier status, and is skipped by both
+    /// the allocator and the garbage collector from then on. This is the
+    /// firmware's uncorrectable-ECC escalation path: the data survives
+    /// (rescued via the read-retry copy) while the worn-out block does not.
+    ///
+    /// Returns the number of pages remapped. Retiring an already-bad block
+    /// is a no-op returning zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::CapacityExhausted`] if no fresh location exists
+    /// for a valid page; pages remapped before the failure keep their new
+    /// locations, so no data is ever lost.
+    pub fn retire_block(
+        &mut self,
+        nand: &mut NandArray,
+        (c, w, b): (u32, u32, u32),
+    ) -> Result<u64, FtlError> {
+        if self.bad.contains(&(c, w, b)) {
+            return Ok(0);
+        }
+        // Withdraw the block first so relocation can never allocate into it.
+        {
+            let state = self.dies.get_mut(&(c, w)).expect("die exists");
+            state.free_blocks.retain(|&blk| blk != b);
+            if matches!(state.frontier, Some((blk, _)) if blk == b) {
+                state.frontier = None;
+            }
+        }
+        self.bad.insert((c, w, b));
+        let mut moved = 0u64;
+        for p in 0..self.pages_per_block {
+            let ppa = Ppa {
+                channel: c,
+                way: w,
+                block: b,
+                page: p,
+            };
+            let Some(&lpn) = self.reverse.get(&ppa) else {
+                continue;
+            };
+            let data = nand
+                .read(ppa)
+                .expect("geometry checked")
+                .expect("valid page has data")
+                .clone();
+            let new_ppa = self.try_allocate(nand).ok_or(FtlError::CapacityExhausted)?;
+            nand.program(new_ppa, data)
+                .expect("allocator produced bad ppa");
+            self.reverse.remove(&ppa);
+            self.reverse.insert(new_ppa, lpn);
+            self.map[lpn as usize] = Some(new_ppa);
+            if let Some(count) = self.valid_count.get_mut(&(c, w, b)) {
+                *count -= 1;
+                if *count == 0 {
+                    self.valid_count.remove(&(c, w, b));
+                }
+            }
+            *self
+                .valid_count
+                .entry((new_ppa.channel, new_ppa.way, new_ppa.block))
+                .or_insert(0) += 1;
+            moved += 1;
+            self.remapped_total += 1;
+        }
+        self.valid_count.remove(&(c, w, b));
+        Ok(moved)
+    }
+
+    /// Whether a block has been retired as bad.
+    pub fn is_bad(&self, block: (u32, u32, u32)) -> bool {
+        self.bad.contains(&block)
+    }
+
+    /// Number of blocks retired as bad so far.
+    pub fn bad_blocks(&self) -> u64 {
+        self.bad.len() as u64
+    }
+
+    /// Total pages remapped off retired blocks so far.
+    pub fn remapped_total(&self) -> u64 {
+        self.remapped_total
     }
 
     /// Number of GC invocations so far.
@@ -506,6 +603,70 @@ mod tests {
             Err(FtlError::LpnOutOfRange { .. })
         ));
         assert!(ftl.lookup(99).is_err());
+    }
+
+    #[test]
+    fn retire_remaps_valid_pages_and_preserves_data() {
+        let (mut nand, mut ftl) = setup(8, 32);
+        for lpn in 0..8u64 {
+            ftl.write(&mut nand, lpn, page(0x10 + lpn as u8, 32))
+                .unwrap();
+        }
+        // Retire the block holding lpn 0; its valid pages must move.
+        let victim = ftl.lookup(0).unwrap().unwrap();
+        let blk = (victim.channel, victim.way, victim.block);
+        let moved = ftl.retire_block(&mut nand, blk).unwrap();
+        assert!(moved > 0, "retired block held valid pages");
+        assert!(ftl.is_bad(blk));
+        assert_eq!(ftl.bad_blocks(), 1);
+        assert_eq!(ftl.remapped_total(), moved);
+        let relocated = ftl.lookup(0).unwrap().unwrap();
+        assert_ne!(
+            (relocated.channel, relocated.way, relocated.block),
+            blk,
+            "remapped page must leave the bad block"
+        );
+        for lpn in 0..8u64 {
+            assert_eq!(
+                read_lpn(&nand, &ftl, lpn).unwrap(),
+                vec![0x10 + lpn as u8; 32],
+                "lpn {lpn} corrupted by retirement"
+            );
+        }
+        // Retiring again is a no-op.
+        assert_eq!(ftl.retire_block(&mut nand, blk).unwrap(), 0);
+        assert_eq!(ftl.bad_blocks(), 1);
+    }
+
+    #[test]
+    fn retired_block_is_never_reused() {
+        let (mut nand, mut ftl) = setup(4, 40);
+        ftl.write(&mut nand, 0, page(1, 32)).unwrap();
+        let victim = ftl.lookup(0).unwrap().unwrap();
+        let blk = (victim.channel, victim.way, victim.block);
+        ftl.retire_block(&mut nand, blk).unwrap();
+        let erases_before = nand.erase_count(blk.0, blk.1, blk.2);
+        // Heavy overwrite traffic forces GC; the bad block must stay out.
+        for round in 0..20u32 {
+            for lpn in 0..40u64 {
+                ftl.write(&mut nand, lpn, page(round as u8 ^ lpn as u8, 32))
+                    .unwrap();
+            }
+        }
+        assert!(ftl.gc_runs() > 0, "expected GC under heavy overwrite");
+        assert_eq!(
+            nand.erase_count(blk.0, blk.1, blk.2),
+            erases_before,
+            "bad block must never be erased for reuse"
+        );
+        for lpn in 0..40u64 {
+            let ppa = ftl.lookup(lpn).unwrap().unwrap();
+            assert_ne!(
+                (ppa.channel, ppa.way, ppa.block),
+                blk,
+                "lpn {lpn} allocated onto a retired block"
+            );
+        }
     }
 
     #[test]

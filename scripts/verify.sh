@@ -19,6 +19,8 @@ if ! $docs_only; then
     cargo build --release
     echo "== tier 1: test suite"
     cargo test -q
+    echo "== fault smoke: matrix test under metrics export"
+    BISCUIT_METRICS=/tmp/fault-metrics.json cargo test -q --test faults
     echo "== lint: clippy, warnings as errors"
     cargo clippy --workspace --all-targets -- -D warnings
 fi

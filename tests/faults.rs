@@ -1,0 +1,270 @@
+//! Fault-matrix integration test: every fault kind crossed with its
+//! recovery policy over a mini TPC-H workload (Q1 on the conventional
+//! datapath, Q6 on the offload datapath), asserting the two invariants the
+//! fault framework promises:
+//!
+//! (a) query results are identical to the fault-free run — read retries,
+//!     block retirement, link replays, core stalls, SSDlet restarts, and
+//!     the mid-query host fallback are all result-transparent; and
+//! (b) with the same seed, trace and metrics exports are byte-identical
+//!     across repeated runs — recovery is deterministic, so any failure
+//!     can be replayed exactly from its seed.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use biscuit::core::{CoreConfig, Ssd};
+use biscuit::db::spec::ExecMode;
+use biscuit::db::tpch::{all_queries, TpchData};
+use biscuit::db::{Db, DbConfig, Row};
+use biscuit::fs::Fs;
+use biscuit::host::{HostConfig, HostLoad};
+use biscuit::sim::fault::{FaultConfig, FaultPlan, FaultSite};
+use biscuit::sim::time::SimDuration;
+use biscuit::sim::{Simulation, TraceConfig};
+use biscuit::ssd::{SsdConfig, SsdDevice};
+
+const SF: f64 = 0.0125;
+const SEED: u64 = 0xB15C;
+
+fn make_db() -> Arc<Db> {
+    let dev = Arc::new(SsdDevice::new(SsdConfig {
+        logical_capacity: 1 << 30,
+        ..SsdConfig::paper_default()
+    }));
+    let ssd = Ssd::new(Fs::format(dev), CoreConfig::paper_default());
+    let mut db = Db::new(ssd, HostConfig::paper_default(), DbConfig::paper_default());
+    TpchData::generate(SF, 42).load_into(&mut db).unwrap();
+    Arc::new(db)
+}
+
+/// Runs Q1 (conventional datapath) and Q6 (offloaded scan) in Biscuit mode
+/// on a freshly built platform, optionally armed with a fault plan.
+fn run_mini_tpch(plan: Option<&FaultPlan>) -> (Vec<Row>, Vec<Row>) {
+    let db = make_db();
+    if let Some(p) = plan {
+        db.ssd().attach_fault_plan(p);
+    }
+    let out: Arc<Mutex<Vec<Vec<Row>>>> = Arc::new(Mutex::new(Vec::new()));
+    let o = Arc::clone(&out);
+    let sim = Simulation::new(0);
+    sim.spawn("host", move |ctx| {
+        for id in [1, 6] {
+            let q = all_queries().into_iter().find(|q| q.id == id).unwrap();
+            let r = q
+                .run(&db, ctx, ExecMode::Biscuit, HostLoad::IDLE)
+                .unwrap_or_else(|e| panic!("Q{id} failed under faults: {e}"));
+            o.lock().push(r.rows);
+        }
+    });
+    sim.run().assert_quiescent();
+    let mut rows = out.lock().drain(..).collect::<Vec<_>>();
+    let q6 = rows.pop().unwrap();
+    let q1 = rows.pop().unwrap();
+    (q1, q6)
+}
+
+/// One row of the fault matrix: a fault kind (via its config) plus the
+/// counter-level assertions that prove its recovery policy actually ran.
+struct MatrixEntry {
+    name: &'static str,
+    cfg: FaultConfig,
+    check: fn(&FaultPlan),
+}
+
+fn matrix() -> Vec<MatrixEntry> {
+    vec![
+        MatrixEntry {
+            name: "nand read error -> escalating read-retry",
+            cfg: FaultConfig {
+                nand_read_error_rate: 0.05,
+                ..FaultConfig::default()
+            },
+            check: |p| {
+                assert!(p.recovered_at(FaultSite::NandRead) >= 1, "read retries ran");
+                assert_eq!(p.failed_total(), 0);
+            },
+        },
+        MatrixEntry {
+            name: "uncorrectable ECC -> FTL bad-block retirement",
+            cfg: FaultConfig {
+                nand_read_error_rate: 0.01,
+                nand_uncorrectable_rate: 1.0,
+                ..FaultConfig::default()
+            },
+            check: |p| {
+                assert!(p.recovered_at(FaultSite::NandRead) >= 1, "blocks retired");
+                assert_eq!(p.failed_total(), 0);
+            },
+        },
+        MatrixEntry {
+            name: "link corruption -> CRC replay with backoff",
+            cfg: FaultConfig {
+                link_corrupt_rate: 0.02,
+                ..FaultConfig::default()
+            },
+            check: |p| {
+                let replays =
+                    p.recovered_at(FaultSite::LinkToHost) + p.recovered_at(FaultSite::LinkToDevice);
+                assert!(replays >= 1, "link replays ran");
+                assert_eq!(p.failed_total(), 0);
+            },
+        },
+        MatrixEntry {
+            name: "device-core stall -> absorbed in request overhead",
+            cfg: FaultConfig {
+                core_stall_rate: 0.1,
+                ..FaultConfig::default()
+            },
+            check: |p| {
+                assert!(p.recovered_at(FaultSite::CoreStall) >= 1, "stalls resumed");
+                assert_eq!(p.failed_total(), 0);
+            },
+        },
+        MatrixEntry {
+            name: "SSDlet panic within budget -> restart",
+            cfg: FaultConfig {
+                ssdlet_panics: 1,
+                ssdlet_stalls: 1,
+                ssdlet_max_restarts: 2,
+                ..FaultConfig::default()
+            },
+            check: |p| {
+                assert!(p.recovered_at(FaultSite::Ssdlet) >= 1, "restart recorded");
+                assert_eq!(p.failed_total(), 0);
+            },
+        },
+        MatrixEntry {
+            name: "SSDlet panics past budget -> host fallback",
+            cfg: FaultConfig {
+                ssdlet_panics: 8,
+                ssdlet_stalls: 0,
+                ssdlet_max_restarts: 1,
+                ..FaultConfig::default()
+            },
+            check: |p| {
+                assert!(p.failed_total() >= 1, "restart budget exhausted");
+                assert!(p.recovered_at(FaultSite::Ssdlet) >= 1, "host fallback ran");
+            },
+        },
+        MatrixEntry {
+            name: "host request timeout -> abandon offload, host fallback",
+            cfg: FaultConfig {
+                host_timeout: Some(SimDuration::from_nanos(50)),
+                ..FaultConfig::default()
+            },
+            check: |p| {
+                assert!(p.failed_total() >= 1, "timeout recorded as failed");
+                assert!(p.recovered_at(FaultSite::Ssdlet) >= 1, "host fallback ran");
+            },
+        },
+        MatrixEntry {
+            name: "all fault kinds at once",
+            cfg: FaultConfig {
+                nand_read_error_rate: 0.02,
+                nand_uncorrectable_rate: 0.2,
+                link_corrupt_rate: 0.01,
+                core_stall_rate: 0.05,
+                ssdlet_panics: 1,
+                ssdlet_stalls: 1,
+                ssdlet_max_restarts: 2,
+                ..FaultConfig::default()
+            },
+            check: |p| {
+                assert!(p.injected_total() >= 1);
+                assert!(p.recovered_total() >= 1);
+            },
+        },
+    ]
+}
+
+#[test]
+fn fault_matrix_preserves_query_results() {
+    let (clean_q1, clean_q6) = run_mini_tpch(None);
+    assert!(!clean_q1.is_empty() && !clean_q6.is_empty());
+    for entry in matrix() {
+        let plan = FaultPlan::seeded(SEED, entry.cfg.clone());
+        let (q1, q6) = run_mini_tpch(Some(&plan));
+        assert_eq!(clean_q1, q1, "[{}] Q1 rows diverged", entry.name);
+        assert_eq!(clean_q6, q6, "[{}] Q6 rows diverged", entry.name);
+        assert!(
+            plan.injected_total() + plan.failed_total() >= 1,
+            "[{}] plan must actually fire",
+            entry.name
+        );
+        (entry.check)(&plan);
+    }
+}
+
+/// A zero-rate armed plan must be indistinguishable from no plan at all —
+/// the guarantee that lets production code keep the instrumentation sites
+/// compiled in.
+#[test]
+fn inert_plan_matches_fault_free_run() {
+    let (clean_q1, clean_q6) = run_mini_tpch(None);
+    let plan = FaultPlan::seeded(SEED, FaultConfig::default());
+    let (q1, q6) = run_mini_tpch(Some(&plan));
+    assert_eq!(clean_q1, q1);
+    assert_eq!(clean_q6, q6);
+    assert_eq!(plan.injected_total(), 0);
+}
+
+/// One faulted, traced, metered run of the mini workload; returns the
+/// Chrome-JSON trace and the metrics-JSON export.
+fn faulted_observable_run() -> (String, String) {
+    let db = make_db();
+    let sim = Simulation::new(0);
+    sim.enable_trace(TraceConfig::default());
+    sim.enable_metrics();
+    db.ssd().attach_tracer(sim.tracer());
+    db.ssd().attach_metrics(sim.metrics());
+    let plan = FaultPlan::seeded(
+        SEED,
+        FaultConfig {
+            nand_read_error_rate: 0.02,
+            nand_uncorrectable_rate: 0.2,
+            link_corrupt_rate: 0.01,
+            core_stall_rate: 0.05,
+            ssdlet_panics: 1,
+            ssdlet_stalls: 1,
+            ssdlet_max_restarts: 2,
+            ..FaultConfig::default()
+        },
+    );
+    db.ssd().attach_fault_plan(&plan);
+    sim.spawn("host", move |ctx| {
+        for id in [1, 6] {
+            let q = all_queries().into_iter().find(|q| q.id == id).unwrap();
+            q.run(&db, ctx, ExecMode::Biscuit, HostLoad::IDLE).unwrap();
+        }
+    });
+    let report = sim.run();
+    report.assert_quiescent();
+    assert!(plan.injected_total() >= 1, "faults were injected");
+    (report.trace.to_chrome_json(), report.metrics.to_json())
+}
+
+#[test]
+fn faulted_exports_are_byte_identical_across_same_seed_runs() {
+    let (trace_a, metrics_a) = faulted_observable_run();
+    let (trace_b, metrics_b) = faulted_observable_run();
+    assert_eq!(
+        trace_a, trace_b,
+        "trace export must be byte-identical for the same seed"
+    );
+    assert_eq!(
+        metrics_a, metrics_b,
+        "metrics export must be byte-identical for the same seed"
+    );
+    // The exports actually carry the fault observability surface.
+    assert!(trace_a.contains("\"inject\""), "trace records injections");
+    assert!(
+        metrics_a.contains("fault_injected_total"),
+        "metrics record injections"
+    );
+    assert!(
+        metrics_a.contains("fault_recovered_total"),
+        "metrics record recoveries"
+    );
+}
