@@ -20,6 +20,8 @@ pub mod weblog;
 pub mod wordcount;
 
 pub use graph::{biscuit_chase, chase_module, conv_chase, ChaseArgs, SocialGraph};
-pub use search::{biscuit_grep, conv_grep, grep_module, load_grep_module, GrepArgs};
+pub use search::{
+    array_conv_grep, biscuit_grep, conv_grep, grep_module, load_grep_module, ArrayGrep, GrepArgs,
+};
 pub use weblog::{WeblogGen, NEEDLE};
 pub use wordcount::{reference_wordcount, run_wordcount, wordcount_module};

@@ -8,8 +8,9 @@
 
 use biscuit_core::module::{ModuleBuilder, SsdletSpec};
 use biscuit_core::task::{args_as, Ssdlet, TaskCtx};
-use biscuit_core::{Application, BiscuitResult, Ssd, SsdletModule};
-use biscuit_fs::File;
+use biscuit_core::{Application, BiscuitError, BiscuitResult, Ssd, SsdletModule};
+use biscuit_fs::{File, Mode};
+use biscuit_host::array::{ShardFailure, SsdArray};
 use biscuit_host::{BoyerMoore, ConvIo, HostLoad};
 use biscuit_sim::time::SimDuration;
 use biscuit_sim::Ctx;
@@ -147,6 +148,129 @@ pub fn load_grep_module(ctx: &Ctx, ssd: &Ssd) -> BiscuitResult<biscuit_core::Mod
     ssd.load_module(ctx, grep_module())
 }
 
+/// Device-side grep prepared over every drive of an [`SsdArray`]: the
+/// grepper module is loaded once per shard, then [`ArrayGrep::run`]
+/// scatters each query across all drives concurrently.
+#[derive(Debug, Clone)]
+pub struct ArrayGrep {
+    modules: Vec<biscuit_core::ModuleId>,
+}
+
+impl ArrayGrep {
+    /// Loads the grep module onto every drive of `array`.
+    ///
+    /// # Errors
+    ///
+    /// Returns framework errors from module loading.
+    pub fn prepare(ctx: &Ctx, array: &SsdArray) -> BiscuitResult<ArrayGrep> {
+        let mut modules = Vec::with_capacity(array.len());
+        for shard in array.shards() {
+            modules.push(load_grep_module(ctx, &shard.ssd)?);
+        }
+        Ok(ArrayGrep { modules })
+    }
+
+    /// Counts needle occurrences in `path` summed over all shards: every
+    /// drive greps its own shard file concurrently and streams its count
+    /// through the array's ordered merge port. A shard whose device path
+    /// fails — SSDlet panic, request timeout, or whole-drive loss — is
+    /// re-scattered to a host-side [`conv_grep`] over the same shard
+    /// file, so the returned count is identical to a fault-free run.
+    ///
+    /// # Errors
+    ///
+    /// Returns filesystem/framework errors from the fallback path.
+    pub fn run(
+        &self,
+        ctx: &Ctx,
+        array: &SsdArray,
+        path: &str,
+        needle: &[u8],
+        load: HostLoad,
+    ) -> BiscuitResult<u64> {
+        let modules = self.modules.clone();
+        let job_path = path.to_string();
+        let job_needle = needle.to_vec();
+        let timeout = array.fault_plan().host_timeout();
+        let results = array.scatter::<u64, BiscuitError, _, _>(
+            ctx,
+            "agrep",
+            move |fctx, shard, tx| {
+                let fail = |e: BiscuitError| ShardFailure::new(e.to_string());
+                let file = shard
+                    .ssd
+                    .fs()
+                    .open(&job_path, Mode::ReadOnly)
+                    .map_err(|e| ShardFailure::new(e.to_string()))?;
+                let app = Application::new(&shard.ssd, "agrep");
+                let g = app
+                    .ssdlet_with(
+                        modules[shard.id],
+                        GREP_ID,
+                        GrepArgs {
+                            file,
+                            needle: job_needle.clone(),
+                        },
+                    )
+                    .map_err(fail)?;
+                let rx = app.connect_to::<u64>(g.out(0)).map_err(fail)?;
+                app.start(fctx).map_err(fail)?;
+                let got = match timeout {
+                    Some(t) => match rx.get_deadline(fctx, t) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            // Drain-discard so the device fibers can
+                            // finish, then surface the timeout.
+                            while rx.get(fctx).is_some() {}
+                            app.join(fctx);
+                            return Err(fail(e));
+                        }
+                    },
+                    None => rx.get(fctx),
+                };
+                app.join(fctx);
+                if let Some(failure) = app.failure() {
+                    return Err(fail(failure));
+                }
+                tx.send(fctx, got.unwrap_or(0))
+                    .map_err(|_| ShardFailure::new("merge lane abandoned"))?;
+                Ok(())
+            },
+            |fctx, shard| {
+                let file = shard.ssd.fs().open(path, Mode::ReadOnly)?;
+                let count = conv_grep(fctx, &shard.conv, &file, needle, load)?;
+                Ok(vec![count])
+            },
+        )?;
+        Ok(results
+            .iter()
+            .map(|r| r.items.iter().sum::<u64>())
+            .sum())
+    }
+}
+
+/// Host-side baseline over an array: one host CPU greps every shard file
+/// sequentially over each drive's link (the Conv side of Fig. 1(b) —
+/// adding drives adds data but no compute).
+///
+/// # Errors
+///
+/// Returns filesystem errors.
+pub fn array_conv_grep(
+    ctx: &Ctx,
+    array: &SsdArray,
+    path: &str,
+    needle: &[u8],
+    load: HostLoad,
+) -> BiscuitResult<u64> {
+    let mut total = 0u64;
+    for shard in array.shards() {
+        let file = shard.ssd.fs().open(path, Mode::ReadOnly)?;
+        total += conv_grep(ctx, &shard.conv, &file, needle, load)?;
+    }
+    Ok(total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +321,47 @@ mod tests {
         assert!(expected > 0);
         assert_eq!(results[0], expected, "conv count");
         assert_eq!(results[1], expected, "biscuit count");
+    }
+
+    #[test]
+    fn array_grep_matches_sequential_conv_over_all_shards() {
+        use biscuit_host::array::{ArrayConfig, SsdArray};
+
+        let mut expected = 0u64;
+        let drives: Vec<Ssd> = (0..3)
+            .map(|i| {
+                let dev = Arc::new(SsdDevice::new(SsdConfig {
+                    logical_capacity: 1 << 30,
+                    ..SsdConfig::paper_default()
+                }));
+                let fs = Fs::format(Arc::clone(&dev));
+                let page = dev.config().page_size;
+                let gen = Arc::new(WeblogGen::new(20 + i, 150));
+                expected += gen.count_needles(128, page);
+                fs.create_synthetic("shard.log", 128 * page as u64, gen)
+                    .unwrap();
+                Ssd::new(fs, CoreConfig::paper_default())
+            })
+            .collect();
+        let array = SsdArray::new(drives, HostConfig::paper_default(), ArrayConfig::default());
+        let sim = Simulation::new(0);
+        let counts: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let c = Arc::clone(&counts);
+        let arr = array.clone();
+        sim.spawn("host", move |ctx| {
+            let grep = ArrayGrep::prepare(ctx, &arr).unwrap();
+            let b = grep
+                .run(ctx, &arr, "shard.log", NEEDLE.as_bytes(), HostLoad::IDLE)
+                .unwrap();
+            let s = array_conv_grep(ctx, &arr, "shard.log", NEEDLE.as_bytes(), HostLoad::IDLE)
+                .unwrap();
+            c.lock().extend([b, s]);
+        });
+        sim.run().assert_quiescent();
+        let counts = counts.lock();
+        assert!(expected > 0);
+        assert_eq!(counts[0], expected, "array biscuit count");
+        assert_eq!(counts[1], expected, "array conv count");
     }
 
     #[test]

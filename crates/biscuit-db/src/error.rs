@@ -32,6 +32,9 @@ pub enum DbError {
     Fs(FsError),
     /// Framework failure during offload.
     Biscuit(BiscuitError),
+    /// The query shape is not supported by this executor (e.g. joins on
+    /// the sharded [`ArrayDb`](crate::array::ArrayDb)).
+    Unsupported(String),
 }
 
 impl std::fmt::Display for DbError {
@@ -49,6 +52,7 @@ impl std::fmt::Display for DbError {
             }
             DbError::Fs(e) => write!(f, "filesystem: {e}"),
             DbError::Biscuit(e) => write!(f, "framework: {e}"),
+            DbError::Unsupported(msg) => write!(f, "unsupported query shape: {msg}"),
         }
     }
 }

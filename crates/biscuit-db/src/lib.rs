@@ -20,6 +20,8 @@
 //!   (see `docs/TRACING.md` at the repo root).
 //! - [`exec`] — joins, aggregation, ordering.
 //! - [`error`] — [`DbError`] / [`DbResult`].
+//! - [`array`] — [`ArrayDb`]: the same engine sharded across the drives
+//!   of a [`biscuit_host::array::SsdArray`] (see `docs/SCALE.md`).
 //! - [`tpch`] — TPC-H schema, dbgen-style generator, and all 22 queries.
 //!
 //! ## Example: a filtered scan end to end
@@ -75,6 +77,7 @@
 
 #![warn(missing_docs)]
 
+pub mod array;
 pub mod engine;
 pub mod error;
 pub mod exec;
@@ -86,6 +89,7 @@ pub mod table;
 pub mod tpch;
 pub mod value;
 
+pub use array::ArrayDb;
 pub use engine::{Db, DbConfig, PlanExplain, QueryOutput, QueryStats, ScanExplain};
 pub use error::{DbError, DbResult};
 pub use expr::{CmpOp, Expr};

@@ -1,0 +1,850 @@
+//! Multi-SSD scale-out: shard coordinator, ordered merge port, and a
+//! concurrent query scheduler with admission control.
+//!
+//! The paper's Fig. 1(b) scale-up argument is that every Biscuit drive
+//! filters its own shard locally, so aggregate throughput grows with the
+//! drive count while a conventional host stays pinned at one CPU. This
+//! module turns that argument into an API: an [`SsdArray`] owns N
+//! simulated drives, [`SsdArray::scatter`] fans a per-shard job out to
+//! all of them as concurrent DES fibers, and the results come back
+//! through an ordered, backpressured merge port.
+//!
+//! ## Ordering and determinism
+//!
+//! Each shard writes into its own bounded merge lane, tagging items with
+//! a per-lane sequence number. [`MergeRx`] consumes lanes round-robin in
+//! shard-id order, emitting lane item `r` of every still-open shard
+//! before any lane's item `r + 1`. The global merge order is therefore a
+//! pure function of the per-shard item counts — `(shard id, sequence)`
+//! fully determines it — independent of how the per-drive fibers
+//! interleave. Per-shard FIFO order is asserted structurally on every
+//! pop. Bounded lanes give backpressure: a fast shard runs at most
+//! `merge_capacity` items ahead of the merge cursor.
+//!
+//! ## Drive-loss recovery
+//!
+//! When the array's [`FaultPlan`] arms `drive_losses`, a scatter may lose
+//! one whole drive mid-flight ([`DriveLossPhase::MidScatter`]: before the
+//! shard job runs; [`DriveLossPhase::MidGather`]: after a few items). The
+//! lost drive goes *silent* — it never closes its lane — so the gather
+//! loop detects it via the plan's `host_timeout` deadline, abandons the
+//! lane, and re-scatters that shard to the caller's host-side fallback
+//! (a Conv scan). Results stay byte-identical to the fault-free run
+//! because the fallback replaces the lost shard's entire item stream.
+//!
+//! ## Concurrent queries
+//!
+//! [`QueryScheduler`] multiplexes many independent queries from many
+//! "users" over one array: per-user bounded submit queues (backpressure),
+//! fair round-robin dispatch, and a semaphore capping in-flight queries
+//! (admission control). All scheduler state is observable through the
+//! aggregate metrics registry and drains to zero when the work does.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use biscuit_core::Ssd;
+use biscuit_sim::fault::{DriveLossPhase, FaultPlan, FaultSite};
+use biscuit_sim::queue::{Semaphore, SimQueue, WaitQueue};
+use biscuit_sim::trace::TraceEvent;
+use biscuit_sim::{Ctx, MetricsRegistry, Tracer};
+
+use crate::config::HostConfig;
+use crate::io::ConvIo;
+
+// ---------------------------------------------------------------------------
+// Ordered merge port
+// ---------------------------------------------------------------------------
+
+/// Creates an ordered, backpressured merge channel with `lanes` per-shard
+/// lanes of `capacity` items each. Returns one [`MergeTx`] per lane (give
+/// lane `i` to shard `i`'s producer fiber) and the single [`MergeRx`]
+/// consumer.
+///
+/// # Panics
+///
+/// Panics if `lanes` is zero or `capacity` is zero.
+pub fn merge_channel<T: Send + 'static>(
+    lanes: usize,
+    capacity: usize,
+) -> (Vec<MergeTx<T>>, MergeRx<T>) {
+    assert!(lanes > 0, "merge channel needs at least one lane");
+    let queues: Vec<SimQueue<(u64, T)>> = (0..lanes).map(|_| SimQueue::new(capacity)).collect();
+    let txs = queues
+        .iter()
+        .map(|q| MergeTx {
+            inner: Arc::new(TxInner {
+                lane: q.clone(),
+                seq: AtomicU64::new(0),
+                cut: AtomicU64::new(u64::MAX),
+            }),
+        })
+        .collect();
+    let rx = MergeRx {
+        lanes: queues,
+        popped: vec![0; lanes],
+        done: vec![false; lanes],
+        cursor: 0,
+        open: lanes,
+    };
+    (txs, rx)
+}
+
+struct TxInner<T> {
+    lane: SimQueue<(u64, T)>,
+    seq: AtomicU64,
+    /// Silent-failure rig for drive-loss injection: sends at or beyond
+    /// this sequence number are dropped and `close` is suppressed, so the
+    /// lane looks like a drive that died without a word. `u64::MAX` means
+    /// healthy.
+    cut: AtomicU64,
+}
+
+/// Producer handle for one merge lane (cheaply cloneable; clones share
+/// the lane and its sequence counter).
+pub struct MergeTx<T> {
+    inner: Arc<TxInner<T>>,
+}
+
+impl<T> Clone for MergeTx<T> {
+    fn clone(&self) -> Self {
+        MergeTx {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for MergeTx<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergeTx")
+            .field("sent", &self.inner.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<T: Send + 'static> MergeTx<T> {
+    /// Appends `item` to this lane, blocking in virtual time while the
+    /// lane is full (backpressure). Returns `Err` with the item when the
+    /// consumer abandoned the lane.
+    pub fn send(&self, ctx: &Ctx, item: T) -> Result<(), T> {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        if seq >= self.inner.cut.load(Ordering::Relaxed) {
+            return Ok(()); // silently lost: the drive is dead
+        }
+        self.inner
+            .lane
+            .push(ctx, (seq, item))
+            .map_err(|e| (e.0).1)
+    }
+
+    /// Items sent so far (including any silently dropped ones).
+    pub fn sent(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
+    }
+
+    /// Marks the lane complete. Suppressed on a silenced lane — a dead
+    /// drive never says goodbye.
+    pub fn close(&self, ctx: &Ctx) {
+        if self.inner.cut.load(Ordering::Relaxed) == u64::MAX {
+            self.inner.lane.close(ctx);
+        }
+    }
+
+    /// Rigs the lane for silent drive loss: sends at or beyond sequence
+    /// `after` vanish and [`MergeTx::close`] becomes a no-op.
+    pub fn silence_after(&self, after: u64) {
+        self.inner.cut.store(after, Ordering::Relaxed);
+    }
+}
+
+/// The merge consumer abandoned no lane yet, but the lane under the
+/// cursor stayed silent past the deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeLag {
+    /// The lane the merge cursor was waiting on when the deadline passed.
+    pub shard: usize,
+}
+
+/// Consumer side of [`merge_channel`]: emits `(shard, sequence, item)`
+/// triples in the canonical order (sequence-major, shard-id-minor over
+/// still-open lanes).
+pub struct MergeRx<T> {
+    lanes: Vec<SimQueue<(u64, T)>>,
+    popped: Vec<u64>,
+    done: Vec<bool>,
+    cursor: usize,
+    open: usize,
+}
+
+impl<T> std::fmt::Debug for MergeRx<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergeRx")
+            .field("lanes", &self.lanes.len())
+            .field("open", &self.open)
+            .field("cursor", &self.cursor)
+            .finish()
+    }
+}
+
+impl<T: Send + 'static> MergeRx<T> {
+    /// The next item in canonical merge order, or `None` once every lane
+    /// closed and drained. Blocks in virtual time on the lane under the
+    /// cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lane violates per-shard FIFO sequencing (a bug in the
+    /// producer, not a recoverable fault).
+    pub fn next(&mut self, ctx: &Ctx) -> Option<(usize, u64, T)> {
+        loop {
+            if self.open == 0 {
+                return None;
+            }
+            let s = self.cursor;
+            if self.done[s] {
+                self.advance();
+                continue;
+            }
+            match self.lanes[s].pop(ctx) {
+                Some((seq, item)) => return Some(self.emit(s, seq, item)),
+                None => self.retire(s),
+            }
+        }
+    }
+
+    /// Like [`MergeRx::next`], but gives up after `timeout` of silence on
+    /// the lane under the cursor, returning which shard lagged. The
+    /// cursor does not advance; the caller typically
+    /// [abandons](MergeRx::abandon) the shard and keeps merging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeLag`] naming the silent shard.
+    pub fn next_deadline(
+        &mut self,
+        ctx: &Ctx,
+        timeout: biscuit_sim::SimDuration,
+    ) -> Result<Option<(usize, u64, T)>, MergeLag> {
+        loop {
+            if self.open == 0 {
+                return Ok(None);
+            }
+            let s = self.cursor;
+            if self.done[s] {
+                self.advance();
+                continue;
+            }
+            match self.lanes[s].pop_deadline(ctx, ctx.now() + timeout) {
+                Ok(Some((seq, item))) => return Ok(Some(self.emit(s, seq, item))),
+                Ok(None) => self.retire(s),
+                Err(_) => return Err(MergeLag { shard: s }),
+            }
+        }
+    }
+
+    /// Drops `shard` from the merge (after a [`MergeLag`]): its lane is
+    /// closed — releasing any producer blocked on backpressure — and its
+    /// remaining items are discarded.
+    pub fn abandon(&mut self, ctx: &Ctx, shard: usize) {
+        if !self.done[shard] {
+            self.lanes[shard].close(ctx);
+            self.retire(shard);
+        }
+    }
+
+    /// Lanes that have not yet closed or been abandoned.
+    pub fn open_lanes(&self) -> usize {
+        self.open
+    }
+
+    fn emit(&mut self, s: usize, seq: u64, item: T) -> (usize, u64, T) {
+        assert_eq!(
+            seq, self.popped[s],
+            "merge lane {s} violated per-shard FIFO order"
+        );
+        self.popped[s] += 1;
+        self.advance();
+        (s, seq, item)
+    }
+
+    fn retire(&mut self, s: usize) {
+        self.done[s] = true;
+        self.open -= 1;
+        self.advance();
+    }
+
+    fn advance(&mut self) {
+        self.cursor = (self.cursor + 1) % self.lanes.len();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard coordinator
+// ---------------------------------------------------------------------------
+
+/// A shard job could not complete on the device path; the coordinator
+/// discards the shard's partial output and re-scatters it to the
+/// host-side fallback.
+#[derive(Debug, Clone)]
+pub struct ShardFailure {
+    /// Human-readable cause (timeout, SSDlet panic, closed lane, ...).
+    pub reason: String,
+}
+
+impl ShardFailure {
+    /// Wraps a cause.
+    pub fn new(reason: impl Into<String>) -> Self {
+        ShardFailure {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard job failed: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ShardFailure {}
+
+/// One drive of an [`SsdArray`]: the Biscuit host handle plus a Conv I/O
+/// path sharing the same device and link (for fallbacks and baselines).
+#[derive(Debug, Clone)]
+pub struct ArrayShard {
+    /// Shard index (0-based, stable).
+    pub id: usize,
+    /// Biscuit host handle for this drive.
+    pub ssd: Ssd,
+    /// Conventional read path over the same device and link.
+    pub conv: ConvIo,
+}
+
+/// Knobs for the shard coordinator.
+#[derive(Debug, Clone)]
+pub struct ArrayConfig {
+    /// Per-shard merge-lane capacity: how many items a shard may run
+    /// ahead of the merge cursor before backpressure parks it.
+    pub merge_capacity: usize,
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        ArrayConfig { merge_capacity: 16 }
+    }
+}
+
+/// Per-shard outcome of one [`SsdArray::scatter`].
+#[derive(Debug, Clone)]
+pub struct ShardResult<T> {
+    /// Which shard produced (or recovered) these items.
+    pub shard: usize,
+    /// The shard's items in FIFO order.
+    pub items: Vec<T>,
+    /// True when the device path was lost and the items came from the
+    /// host-side fallback instead.
+    pub recovered: bool,
+}
+
+struct ArrayInner {
+    shards: Vec<ArrayShard>,
+    cfg: ArrayConfig,
+    trace: OnceLock<Tracer>,
+    metrics: OnceLock<MetricsRegistry>,
+    fault: OnceLock<FaultPlan>,
+}
+
+/// Host-side coordinator owning N simulated drives (cheaply cloneable).
+///
+/// # Examples
+///
+/// ```
+/// use biscuit_host::array::{ArrayConfig, SsdArray};
+/// use biscuit_host::HostConfig;
+/// use biscuit_core::{CoreConfig, Ssd};
+/// use biscuit_fs::Fs;
+/// use biscuit_ssd::{SsdConfig, SsdDevice};
+/// use std::sync::Arc;
+///
+/// let drives: Vec<Ssd> = (0..4)
+///     .map(|_| {
+///         let dev = Arc::new(SsdDevice::new(SsdConfig {
+///             logical_capacity: 16 << 20,
+///             ..SsdConfig::paper_default()
+///         }));
+///         Ssd::new(Fs::format(dev), CoreConfig::paper_default())
+///     })
+///     .collect();
+/// let array = SsdArray::new(drives, HostConfig::default(), ArrayConfig::default());
+/// assert_eq!(array.len(), 4);
+/// ```
+#[derive(Clone)]
+pub struct SsdArray {
+    inner: Arc<ArrayInner>,
+}
+
+impl std::fmt::Debug for SsdArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsdArray")
+            .field("shards", &self.inner.shards.len())
+            .finish()
+    }
+}
+
+impl SsdArray {
+    /// Builds an array over `drives`, deriving each shard's Conv I/O path
+    /// from the drive's own device and link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drives` is empty.
+    pub fn new(drives: Vec<Ssd>, host_cfg: HostConfig, cfg: ArrayConfig) -> SsdArray {
+        assert!(!drives.is_empty(), "an SsdArray needs at least one drive");
+        let shards = drives
+            .into_iter()
+            .enumerate()
+            .map(|(id, ssd)| {
+                let conv = ConvIo::new(
+                    Arc::clone(ssd.device()),
+                    Arc::clone(ssd.link()),
+                    host_cfg.clone(),
+                );
+                ArrayShard { id, ssd, conv }
+            })
+            .collect();
+        SsdArray {
+            inner: Arc::new(ArrayInner {
+                shards,
+                cfg,
+                trace: OnceLock::new(),
+                metrics: OnceLock::new(),
+                fault: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// Number of drives in the array.
+    pub fn len(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// True for a zero-drive array (never constructible; kept for the
+    /// conventional `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.inner.shards.is_empty()
+    }
+
+    /// The shards in id order.
+    pub fn shards(&self) -> &[ArrayShard] {
+        &self.inner.shards
+    }
+
+    /// One shard by id.
+    pub fn shard(&self, id: usize) -> &ArrayShard {
+        &self.inner.shards[id]
+    }
+
+    /// Routes every drive's trace events (and the coordinator's own
+    /// `Mark` events) into `tracer`. The first call wins.
+    pub fn attach_tracer(&self, tracer: &Tracer) {
+        for shard in &self.inner.shards {
+            shard.ssd.attach_tracer(tracer);
+        }
+        let _ = self.inner.trace.set(tracer.clone());
+    }
+
+    /// Registers every drive plus the coordinator's own counters in
+    /// `registry`. The first call wins.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        for shard in &self.inner.shards {
+            shard.ssd.attach_metrics(registry);
+        }
+        let _ = self.inner.metrics.set(registry.clone());
+    }
+
+    /// Arms every drive with one shared fault plan: all per-drive sites
+    /// plus the coordinator's whole-drive-loss site draw from `plan`.
+    /// The first call wins.
+    pub fn attach_fault_plan(&self, plan: &FaultPlan) {
+        for shard in &self.inner.shards {
+            shard.ssd.attach_fault_plan(plan);
+        }
+        let _ = self.inner.fault.set(plan.clone());
+    }
+
+    /// The armed fault plan, or [`FaultPlan::none`].
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.inner
+            .fault
+            .get()
+            .cloned()
+            .unwrap_or_else(FaultPlan::none)
+    }
+
+    /// Scatters `job` across every shard as concurrent fibers and gathers
+    /// the per-shard item streams through an ordered merge port.
+    ///
+    /// `job` runs once per shard on its own fiber, streaming items into
+    /// its [`MergeTx`] lane; on success it must NOT close the lane (the
+    /// coordinator does). A job error, an SSDlet failure surfaced as a
+    /// job error, or a whole-drive loss (armed via
+    /// [`FaultConfig::drive_losses`]) discards the shard's partial output
+    /// and re-scatters that shard to `fallback` on the calling fiber —
+    /// so the returned per-shard item lists are byte-identical to a
+    /// fault-free run.
+    ///
+    /// Silent losses are detected with the plan's `host_timeout`; arming
+    /// `drive_losses` without a `host_timeout` panics (the loss would
+    /// otherwise hang the gather forever).
+    ///
+    /// [`FaultConfig::drive_losses`]: biscuit_sim::fault::FaultConfig::drive_losses
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first `fallback` error, after the merge completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a drive loss fires while the plan has no
+    /// `host_timeout`.
+    pub fn scatter<T, E, J, F>(
+        &self,
+        ctx: &Ctx,
+        name: &str,
+        job: J,
+        mut fallback: F,
+    ) -> Result<Vec<ShardResult<T>>, E>
+    where
+        T: Send + 'static,
+        J: Fn(&Ctx, &ArrayShard, &MergeTx<T>) -> Result<(), ShardFailure> + Send + Sync + 'static,
+        F: FnMut(&Ctx, &ArrayShard) -> Result<Vec<T>, E>,
+    {
+        let n = self.len();
+        let plan = self.fault_plan();
+        let loss = plan.drive_loss(n);
+        let timeout = plan.host_timeout();
+        assert!(
+            loss.is_none() || timeout.is_some(),
+            "drive_losses armed without host_timeout: the gather could hang forever"
+        );
+        self.count("array_scatters_total");
+        self.mark(ctx, "array_scatter", format!("{name} over {n} shards"));
+        let (txs, mut rx) = merge_channel::<T>(n, self.inner.cfg.merge_capacity);
+        let job = Arc::new(job);
+        let failed: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+        for shard in self.shards() {
+            let i = shard.id;
+            let tx = txs[i].clone();
+            let job = Arc::clone(&job);
+            let shard = shard.clone();
+            let failed = Arc::clone(&failed);
+            let plan = plan.clone();
+            let loss_here = loss.filter(|l| l.shard == i);
+            ctx.spawn(format!("{name}-shard{i}"), move |fctx| {
+                if let Some(l) = loss_here {
+                    match l.phase {
+                        DriveLossPhase::MidScatter => {
+                            // The drive dies before touching the job: no
+                            // items, and — crucially — no close.
+                            plan.record_injected(fctx.now(), FaultSite::Drive, "mid-scatter");
+                            return;
+                        }
+                        DriveLossPhase::MidGather => {
+                            plan.record_injected(fctx.now(), FaultSite::Drive, "mid-gather");
+                            tx.silence_after(l.items);
+                        }
+                    }
+                }
+                match job(fctx, &shard, &tx) {
+                    Ok(()) => tx.close(fctx),
+                    Err(_) => {
+                        failed[i].store(true, Ordering::Relaxed);
+                        tx.close(fctx);
+                    }
+                }
+            });
+        }
+        drop(txs);
+        // Gather: merge in canonical order; a lane silent past the
+        // deadline is a lost drive.
+        let mut out: Vec<ShardResult<T>> = (0..n)
+            .map(|shard| ShardResult {
+                shard,
+                items: Vec::new(),
+                recovered: false,
+            })
+            .collect();
+        let mut lost = vec![false; n];
+        loop {
+            let next = match timeout {
+                Some(t) => match rx.next_deadline(ctx, t) {
+                    Ok(next) => next,
+                    Err(MergeLag { shard }) => {
+                        plan.record_failed(ctx.now(), FaultSite::Drive, "gather_timeout");
+                        self.mark(ctx, "array_shard_lost", format!("{name} shard {shard}"));
+                        lost[shard] = true;
+                        rx.abandon(ctx, shard);
+                        continue;
+                    }
+                },
+                None => rx.next(ctx),
+            };
+            match next {
+                Some((shard, _seq, item)) => out[shard].items.push(item),
+                None => break,
+            }
+        }
+        for (i, f) in failed.iter().enumerate() {
+            if f.load(Ordering::Relaxed) {
+                lost[i] = true;
+            }
+        }
+        // Re-scatter every lost shard to the host-side fallback, in shard
+        // order, discarding partial device output.
+        for (i, was_lost) in lost.iter().enumerate() {
+            if !*was_lost {
+                continue;
+            }
+            self.count("array_rescatters_total");
+            out[i].items = fallback(ctx, &self.inner.shards[i])?;
+            out[i].recovered = true;
+            plan.record_recovered(ctx.now(), FaultSite::Drive, "conv_rescatter");
+            self.mark(ctx, "array_shard_recovered", format!("{name} shard {i}"));
+        }
+        Ok(out)
+    }
+
+    fn count(&self, name: &'static str) {
+        if let Some(reg) = self.inner.metrics.get() {
+            if reg.is_enabled() {
+                reg.counter(name, &[]).inc();
+            }
+        }
+    }
+
+    fn mark(&self, ctx: &Ctx, name: &'static str, detail: String) {
+        if let Some(tracer) = self.inner.trace.get() {
+            tracer.emit(|| TraceEvent::Mark {
+                at: ctx.now(),
+                name: Arc::from(name),
+                detail: Arc::from(detail.as_str()),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent query scheduler
+// ---------------------------------------------------------------------------
+
+/// Knobs for [`QueryScheduler`].
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Independent submit queues ("users") served round-robin.
+    pub users: usize,
+    /// Maximum queries running concurrently over the array (admission
+    /// control).
+    pub max_inflight: usize,
+    /// Per-user submit-queue capacity; a user submitting faster than the
+    /// array drains blocks here (backpressure).
+    pub queue_capacity: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            users: 1,
+            max_inflight: 4,
+            queue_capacity: 8,
+        }
+    }
+}
+
+type Job = Box<dyn FnOnce(&Ctx) + Send + 'static>;
+
+struct SchedInner {
+    queues: Vec<SimQueue<Job>>,
+    admit: Semaphore,
+    work: WaitQueue,
+    done: WaitQueue,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    closed: AtomicBool,
+    next_query: AtomicU64,
+    metrics: OnceLock<MetricsRegistry>,
+}
+
+impl SchedInner {
+    fn count(&self, name: &'static str) {
+        if let Some(reg) = self.metrics.get() {
+            if reg.is_enabled() {
+                reg.counter(name, &[]).inc();
+            }
+        }
+    }
+
+    fn inflight_add(&self, delta: i64) {
+        if let Some(reg) = self.metrics.get() {
+            if reg.is_enabled() {
+                reg.gauge("array_sched_inflight", &[]).add(delta);
+            }
+        }
+    }
+}
+
+/// Fair, admission-controlled scheduler for concurrent queries over an
+/// [`SsdArray`] (cheaply cloneable).
+///
+/// Submitted jobs are arbitrary closures — typically a
+/// [`SsdArray::scatter`] plus result handling — so the scheduler is
+/// oblivious to query shape. Dispatch order is deterministic: the
+/// round-robin cursor over user queues plus the admission semaphore are
+/// driven entirely by the DES kernel's event order.
+pub struct QueryScheduler {
+    inner: Arc<SchedInner>,
+}
+
+impl Clone for QueryScheduler {
+    fn clone(&self) -> Self {
+        QueryScheduler {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl std::fmt::Debug for QueryScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryScheduler")
+            .field("users", &self.inner.queues.len())
+            .field("submitted", &self.inner.submitted.load(Ordering::Relaxed))
+            .field("completed", &self.inner.completed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl QueryScheduler {
+    /// Builds a scheduler (not yet dispatching; call
+    /// [`QueryScheduler::start`] from a fiber).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users`, `max_inflight`, or `queue_capacity` is zero.
+    pub fn new(cfg: SchedulerConfig) -> QueryScheduler {
+        assert!(cfg.users > 0, "scheduler needs at least one user queue");
+        assert!(cfg.max_inflight > 0, "max_inflight must be positive");
+        QueryScheduler {
+            inner: Arc::new(SchedInner {
+                queues: (0..cfg.users).map(|_| SimQueue::new(cfg.queue_capacity)).collect(),
+                admit: Semaphore::new(cfg.max_inflight),
+                work: WaitQueue::new(),
+                done: WaitQueue::new(),
+                submitted: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                closed: AtomicBool::new(false),
+                next_query: AtomicU64::new(0),
+                metrics: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// Registers the scheduler's counters, the in-flight gauge, and every
+    /// user queue's depth gauge (`queue=sched.user<i>`) in `registry`.
+    /// The first call wins.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        for (i, q) in self.inner.queues.iter().enumerate() {
+            q.set_metrics(registry, &format!("sched.user{i}"));
+        }
+        let _ = self.inner.metrics.set(registry.clone());
+    }
+
+    /// Spawns the dispatcher fiber. Call once.
+    pub fn start(&self, ctx: &Ctx) {
+        let inner = Arc::clone(&self.inner);
+        ctx.spawn("sched-dispatch", move |dctx| dispatch_loop(&inner, dctx));
+    }
+
+    /// Enqueues `job` on `user`'s submit queue, blocking in virtual time
+    /// while the queue is full (backpressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after [`QueryScheduler::close`].
+    pub fn submit(&self, ctx: &Ctx, user: usize, job: impl FnOnce(&Ctx) + Send + 'static) {
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.count("array_sched_submitted_total");
+        if self.inner.queues[user].push(ctx, Box::new(job)).is_err() {
+            panic!("submit on a closed scheduler");
+        }
+        self.inner.work.notify_all(ctx);
+    }
+
+    /// Closes all submit queues; the dispatcher drains what is buffered
+    /// and then exits.
+    pub fn close(&self, ctx: &Ctx) {
+        self.inner.closed.store(true, Ordering::Relaxed);
+        for q in &self.inner.queues {
+            q.close(ctx);
+        }
+        self.inner.work.notify_all(ctx);
+    }
+
+    /// Blocks in virtual time until at least `n` jobs completed.
+    pub fn wait_completed(&self, ctx: &Ctx, n: u64) {
+        while self.inner.completed.load(Ordering::Relaxed) < n {
+            self.inner.done.wait(ctx);
+        }
+    }
+
+    /// Jobs submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.inner.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Jobs completed so far.
+    pub fn completed(&self) -> u64 {
+        self.inner.completed.load(Ordering::Relaxed)
+    }
+}
+
+fn dispatch_loop(inner: &Arc<SchedInner>, ctx: &Ctx) {
+    let users = inner.queues.len();
+    let mut cursor = 0usize;
+    loop {
+        // One fair round-robin sweep over the user queues. try_pop never
+        // yields, so the sweep plus the wait below is atomic with respect
+        // to other fibers — no lost wakeups.
+        let mut job = None;
+        let mut all_drained = true;
+        for k in 0..users {
+            let u = (cursor + k) % users;
+            match inner.queues[u].try_pop(ctx) {
+                Ok(Some(j)) => {
+                    cursor = (u + 1) % users;
+                    job = Some(j);
+                    break;
+                }
+                Ok(None) => {}
+                Err(_) => all_drained = false,
+            }
+        }
+        match job {
+            Some(job) => {
+                inner.admit.acquire(ctx);
+                inner.count("array_sched_admitted_total");
+                inner.inflight_add(1);
+                let qid = inner.next_query.fetch_add(1, Ordering::Relaxed);
+                let inner = Arc::clone(inner);
+                ctx.spawn(format!("query-{qid}"), move |qctx| {
+                    job(qctx);
+                    inner.inflight_add(-1);
+                    inner.admit.release(qctx);
+                    inner.completed.fetch_add(1, Ordering::Relaxed);
+                    inner.count("array_sched_completed_total");
+                    inner.done.notify_all(qctx);
+                });
+            }
+            None if inner.closed.load(Ordering::Relaxed) && all_drained => break,
+            None => inner.work.wait(ctx),
+        }
+    }
+}

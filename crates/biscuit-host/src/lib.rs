@@ -9,14 +9,18 @@
 //! - [`io::ConvIo`] — the NVMe `pread`/async read path (Table III, Fig. 7).
 //! - [`search::BoyerMoore`] — the `grep` algorithm used as the Conv string
 //!   search baseline (Table V).
+//! - [`array`] — multi-SSD scale-out: the shard coordinator, ordered
+//!   merge port, and concurrent query scheduler (Fig. 1(b), `docs/SCALE.md`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod array;
 pub mod config;
 pub mod io;
 pub mod search;
 
+pub use array::{ArrayConfig, QueryScheduler, SchedulerConfig, SsdArray};
 pub use config::{HostConfig, HostLoad};
 pub use io::ConvIo;
 pub use search::BoyerMoore;

@@ -72,9 +72,12 @@ pub enum FaultSite {
     CoreStall,
     /// An SSDlet run attempt (panic or hang injection).
     Ssdlet,
+    /// A whole drive in a multi-SSD array going silent mid-query (scatter
+    /// coordinator site; see `biscuit-host::array`).
+    Drive,
 }
 
-const SITE_COUNT: usize = 5;
+const SITE_COUNT: usize = 6;
 
 impl FaultSite {
     /// Stable label used in metrics and trace events.
@@ -85,6 +88,7 @@ impl FaultSite {
             FaultSite::LinkToDevice => "link_to_device",
             FaultSite::CoreStall => "core_stall",
             FaultSite::Ssdlet => "ssdlet",
+            FaultSite::Drive => "drive",
         }
     }
 
@@ -95,6 +99,7 @@ impl FaultSite {
             FaultSite::LinkToDevice => 2,
             FaultSite::CoreStall => 3,
             FaultSite::Ssdlet => 4,
+            FaultSite::Drive => 5,
         }
     }
 }
@@ -142,9 +147,23 @@ pub struct FaultConfig {
     /// marking the application failed.
     pub ssdlet_max_restarts: u32,
     /// Host-side receive timeout for offloaded work. When set, consumers
-    /// that support it (the DB engine's NDP drain loop) give up on a
-    /// silent device and degrade gracefully.
+    /// that support it (the DB engine's NDP drain loop and the array
+    /// coordinator's gather loop) give up on a silent device and degrade
+    /// gracefully.
     pub host_timeout: Option<SimDuration>,
+    /// Number of scattered queries (across the plan's lifetime) that lose
+    /// one whole drive mid-flight. The affected shard is drawn
+    /// deterministically from the seed; the coordinator detects the silent
+    /// drive via [`host_timeout`] and re-scatters its shard to a host-side
+    /// Conv scan.
+    ///
+    /// [`host_timeout`]: FaultConfig::host_timeout
+    pub drive_losses: u32,
+    /// Where in the query the lost drive goes silent.
+    pub drive_loss_phase: DriveLossPhase,
+    /// For [`DriveLossPhase::MidGather`]: how many merge items the drive
+    /// delivers before dying (it never closes its lane).
+    pub drive_loss_items: u64,
 }
 
 impl Default for FaultConfig {
@@ -163,8 +182,33 @@ impl Default for FaultConfig {
             ssdlet_stall: SimDuration::from_millis(5),
             ssdlet_max_restarts: 2,
             host_timeout: None,
+            drive_losses: 0,
+            drive_loss_phase: DriveLossPhase::MidScatter,
+            drive_loss_items: 1,
         }
     }
+}
+
+/// When, within one scattered query, a lost drive goes silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DriveLossPhase {
+    /// The drive dies before running its shard job: no items, no close.
+    #[default]
+    MidScatter,
+    /// The drive delivers a few items, then silently stops without ever
+    /// closing its merge lane.
+    MidGather,
+}
+
+/// A deterministic whole-drive loss, consumed once per affected scatter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriveLoss {
+    /// Index of the lost shard (drawn uniformly from the seed).
+    pub shard: usize,
+    /// When the drive goes silent.
+    pub phase: DriveLossPhase,
+    /// Items delivered before death ([`DriveLossPhase::MidGather`] only).
+    pub items: u64,
 }
 
 /// A deterministic NAND read fault, drawn per faulty page sense.
@@ -202,6 +246,7 @@ struct PlanInner {
     stats: [SiteStats; SITE_COUNT],
     panics_left: AtomicU64,
     stalls_left: AtomicU64,
+    drive_losses_left: AtomicU64,
     trace: OnceLock<Tracer>,
     metrics: OnceLock<MetricsRegistry>,
 }
@@ -247,6 +292,7 @@ impl FaultPlan {
     pub fn seeded(seed: u64, cfg: FaultConfig) -> Self {
         let panics = cfg.ssdlet_panics as u64;
         let stalls = cfg.ssdlet_stalls as u64;
+        let losses = cfg.drive_losses as u64;
         FaultPlan {
             inner: Some(Arc::new(PlanInner {
                 seed,
@@ -255,6 +301,7 @@ impl FaultPlan {
                 stats: Default::default(),
                 panics_left: AtomicU64::new(panics),
                 stalls_left: AtomicU64::new(stalls),
+                drive_losses_left: AtomicU64::new(losses),
                 trace: OnceLock::new(),
                 metrics: OnceLock::new(),
             })),
@@ -354,6 +401,24 @@ impl FaultPlan {
             return Some(SsdletDisruption::Panic);
         }
         None
+    }
+
+    /// Consumes and returns the whole-drive loss (if any) for one scatter
+    /// of a query across `shards` drives. The lost shard index is drawn
+    /// deterministically from the seed; the budget
+    /// ([`FaultConfig::drive_losses`]) is consumed only when a loss fires.
+    pub fn drive_loss(&self, shards: usize) -> Option<DriveLoss> {
+        let inner = self.inner.as_deref()?;
+        if shards == 0 || !take_one(&inner.drive_losses_left) {
+            return None;
+        }
+        let n = inner.ordinals[FaultSite::Drive.index()].fetch_add(1, Ordering::Relaxed);
+        let h = mix(inner.seed, FaultSite::Drive.index() as u64 + 1, n);
+        Some(DriveLoss {
+            shard: (h % shards as u64) as usize,
+            phase: inner.cfg.drive_loss_phase,
+            items: inner.cfg.drive_loss_items,
+        })
     }
 
     /// Restart budget for panicked SSDlets (0 when inactive).
@@ -626,6 +691,30 @@ mod tests {
             ),
             Some(1)
         );
+    }
+
+    #[test]
+    fn drive_loss_draws_deterministically_and_respects_budget() {
+        let cfg = FaultConfig {
+            drive_losses: 2,
+            drive_loss_phase: DriveLossPhase::MidGather,
+            drive_loss_items: 3,
+            ..FaultConfig::default()
+        };
+        let a = FaultPlan::seeded(11, cfg.clone());
+        let b = FaultPlan::seeded(11, cfg.clone());
+        let first = a.drive_loss(8).expect("budget 2: first scatter fires");
+        assert_eq!(Some(first), b.drive_loss(8), "same seed, same draw");
+        assert!(first.shard < 8);
+        assert_eq!(first.phase, DriveLossPhase::MidGather);
+        assert_eq!(first.items, 3);
+        assert!(a.drive_loss(8).is_some());
+        assert_eq!(a.drive_loss(8), None, "budget exhausted");
+        // Inert defaults never fire, and zero shards cannot lose a drive.
+        assert_eq!(FaultPlan::seeded(11, FaultConfig::default()).drive_loss(4), None);
+        assert_eq!(FaultPlan::none().drive_loss(4), None);
+        let c = FaultPlan::seeded(11, cfg);
+        assert_eq!(c.drive_loss(0), None);
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use fault::{FaultConfig, FaultPlan, FaultSite};
+pub use fault::{DriveLoss, DriveLossPhase, FaultConfig, FaultPlan, FaultSite};
 pub use kernel::{Ctx, Kernel, Pid, SimReport, Simulation};
 pub use metrics::{MetricsConfig, MetricsRegistry, MetricsSnapshot};
 pub use time::{SimDuration, SimTime};

@@ -1,4 +1,4 @@
-//! Scale-up organization (paper Fig. 1(b)): one host, several SSDs.
+//! Scale-out organization (paper Fig. 1(b)): one host, several SSDs.
 //!
 //! The paper argues Scale-up "has more aggregate compute resources (in
 //! SSDs) as well as internal media bandwidth": with Biscuit, every drive
@@ -6,16 +6,21 @@
 //! with the number of drives, while the Conv path stays pinned at the
 //! single host CPU's scan rate no matter how many drives feed it.
 //!
+//! Both paths run through the [`SsdArray`] shard coordinator: Conv as a
+//! sequential per-shard loop ([`array_conv_grep`]), Biscuit as a scatter
+//! across all drives gathered through the ordered merge port
+//! ([`ArrayGrep`]). See `docs/SCALE.md`.
+//!
 //! Run with: `cargo run --release --example scale_up`
 
 use std::sync::Arc;
 
-use biscuit::apps::search::{biscuit_grep, conv_grep, load_grep_module};
+use biscuit::apps::search::{array_conv_grep, ArrayGrep};
 use biscuit::apps::weblog::{WeblogGen, NEEDLE};
 use biscuit::core::{CoreConfig, Ssd};
-use biscuit::fs::{Fs, Mode};
-use biscuit::host::{ConvIo, HostConfig, HostLoad};
-use biscuit::sim::queue::SimQueue;
+use biscuit::fs::Fs;
+use biscuit::host::array::ArrayConfig;
+use biscuit::host::{HostConfig, HostLoad, SsdArray};
 use biscuit::sim::Simulation;
 use biscuit::ssd::{SsdConfig, SsdDevice};
 
@@ -40,43 +45,23 @@ fn make_drive(shard: usize) -> Ssd {
 
 fn main() {
     let drives: Vec<Ssd> = (0..DRIVES).map(make_drive).collect();
+    let array = SsdArray::new(drives, HostConfig::paper_default(), ArrayConfig::default());
     let sim = Simulation::new(0);
     sim.spawn("host-program", move |ctx| {
         // --- Conv: one host thread greps all shards, drive by drive ---
         // (the host CPU's Boyer-Moore is the bottleneck; extra drives
         // do not help).
         let t0 = ctx.now();
-        let mut conv_total = 0u64;
-        for ssd in &drives {
-            let conv = ConvIo::new(
-                Arc::clone(ssd.device()),
-                Arc::clone(ssd.link()),
-                HostConfig::paper_default(),
-            );
-            let file = ssd.fs().open("shard.log", Mode::ReadOnly).expect("open");
-            conv_total +=
-                conv_grep(ctx, &conv, &file, NEEDLE.as_bytes(), HostLoad::IDLE).expect("grep");
-        }
+        let conv_total = array_conv_grep(ctx, &array, "shard.log", NEEDLE.as_bytes(), HostLoad::IDLE)
+            .expect("conv grep");
         let conv_t = (ctx.now() - t0).as_secs_f64();
 
         // --- Biscuit: every drive filters its own shard, in parallel ---
+        let grep = ArrayGrep::prepare(ctx, &array).expect("load modules");
         let t1 = ctx.now();
-        let results: SimQueue<u64> = SimQueue::new(DRIVES);
-        for (i, ssd) in drives.iter().enumerate() {
-            let ssd = ssd.clone();
-            let results = results.clone();
-            ctx.spawn(format!("drive-{i}"), move |dctx| {
-                let module = load_grep_module(dctx, &ssd).expect("load");
-                let file = ssd.fs().open("shard.log", Mode::ReadOnly).expect("open");
-                let n = biscuit_grep(dctx, &ssd, module, &file, NEEDLE.as_bytes())
-                    .expect("device grep");
-                results.push(dctx, n).expect("collect");
-            });
-        }
-        let mut biscuit_total = 0u64;
-        for _ in 0..DRIVES {
-            biscuit_total += results.pop(ctx).expect("one result per drive");
-        }
+        let biscuit_total = grep
+            .run(ctx, &array, "shard.log", NEEDLE.as_bytes(), HostLoad::IDLE)
+            .expect("device grep");
         let bis_t = (ctx.now() - t1).as_secs_f64();
 
         assert_eq!(conv_total, biscuit_total, "same matches either way");
@@ -84,7 +69,7 @@ fn main() {
         println!("{DRIVES} drives x {} MiB shards = {total_mib} MiB, {conv_total} matches\n", SHARD_PAGES * 16 / 1024);
         println!("Conv    (1 host thread, {DRIVES} drives): {:7.1} ms  ({:.2} GB/s aggregate)", conv_t * 1e3, total_mib as f64 / 1024.0 / conv_t);
         println!("Biscuit ({DRIVES} drives in parallel):    {:7.1} ms  ({:.2} GB/s aggregate)", bis_t * 1e3, total_mib as f64 / 1024.0 / bis_t);
-        println!("\nscale-up speedup: {:.1}x (per-drive filtering multiplies with drive count;", conv_t / bis_t);
+        println!("\nscale-out speedup: {:.1}x (per-drive filtering multiplies with drive count;", conv_t / bis_t);
         println!("the Conv path cannot exceed one host core's scan rate)");
     });
     sim.run().assert_quiescent();

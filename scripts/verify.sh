@@ -21,6 +21,10 @@ if ! $docs_only; then
     cargo test -q
     echo "== fault smoke: matrix test under metrics export"
     BISCUIT_METRICS=/tmp/fault-metrics.json cargo test -q --test faults
+    echo "== scale-out: merge proptests, soak, determinism export"
+    cargo test -q -p biscuit-host --test array_proptests
+    cargo test -q --test scaleout
+    cargo test -q --test determinism scaleout
     echo "== lint: clippy, warnings as errors"
     cargo clippy --workspace --all-targets -- -D warnings
 fi

@@ -6,11 +6,12 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use biscuit::apps::search::{biscuit_grep, conv_grep, load_grep_module};
+use biscuit::apps::search::{array_conv_grep, biscuit_grep, conv_grep, load_grep_module, ArrayGrep};
 use biscuit::apps::weblog::{WeblogGen, NEEDLE};
 use biscuit::core::{CoreConfig, Ssd};
 use biscuit::fs::{Fs, Mode};
-use biscuit::host::{ConvIo, HostConfig, HostLoad};
+use biscuit::host::array::ArrayConfig;
+use biscuit::host::{ConvIo, HostConfig, HostLoad, QueryScheduler, SchedulerConfig, SsdArray};
 use biscuit::sim::{Simulation, TraceConfig};
 use biscuit::ssd::{SsdConfig, SsdDevice};
 
@@ -207,4 +208,99 @@ fn traced_runs_export_byte_identical_json() {
         last = ts;
     }
     assert!(last >= 0.0, "the trace contains timestamped events");
+}
+
+/// Scale-out run: 16 concurrent grep queries over an 8-drive array, fed
+/// through the admission-controlled scheduler, with full tracing and
+/// metrics on. Returns both exports plus the summed match count.
+fn scaleout_run() -> (String, String, u64) {
+    const DRIVES: usize = 8;
+    const SHARD_PAGES: u64 = 64;
+    const QUERIES: u64 = 16;
+
+    let mut expected = 0u64;
+    let drives: Vec<Ssd> = (0..DRIVES)
+        .map(|i| {
+            let device = Arc::new(SsdDevice::new(SsdConfig {
+                logical_capacity: 32 << 20,
+                ..SsdConfig::paper_default()
+            }));
+            let fs = Fs::format(device);
+            let page = fs.device().config().page_size as u64;
+            let gen = Arc::new(WeblogGen::new(40 + i as u64, 300));
+            expected += gen.count_needles(SHARD_PAGES, page as usize);
+            fs.create_synthetic("shard.log", SHARD_PAGES * page, gen).unwrap();
+            Ssd::new(fs, CoreConfig::paper_default())
+        })
+        .collect();
+    let array = SsdArray::new(drives, HostConfig::paper_default(), ArrayConfig::default());
+
+    let sim = Simulation::new(99);
+    sim.enable_trace(TraceConfig::default());
+    sim.enable_metrics();
+    array.attach_tracer(sim.tracer());
+    array.attach_metrics(sim.metrics());
+
+    let counts: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let got = Arc::clone(&counts);
+    sim.spawn("host", move |ctx| {
+        let grep = ArrayGrep::prepare(ctx, &array).unwrap();
+        let sched = QueryScheduler::new(SchedulerConfig {
+            users: 4,
+            max_inflight: 4,
+            queue_capacity: 4,
+        });
+        sched.attach_metrics(ctx.metrics());
+        sched.start(ctx);
+        for q in 0..QUERIES {
+            let array = array.clone();
+            let grep = grep.clone();
+            let got = Arc::clone(&got);
+            sched.submit(ctx, (q % 4) as usize, move |qctx| {
+                // Even queries offload, odd queries take the Conv loop —
+                // both kinds interleave under the same admission gate.
+                let n = if q % 2 == 0 {
+                    grep.run(qctx, &array, "shard.log", NEEDLE.as_bytes(), HostLoad::IDLE)
+                        .unwrap()
+                } else {
+                    array_conv_grep(qctx, &array, "shard.log", NEEDLE.as_bytes(), HostLoad::IDLE)
+                        .unwrap()
+                };
+                got.lock().push(n);
+            });
+        }
+        sched.close(ctx);
+        sched.wait_completed(ctx, QUERIES);
+    });
+    let report = sim.run();
+    report.assert_quiescent();
+    let all = counts.lock();
+    assert_eq!(all.len(), QUERIES as usize);
+    for &n in all.iter() {
+        assert_eq!(n, expected, "every query sees the whole corpus");
+    }
+    (
+        report.trace.to_chrome_json(),
+        report.metrics.to_json(),
+        expected,
+    )
+}
+
+#[test]
+fn scaleout_sixteen_queries_over_eight_drives_are_byte_identical() {
+    let (trace_a, metrics_a, expected) = scaleout_run();
+    let (trace_b, metrics_b, _) = scaleout_run();
+    assert!(expected > 0, "the corpus plants needles");
+    assert_eq!(
+        trace_a, trace_b,
+        "trace export must be byte-identical across identical seeded scale-out runs"
+    );
+    assert_eq!(
+        metrics_a, metrics_b,
+        "metrics export must be byte-identical across identical seeded scale-out runs"
+    );
+    // The exports carry the coordinator's own instrumentation.
+    assert!(trace_a.contains("array_scatter"));
+    assert!(metrics_a.contains("array_scatters_total"));
+    assert!(metrics_a.contains("array_sched_completed_total"));
 }

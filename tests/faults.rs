@@ -268,3 +268,130 @@ fn faulted_exports_are_byte_identical_across_same_seed_runs() {
         "metrics record recoveries"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Whole-drive loss over the scale-out array
+// ---------------------------------------------------------------------------
+
+use biscuit::apps::search::ArrayGrep;
+use biscuit::apps::weblog::{WeblogGen, NEEDLE};
+use biscuit::host::array::ArrayConfig;
+use biscuit::host::SsdArray;
+use biscuit::sim::fault::DriveLossPhase;
+use biscuit::sim::metrics::MetricsSnapshot;
+
+const LOSS_DRIVES: usize = 4;
+const LOSS_SHARD_PAGES: u64 = 40;
+
+fn grep_array() -> (SsdArray, u64) {
+    let mut expected = 0u64;
+    let drives: Vec<Ssd> = (0..LOSS_DRIVES)
+        .map(|i| {
+            let dev = Arc::new(SsdDevice::new(SsdConfig {
+                logical_capacity: 32 << 20,
+                ..SsdConfig::paper_default()
+            }));
+            let fs = Fs::format(dev);
+            let page = fs.device().config().page_size as u64;
+            let gen = Arc::new(WeblogGen::new(300 + i as u64, 200));
+            expected += gen.count_needles(LOSS_SHARD_PAGES, page as usize);
+            fs.create_synthetic("shard.log", LOSS_SHARD_PAGES * page, gen)
+                .unwrap();
+            Ssd::new(fs, CoreConfig::paper_default())
+        })
+        .collect();
+    (
+        SsdArray::new(drives, HostConfig::paper_default(), ArrayConfig::default()),
+        expected,
+    )
+}
+
+/// One metered array grep, optionally with a single drive loss armed in
+/// the given phase; returns the count, the plan, and the metrics export.
+fn drive_loss_run(phase: Option<DriveLossPhase>) -> (u64, FaultPlan, MetricsSnapshot) {
+    let (array, _) = grep_array();
+    let plan = match phase {
+        Some(phase) => FaultPlan::seeded(
+            SEED,
+            FaultConfig {
+                drive_losses: 1,
+                drive_loss_phase: phase,
+                drive_loss_items: 0,
+                host_timeout: Some(SimDuration::from_millis(20)),
+                ..FaultConfig::default()
+            },
+        ),
+        None => FaultPlan::seeded(SEED, FaultConfig::default()),
+    };
+    array.attach_fault_plan(&plan);
+
+    let sim = Simulation::new(0);
+    sim.enable_metrics();
+    array.attach_metrics(sim.metrics());
+    plan.attach_metrics(sim.metrics());
+
+    let count: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
+    let out = Arc::clone(&count);
+    sim.spawn("host", move |ctx| {
+        let grep = ArrayGrep::prepare(ctx, &array).unwrap();
+        let n = grep
+            .run(ctx, &array, "shard.log", NEEDLE.as_bytes(), HostLoad::IDLE)
+            .unwrap();
+        *out.lock() = n;
+    });
+    let report = sim.run();
+    report.assert_quiescent();
+    let n = *count.lock();
+    (n, plan, report.metrics)
+}
+
+/// A drive that dies before its job ever runs: the shard's lane stays
+/// silent, the gather deadline abandons it, and its slice is re-scanned
+/// through the host-side Conv path — the result does not change.
+#[test]
+fn drive_loss_mid_scatter_is_result_transparent() {
+    let (clean, inert, _) = drive_loss_run(None);
+    assert!(clean > 0, "the corpus plants needles");
+    assert_eq!(inert.injected_total(), 0);
+
+    let (lossy, plan, snap) = drive_loss_run(Some(DriveLossPhase::MidScatter));
+    assert_eq!(lossy, clean, "drive loss must not change the result");
+    assert_eq!(plan.injected_at(FaultSite::Drive), 1, "the loss fired");
+    assert_eq!(plan.recovered_at(FaultSite::Drive), 1, "the shard was re-scattered");
+    assert!(plan.failed_total() >= 1, "the gather deadline gave up on the lane");
+
+    assert!(snap.counter_value("fault_injected_total", &[("site", "drive")]) >= Some(1));
+    assert!(
+        snap.counter_value(
+            "fault_failed_total",
+            &[("site", "drive"), ("action", "gather_timeout")],
+        ) >= Some(1)
+    );
+    assert!(
+        snap.counter_value(
+            "fault_recovered_total",
+            &[("site", "drive"), ("action", "conv_rescatter")],
+        ) >= Some(1)
+    );
+    assert!(snap.counter_sum("array_rescatters_total") >= 1);
+}
+
+/// A drive that dies mid-gather: its lane falls silent partway through
+/// (already-merged items from the dead shard are discarded with the lane)
+/// and the Conv re-scatter still reproduces the exact result.
+#[test]
+fn drive_loss_mid_gather_is_result_transparent() {
+    let (clean, _, _) = drive_loss_run(None);
+    let (lossy, plan, snap) = drive_loss_run(Some(DriveLossPhase::MidGather));
+    assert_eq!(lossy, clean, "drive loss must not change the result");
+    assert_eq!(plan.injected_at(FaultSite::Drive), 1);
+    assert_eq!(plan.recovered_at(FaultSite::Drive), 1);
+    assert!(plan.failed_total() >= 1);
+    assert!(snap.counter_value("fault_injected_total", &[("site", "drive")]) >= Some(1));
+    assert!(
+        snap.counter_value(
+            "fault_recovered_total",
+            &[("site", "drive"), ("action", "conv_rescatter")],
+        ) >= Some(1)
+    );
+}
