@@ -93,9 +93,8 @@ fn bench_ftl(c: &mut Criterion) {
             },
             |(mut nand, mut ftl)| {
                 for i in 0..512u64 {
-                    let data = PageData::Bytes(std::sync::Arc::from(
-                        vec![i as u8; 64].into_boxed_slice(),
-                    ));
+                    let data =
+                        PageData::Bytes(biscuit_proto::Buf::from_vec(vec![i as u8; 64]));
                     ftl.write(&mut nand, i % 1024, data).expect("write");
                 }
             },

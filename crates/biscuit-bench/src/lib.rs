@@ -75,10 +75,23 @@ where
     R: Send + 'static,
     F: FnOnce(&Ctx) -> R + Send + 'static,
 {
-    run_sim(name, true, f)
+    let (r, snap, _events) = run_sim(name, true, f);
+    (r, snap)
 }
 
-fn run_sim<R, F>(name: &str, metered: bool, f: F) -> (R, MetricsSnapshot)
+/// Like [`simulate_metered`], but additionally returns the number of DES
+/// events the kernel processed — the numerator of the wall-clock bench's
+/// sim-events/sec figure. Set `metered: false` to measure the
+/// instrumentation-disabled hot path.
+pub fn simulate_profiled<R, F>(name: &str, metered: bool, f: F) -> (R, MetricsSnapshot, u64)
+where
+    R: Send + 'static,
+    F: FnOnce(&Ctx) -> R + Send + 'static,
+{
+    run_sim(name, metered, f)
+}
+
+fn run_sim<R, F>(name: &str, metered: bool, f: F) -> (R, MetricsSnapshot, u64)
 where
     R: Send + 'static,
     F: FnOnce(&Ctx) -> R + Send + 'static,
@@ -111,7 +124,8 @@ where
         .lock()
         .take()
         .unwrap_or_else(|| panic!("bench '{name}': fiber exited without producing a result"));
-    (result, sim_report.metrics)
+    let events = sim_report.events_processed;
+    (result, sim_report.metrics, events)
 }
 
 /// A host + Biscuit SSD pair sharing one PCIe link.

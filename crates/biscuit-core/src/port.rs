@@ -76,11 +76,19 @@ type DecodeFn = dyn Fn(&Packet) -> Box<dyn Any + Send> + Send + Sync;
 pub(crate) struct Codec {
     pub encode: Box<EncodeFn>,
     pub decode: Box<DecodeFn>,
+    /// Whether encode shares payload bytes rather than copying them
+    /// (`T::ZERO_COPY_ENCODE`); encode-side copy accounting is skipped
+    /// when set.
+    pub zero_copy_encode: bool,
+    /// Same, for the decode side (`T::ZERO_COPY_DECODE`).
+    pub zero_copy_decode: bool,
 }
 
 impl Codec {
     pub(crate) fn of<T: Wire + Any + Send>() -> Codec {
         Codec {
+            zero_copy_encode: T::ZERO_COPY_ENCODE,
+            zero_copy_decode: T::ZERO_COPY_DECODE,
             encode: Box::new(|v| {
                 let v = v
                     .downcast::<T>()
@@ -101,6 +109,12 @@ pub(crate) struct PortInstruments {
     sends: metrics::Counter,
     recvs: metrics::Counter,
     bytes: metrics::Counter,
+    /// `sim_bytes_copied_total{site=port_encode}` — payload bytes copied
+    /// while serializing values into packets at this boundary.
+    copy_encode: metrics::Counter,
+    /// `sim_bytes_copied_total{site=port_decode}` — payload bytes copied
+    /// while deserializing packets back into values.
+    copy_decode: metrics::Counter,
 }
 
 /// One edge of the dataflow graph.
@@ -155,6 +169,8 @@ impl Connection {
                 sends: reg.counter("port_sends_total", labels),
                 recvs: reg.counter("port_recvs_total", labels),
                 bytes: reg.counter("port_bytes_total", labels),
+                copy_encode: reg.counter("sim_bytes_copied_total", &[("site", "port_encode")]),
+                copy_decode: reg.counter("sim_bytes_copied_total", &[("site", "port_decode")]),
             }
         });
         Arc::new(Connection {
@@ -211,6 +227,28 @@ impl Connection {
         }
     }
 
+    /// Counts payload bytes copied while encoding at this boundary
+    /// (skipped for zero-copy codecs).
+    #[inline]
+    pub(crate) fn count_encode_copy(&self, zero_copy: bool, bytes: u64) {
+        if !zero_copy {
+            if let Some(m) = &self.metrics {
+                m.copy_encode.add(bytes);
+            }
+        }
+    }
+
+    /// Counts payload bytes copied while decoding at this boundary
+    /// (skipped for zero-copy codecs).
+    #[inline]
+    pub(crate) fn count_decode_copy(&self, zero_copy: bool, bytes: u64) {
+        if !zero_copy {
+            if let Some(m) = &self.metrics {
+                m.copy_decode.add(bytes);
+            }
+        }
+    }
+
     pub(crate) fn add_producer(&self) {
         *self.producers.lock() += 1;
     }
@@ -241,14 +279,18 @@ impl Connection {
                 // Serialization is explicit for inter-app traffic; cost is
                 // folded into the receiver's scheduling charge (Table II
                 // shows inter-app *below* inter-SSDlet: no type machinery).
-                let pkt = (self.codec.as_ref().expect("inter-app has codec").encode)(value);
+                let codec = self.codec.as_ref().expect("inter-app has codec");
+                let pkt = (codec.encode)(value);
                 let bytes = pkt.len() as u64;
+                self.count_encode_copy(codec.zero_copy_encode, bytes);
                 (ctx.now(), Box::new(pkt), bytes)
             }
             PortKind::DeviceToHost => {
                 ctx.sleep(cfg.cm_send_device);
-                let pkt = (self.codec.as_ref().expect("boundary has codec").encode)(value);
+                let codec = self.codec.as_ref().expect("boundary has codec");
+                let pkt = (codec.encode)(value);
                 let bytes = pkt.len() as u64;
+                self.count_encode_copy(codec.zero_copy_encode, bytes);
                 let dma_end = link.enqueue_dma_to_host(ctx.now(), bytes);
                 (dma_end + cfg.link_fixed, Box::new(pkt), bytes)
             }
@@ -288,9 +330,9 @@ impl Connection {
                     .downcast::<Packet>()
                     .expect("inter-app envelope holds a packet");
                 self.trace_port(ctx, false, pkt.len() as u64);
-                Some((self.codec.as_ref().expect("inter-app has codec").decode)(
-                    &pkt,
-                ))
+                let codec = self.codec.as_ref().expect("inter-app has codec");
+                self.count_decode_copy(codec.zero_copy_decode, pkt.len() as u64);
+                Some((codec.decode)(&pkt))
             }
             PortKind::HostToDevice => {
                 ctx.sleep(cfg.cm_recv_device);
@@ -299,9 +341,9 @@ impl Connection {
                     .downcast::<Packet>()
                     .expect("boundary envelope holds a packet");
                 self.trace_port(ctx, false, pkt.len() as u64);
-                Some((self.codec.as_ref().expect("boundary has codec").decode)(
-                    &pkt,
-                ))
+                let codec = self.codec.as_ref().expect("boundary has codec");
+                self.count_decode_copy(codec.zero_copy_decode, pkt.len() as u64);
+                Some((codec.decode)(&pkt))
             }
             PortKind::DeviceToHost => None, // devices never read their own output channel
         }
@@ -336,6 +378,7 @@ impl<T: Wire + Any + Send> HostInPort<T> {
             .downcast::<Packet>()
             .expect("boundary envelope holds a packet");
         self.conn.trace_port(ctx, false, pkt.len() as u64);
+        self.conn.count_decode_copy(T::ZERO_COPY_DECODE, pkt.len() as u64);
         let v = (self.conn.codec.as_ref().expect("boundary has codec").decode)(&pkt);
         Some(*v.downcast::<T>().expect("codec produced declared type"))
     }
@@ -360,6 +403,7 @@ impl<T: Wire + Any + Send> HostInPort<T> {
                     .downcast::<Packet>()
                     .expect("boundary envelope holds a packet");
                 self.conn.trace_port(ctx, false, pkt.len() as u64);
+                self.conn.count_decode_copy(T::ZERO_COPY_DECODE, pkt.len() as u64);
                 let v = (self.conn.codec.as_ref().expect("boundary has codec").decode)(&pkt);
                 Ok(Some(
                     *v.downcast::<T>().expect("codec produced declared type"),
@@ -407,6 +451,7 @@ impl<T: Wire + Any + Send> HostOutPort<T> {
         ctx.sleep(self.cfg.cm_send_host);
         let pkt = value.to_packet();
         let bytes = pkt.len() as u64;
+        self.conn.count_encode_copy(T::ZERO_COPY_ENCODE, bytes);
         let dma_end = self.link.enqueue_dma_to_device(ctx.now(), bytes);
         self.conn
             .queue

@@ -496,7 +496,7 @@ impl Db {
         let all = self.table_rows(meta)?;
         match predicate {
             None => Ok(all.as_ref().clone()),
-            Some(p) => exec::filter(p, all.as_ref().clone()),
+            Some(p) => exec::filter_ref(p, &all),
         }
     }
 

@@ -15,13 +15,16 @@ use crate::expr::Expr;
 use crate::spec::{AggFun, OrderKey, SelectSpec};
 use crate::value::{Row, Value};
 
-/// Widens local rows into the global flat row space.
+/// Widens local rows into the global flat row space, moving each value into
+/// place (no cell clones).
 pub fn widen(local: Vec<Row>, offset: usize, width: usize) -> Vec<Row> {
     local
         .into_iter()
         .map(|r| {
             let mut g = vec![Value::Int(0); width];
-            g[offset..offset + r.len()].clone_from_slice(&r);
+            for (slot, v) in g[offset..offset + r.len()].iter_mut().zip(r) {
+                *slot = v;
+            }
             g
         })
         .collect()
@@ -33,6 +36,17 @@ pub fn key_of(values: &[Value]) -> String {
     let mut s = String::new();
     for v in values {
         s.push_str(&v.to_text());
+        s.push('\u{1f}');
+    }
+    s
+}
+
+/// [`key_of`] over selected columns of a row, without gathering the values
+/// into a temporary `Vec` first.
+fn key_of_cols(row: &[Value], cols: &[usize]) -> String {
+    let mut s = String::new();
+    for &c in cols {
+        s.push_str(&row[c].to_text());
         s.push('\u{1f}');
     }
     s
@@ -52,12 +66,10 @@ pub fn hash_probe_block(
 ) {
     let mut table: HashMap<String, Vec<usize>> = HashMap::new();
     for (i, row) in outer_block.iter().enumerate() {
-        let key_vals: Vec<Value> = outer_cols.iter().map(|&c| row[c].clone()).collect();
-        table.entry(key_of(&key_vals)).or_default().push(i);
+        table.entry(key_of_cols(row, outer_cols)).or_default().push(i);
     }
     for inner in inner_local {
-        let key_vals: Vec<Value> = inner_cols.iter().map(|&c| inner[c].clone()).collect();
-        if let Some(matches) = table.get(&key_of(&key_vals)) {
+        if let Some(matches) = table.get(&key_of_cols(inner, inner_cols)) {
             for &oi in matches {
                 let mut merged = outer_block[oi].clone();
                 merged[offset..offset + inner.len()].clone_from_slice(inner);
@@ -230,6 +242,23 @@ pub fn filter(pred: &Expr, rows: Vec<Row>) -> DbResult<Vec<Row>> {
     for r in rows {
         if pred.eval_bool(&r)? {
             out.push(r);
+        }
+    }
+    Ok(out)
+}
+
+/// Applies a filter predicate over borrowed rows, cloning only the rows that
+/// qualify — for callers holding a shared table snapshot, where cloning the
+/// whole table just to discard most of it would dwarf the result.
+///
+/// # Errors
+///
+/// Propagates expression evaluation errors.
+pub fn filter_ref(pred: &Expr, rows: &[Row]) -> DbResult<Vec<Row>> {
+    let mut out = Vec::new();
+    for r in rows {
+        if pred.eval_bool(r)? {
+            out.push(r.clone());
         }
     }
     Ok(out)

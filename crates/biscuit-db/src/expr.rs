@@ -100,7 +100,7 @@ impl Expr {
                 .ok_or_else(|| DbError::TypeError(format!("column {i} out of range"))),
             Expr::Lit(v) => Ok(v.clone()),
             Expr::Cmp(op, a, b) => {
-                let (a, b) = (a.eval(row)?, b.eval(row)?);
+                let (a, b) = (a.eval_cow(row)?, b.eval_cow(row)?);
                 let ord = a.compare(&b).ok_or_else(|| {
                     DbError::TypeError(format!("cannot compare {a:?} and {b:?}"))
                 })?;
@@ -132,28 +132,28 @@ impl Expr {
             }
             Expr::Not(x) => Ok(Value::Int(i64::from(!x.eval_bool(row)?))),
             Expr::Like(x, pat) => {
-                let v = x.eval(row)?;
+                let v = x.eval_cow(row)?;
                 let s = v
                     .as_str()
                     .ok_or_else(|| DbError::TypeError("LIKE on non-string".into()))?;
                 Ok(Value::Int(i64::from(like_match(s, pat))))
             }
             Expr::NotLike(x, pat) => {
-                let v = x.eval(row)?;
+                let v = x.eval_cow(row)?;
                 let s = v
                     .as_str()
                     .ok_or_else(|| DbError::TypeError("NOT LIKE on non-string".into()))?;
                 Ok(Value::Int(i64::from(!like_match(s, pat))))
             }
             Expr::InList(x, vals) => {
-                let v = x.eval(row)?;
+                let v = x.eval_cow(row)?;
                 let hit = vals
                     .iter()
                     .any(|c| v.compare(c).map(|o| o.is_eq()).unwrap_or(false));
                 Ok(Value::Int(i64::from(hit)))
             }
             Expr::Between(x, lo, hi) => {
-                let v = x.eval(row)?;
+                let v = x.eval_cow(row)?;
                 let ge = v.compare(lo).map(|o| o.is_ge()).ok_or_else(|| {
                     DbError::TypeError("BETWEEN on incomparable values".into())
                 })?;
@@ -163,7 +163,7 @@ impl Expr {
                 Ok(Value::Int(i64::from(ge && le)))
             }
             Expr::Arith(op, a, b) => {
-                let (x, y) = (a.eval(row)?, b.eval(row)?);
+                let (x, y) = (a.eval_cow(row)?, b.eval_cow(row)?);
                 let (x, y) = (
                     x.as_f64()
                         .ok_or_else(|| DbError::TypeError("arith on non-number".into()))?,
@@ -178,9 +178,9 @@ impl Expr {
                 };
                 Ok(Value::Float(r))
             }
-            Expr::Year(x) => match x.eval(row)? {
+            Expr::Year(x) => match x.eval_cow(row)?.as_ref() {
                 Value::Date(d) => {
-                    let text = format_date(d);
+                    let text = format_date(*d);
                     let year: i64 = text[..4]
                         .parse()
                         .map_err(|_| DbError::TypeError("bad year".into()))?;
@@ -196,13 +196,33 @@ impl Expr {
                 }
             }
             Expr::Prefix(x, n) => {
-                let v = x.eval(row)?;
+                let v = x.eval_cow(row)?;
                 let s = v
                     .as_str()
                     .ok_or_else(|| DbError::TypeError("PREFIX of non-string".into()))?;
                 let cut = s.char_indices().nth(*n).map_or(s.len(), |(i, _)| i);
                 Ok(Value::Str(s[..cut].to_owned()))
             }
+        }
+    }
+
+    /// Evaluates to a borrowed value when the expression is a plain column
+    /// reference or literal — the overwhelmingly common operand shape in
+    /// predicates — and to an owned value otherwise. Keeps per-row predicate
+    /// evaluation from cloning cell contents (string columns in particular)
+    /// just to compare them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TypeError`] as for [`Expr::eval`].
+    fn eval_cow<'a>(&'a self, row: &'a Row) -> DbResult<std::borrow::Cow<'a, Value>> {
+        match self {
+            Expr::Col(i) => row
+                .get(*i)
+                .map(std::borrow::Cow::Borrowed)
+                .ok_or_else(|| DbError::TypeError(format!("column {i} out of range"))),
+            Expr::Lit(v) => Ok(std::borrow::Cow::Borrowed(v)),
+            other => Ok(std::borrow::Cow::Owned(other.eval(row)?)),
         }
     }
 

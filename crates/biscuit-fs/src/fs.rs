@@ -324,7 +324,7 @@ impl Fs {
                 b.put_u64(e.pages);
             }
         }
-        b.build().into_bytes().to_vec()
+        b.build().into_buf().to_vec()
     }
 
     /// Creates a file whose pages are *deterministically regenerated* on
@@ -593,6 +593,9 @@ impl File {
     }
 
     fn slice_pages(&self, pages: &[PageBuf], offset: u64, len: u64) -> Vec<u8> {
+        self.inner
+            .device
+            .count_copy(biscuit_ssd::CopySite::HostAssemble, len);
         let ps = self.inner.page_size as u64;
         let mut out = Vec::with_capacity(len as usize);
         let head = offset % ps;

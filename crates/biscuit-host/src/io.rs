@@ -123,6 +123,8 @@ impl ConvIo {
         ctx.sleep_until(end);
         self.charge_host(ctx, link_cfg.host_complete, load);
         self.link.release_slot(ctx, slot);
+        self.device
+            .count_copy(biscuit_ssd::CopySite::HostAssemble, len);
         Ok(slice_pages(
             &pages,
             offset,
@@ -175,6 +177,8 @@ impl ConvIo {
             ctx.sleep_until(end);
             self.charge_host(ctx, link_cfg.host_complete, load);
         }
+        self.device
+            .count_copy(biscuit_ssd::CopySite::HostAssemble, len);
         Ok(slice_pages(&all_pages, offset, len, page_size))
     }
 }

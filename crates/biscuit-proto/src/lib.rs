@@ -25,10 +25,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod buf;
 pub mod link;
 pub mod packet;
 pub mod wire;
 
+pub use buf::{Buf, BufPool, Frame};
 pub use link::{HostLink, LinkConfig};
 pub use packet::{DecodeError, Packet, PacketBuilder, PacketReader};
 pub use wire::Wire;

@@ -5,8 +5,13 @@
 //! richer types must be explicitly serialized. We reproduce that rule: the
 //! typed inter-SSDlet ports in `biscuit-core` move native Rust values, while
 //! boundary ports insist on [`Packet`] and the [`crate::wire::Wire`] codec.
+//!
+//! A packet's payload is a [`Buf`] — a shared, sliceable window — so
+//! cloning a packet, slicing a blob out of one ([`PacketReader::get_blob_buf`]),
+//! or decoding a nested [`Packet`]/[`Buf`] shares the underlying allocation
+//! instead of copying it.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::buf::Buf;
 
 /// An immutable, cheaply-cloneable byte payload.
 ///
@@ -26,7 +31,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug, Default, Hash)]
 pub struct Packet {
-    data: Bytes,
+    data: Buf,
 }
 
 impl Packet {
@@ -35,15 +40,15 @@ impl Packet {
         Self::default()
     }
 
-    /// Wraps an existing byte buffer.
-    pub fn from_bytes(data: Bytes) -> Self {
+    /// Wraps an existing shared buffer without copying it.
+    pub fn from_buf(data: Buf) -> Self {
         Packet { data }
     }
 
     /// Copies a byte slice into a packet.
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Packet {
-            data: Bytes::copy_from_slice(data),
+            data: Buf::copy_from_slice(data),
         }
     }
 
@@ -62,15 +67,21 @@ impl Packet {
         &self.data
     }
 
-    /// Extracts the underlying buffer.
-    pub fn into_bytes(self) -> Bytes {
+    /// Borrow the payload as its shared buffer.
+    pub fn as_buf(&self) -> &Buf {
+        &self.data
+    }
+
+    /// Extracts the underlying buffer (no copy).
+    pub fn into_buf(self) -> Buf {
         self.data
     }
 
     /// Starts sequential reads from the front of the payload.
     pub fn reader(&self) -> PacketReader<'_> {
         PacketReader {
-            rest: self.data.as_ref(),
+            buf: &self.data,
+            pos: 0,
         }
     }
 }
@@ -78,8 +89,14 @@ impl Packet {
 impl From<Vec<u8>> for Packet {
     fn from(v: Vec<u8>) -> Self {
         Packet {
-            data: Bytes::from(v),
+            data: Buf::from_vec(v),
         }
+    }
+}
+
+impl From<Buf> for Packet {
+    fn from(data: Buf) -> Self {
+        Packet { data }
     }
 }
 
@@ -115,26 +132,27 @@ impl std::error::Error for DecodeError {}
 /// Incremental little-endian reader over a packet payload.
 #[derive(Debug)]
 pub struct PacketReader<'a> {
-    rest: &'a [u8],
+    buf: &'a Buf,
+    pos: usize,
 }
 
 impl<'a> PacketReader<'a> {
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
-        self.rest.len()
+        self.buf.len() - self.pos
     }
 
     /// True if all bytes were consumed.
     pub fn is_empty(&self) -> bool {
-        self.rest.is_empty()
+        self.remaining() == 0
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.rest.len() < n {
+        if self.remaining() < n {
             return Err(DecodeError::UnexpectedEnd);
         }
-        let (head, tail) = self.rest.split_at(n);
-        self.rest = tail;
+        let head = &self.buf.as_slice()[self.pos..self.pos + n];
+        self.pos += n;
         Ok(head)
     }
 
@@ -153,8 +171,9 @@ impl<'a> PacketReader<'a> {
     ///
     /// Returns [`DecodeError::UnexpectedEnd`] if fewer than 4 bytes remain.
     pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
-        let mut b = self.take(4)?;
-        Ok(b.get_u32_le())
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("exactly 4 bytes"),
+        ))
     }
 
     /// Reads a little-endian `u64`.
@@ -163,8 +182,9 @@ impl<'a> PacketReader<'a> {
     ///
     /// Returns [`DecodeError::UnexpectedEnd`] if fewer than 8 bytes remain.
     pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
-        let mut b = self.take(8)?;
-        Ok(b.get_u64_le())
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("exactly 8 bytes"),
+        ))
     }
 
     /// Reads a little-endian `i64`.
@@ -173,8 +193,9 @@ impl<'a> PacketReader<'a> {
     ///
     /// Returns [`DecodeError::UnexpectedEnd`] if fewer than 8 bytes remain.
     pub fn get_i64(&mut self) -> Result<i64, DecodeError> {
-        let mut b = self.take(8)?;
-        Ok(b.get_i64_le())
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("exactly 8 bytes"),
+        ))
     }
 
     /// Reads a little-endian `f64`.
@@ -183,11 +204,12 @@ impl<'a> PacketReader<'a> {
     ///
     /// Returns [`DecodeError::UnexpectedEnd`] if fewer than 8 bytes remain.
     pub fn get_f64(&mut self) -> Result<f64, DecodeError> {
-        let mut b = self.take(8)?;
-        Ok(b.get_f64_le())
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("exactly 8 bytes"),
+        ))
     }
 
-    /// Reads a length-prefixed byte run.
+    /// Reads a length-prefixed byte run, borrowing it.
     ///
     /// # Errors
     ///
@@ -195,6 +217,23 @@ impl<'a> PacketReader<'a> {
     pub fn get_blob(&mut self) -> Result<&'a [u8], DecodeError> {
         let len = self.get_u32()? as usize;
         self.take(len)
+    }
+
+    /// Reads a length-prefixed byte run as a shared window into the
+    /// packet's own buffer — no copy, the packet's allocation stays
+    /// alive for as long as the returned [`Buf`] does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEnd`] on truncation.
+    pub fn get_blob_buf(&mut self) -> Result<Buf, DecodeError> {
+        let len = self.get_u32()? as usize;
+        if self.remaining() < len {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let blob = self.buf.slice(self.pos..self.pos + len);
+        self.pos += len;
+        Ok(blob)
     }
 
     /// Reads a length-prefixed UTF-8 string.
@@ -212,7 +251,7 @@ impl<'a> PacketReader<'a> {
 /// Growable little-endian writer that produces a [`Packet`].
 #[derive(Debug, Default)]
 pub struct PacketBuilder {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl PacketBuilder {
@@ -224,37 +263,37 @@ impl PacketBuilder {
     /// Creates a builder with a capacity hint.
     pub fn with_capacity(cap: usize) -> Self {
         PacketBuilder {
-            buf: BytesMut::with_capacity(cap),
+            buf: Vec::with_capacity(cap),
         }
     }
 
     /// Appends one byte.
     pub fn put_u8(&mut self, v: u8) -> &mut Self {
-        self.buf.put_u8(v);
+        self.buf.push(v);
         self
     }
 
     /// Appends a little-endian `u32`.
     pub fn put_u32(&mut self, v: u32) -> &mut Self {
-        self.buf.put_u32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
         self
     }
 
     /// Appends a little-endian `u64`.
     pub fn put_u64(&mut self, v: u64) -> &mut Self {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
         self
     }
 
     /// Appends a little-endian `i64`.
     pub fn put_i64(&mut self, v: i64) -> &mut Self {
-        self.buf.put_i64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
         self
     }
 
     /// Appends a little-endian `f64`.
     pub fn put_f64(&mut self, v: f64) -> &mut Self {
-        self.buf.put_f64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
         self
     }
 
@@ -265,8 +304,8 @@ impl PacketBuilder {
     /// Panics if `v` exceeds `u32::MAX` bytes.
     pub fn put_blob(&mut self, v: &[u8]) -> &mut Self {
         let len = u32::try_from(v.len()).expect("blob too large for packet");
-        self.buf.put_u32_le(len);
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(v);
         self
     }
 
@@ -285,10 +324,11 @@ impl PacketBuilder {
         self.buf.is_empty()
     }
 
-    /// Finalizes into an immutable [`Packet`].
+    /// Finalizes into an immutable [`Packet`] (moves the allocation, no
+    /// copy).
     pub fn build(self) -> Packet {
         Packet {
-            data: self.buf.freeze(),
+            data: Buf::from_vec(self.buf),
         }
     }
 }
@@ -322,6 +362,19 @@ mod tests {
     }
 
     #[test]
+    fn blob_buf_shares_the_packet_allocation() {
+        let mut b = PacketBuilder::new();
+        b.put_blob(&[5, 6, 7, 8]).put_u8(0xAA);
+        let p = b.build();
+        let mut r = p.reader();
+        let blob = r.get_blob_buf().unwrap();
+        assert_eq!(&blob[..], &[5, 6, 7, 8]);
+        assert_eq!(r.get_u8().unwrap(), 0xAA);
+        // Window into the packet's own buffer, not a copy.
+        assert_eq!(p.as_buf().ref_count(), 2);
+    }
+
+    #[test]
     fn truncated_read_errors() {
         let p = Packet::copy_from_slice(&[1, 2]);
         let mut r = p.reader();
@@ -334,6 +387,10 @@ mod tests {
         b.put_u32(100); // claims 100 bytes follow
         let p = b.build();
         assert_eq!(p.reader().get_blob(), Err(DecodeError::UnexpectedEnd));
+        assert_eq!(
+            p.reader().get_blob_buf(),
+            Err(DecodeError::UnexpectedEnd)
+        );
     }
 
     #[test]
@@ -350,6 +407,8 @@ mod tests {
         let q = p.clone();
         assert_eq!(p, q);
         assert_eq!(q.len(), 4);
+        // Clone shares, not copies.
+        assert_eq!(p.as_buf().ref_count(), 2);
     }
 
     #[test]

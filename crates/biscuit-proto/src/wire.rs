@@ -20,6 +20,16 @@ use crate::packet::{DecodeError, Packet, PacketBuilder, PacketReader};
 /// assert_eq!(back, v);
 /// ```
 pub trait Wire: Sized {
+    /// True when [`Wire::to_packet`] shares the value's buffer instead of
+    /// copying payload bytes. Boundary ports consult this to skip
+    /// `sim_bytes_copied_total` accounting on the encode side.
+    const ZERO_COPY_ENCODE: bool = false;
+
+    /// True when [`Wire::from_packet`] hands out a window into the
+    /// packet's own buffer instead of copying. Skips the decode-side
+    /// copy accounting.
+    const ZERO_COPY_DECODE: bool = false;
+
     /// Appends this value's encoding to `b`.
     fn encode(&self, b: &mut PacketBuilder);
 
@@ -131,11 +141,39 @@ impl Wire for String {
 }
 
 impl Wire for Packet {
+    // Decoding slices the carrier packet's buffer (no copy); encoding
+    // still writes the payload into the builder, preserving the
+    // length-prefixed wire format byte for byte.
+    const ZERO_COPY_DECODE: bool = true;
+
     fn encode(&self, b: &mut PacketBuilder) {
         b.put_blob(self.as_slice());
     }
     fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
-        Ok(Packet::copy_from_slice(r.get_blob()?))
+        Ok(Packet::from_buf(r.get_blob_buf()?))
+    }
+}
+
+impl Wire for crate::buf::Buf {
+    const ZERO_COPY_ENCODE: bool = true;
+    const ZERO_COPY_DECODE: bool = true;
+
+    fn encode(&self, b: &mut PacketBuilder) {
+        b.put_blob(self);
+    }
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        r.get_blob_buf()
+    }
+
+    // A standalone Buf crosses the boundary as the packet itself — the
+    // same allocation end to end, no length prefix, no copy. (Nested
+    // Bufs inside tuples/Vecs still use the length-prefixed `encode`
+    // form above, which copies into the builder.)
+    fn to_packet(&self) -> Packet {
+        Packet::from_buf(self.clone())
+    }
+    fn from_packet(p: &Packet) -> Result<Self, DecodeError> {
+        Ok(p.as_buf().clone())
     }
 }
 

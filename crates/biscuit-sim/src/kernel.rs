@@ -14,7 +14,7 @@
 //! model.
 
 use std::any::Any;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Once};
 use std::thread::JoinHandle;
@@ -95,9 +95,56 @@ struct KernelInner {
     now: SimTime,
     seq: u64,
     events: BinaryHeap<Event>,
+    /// Wakes scheduled *at the current instant* (the overwhelmingly common
+    /// case: queue notifications, yields, spawns). `now` never decreases and
+    /// `seq` only increases, so pushes arrive in ascending `(time, seq)`
+    /// order and this deque stays sorted — its front plus the heap top
+    /// together give the global minimum without paying heap sift costs.
+    at_now: VecDeque<Event>,
     fibers: Vec<FiberSlot>,
     rng: SmallRng,
     events_processed: u64,
+}
+
+impl KernelInner {
+    /// Enqueues a wake for `(pid, gen)` at `max(at, now)`, routing at-now
+    /// wakes to the FIFO fast path and future wakes to the heap. The event
+    /// order is by `(time, seq)` across both queues — identical to a single
+    /// heap.
+    fn push_event(&mut self, at: SimTime, pid: Pid, gen: u64) {
+        let seq = self.seq;
+        self.seq += 1;
+        let time = at.max(self.now);
+        let ev = Event {
+            time,
+            seq,
+            pid,
+            gen,
+        };
+        if time == self.now {
+            self.at_now.push_back(ev);
+        } else {
+            self.events.push(ev);
+        }
+    }
+
+    fn pending_events(&self) -> usize {
+        self.events.len() + self.at_now.len()
+    }
+
+    /// Pops the earliest `(time, seq)` event across the FIFO and the heap.
+    fn pop_event(&mut self) -> Option<Event> {
+        let fifo_first = match (self.at_now.front(), self.events.peek()) {
+            (Some(f), Some(h)) => (f.time, f.seq) < (h.time, h.seq),
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if fifo_first {
+            self.at_now.pop_front()
+        } else {
+            self.events.pop()
+        }
+    }
 }
 
 /// Pre-registered scheduler instruments (see `docs/METRICS.md`). Handles
@@ -135,7 +182,7 @@ impl std::fmt::Debug for Kernel {
         f.debug_struct("Kernel")
             .field("now", &inner.now)
             .field("fibers", &inner.fibers.len())
-            .field("pending_events", &inner.events.len())
+            .field("pending_events", &inner.pending_events())
             .finish()
     }
 }
@@ -160,16 +207,7 @@ impl Kernel {
 
     /// Schedules a wake event for `(pid, gen)` at absolute time `at`.
     fn schedule_wake(&self, at: SimTime, pid: Pid, gen: u64) {
-        let mut inner = self.inner.lock();
-        let seq = inner.seq;
-        inner.seq += 1;
-        let time = at.max(inner.now);
-        inner.events.push(Event {
-            time,
-            seq,
-            pid,
-            gen,
-        });
+        self.inner.lock().push_event(at, pid, gen);
     }
 
     fn spawn_fiber<F>(self: &Arc<Self>, name: String, f: F) -> Pid
@@ -200,14 +238,7 @@ impl Kernel {
         });
         // First resume at the current time, generation 1 (the initial park).
         let now = inner.now;
-        let seq = inner.seq;
-        inner.seq += 1;
-        inner.events.push(Event {
-            time: now,
-            seq,
-            pid,
-            gen: 1,
-        });
+        inner.push_event(now, pid, 1);
         drop(inner);
         self.sched.fibers_spawned.inc();
         if let Some(name) = trace_name {
@@ -281,13 +312,12 @@ impl Ctx {
         if d.is_zero() {
             return;
         }
-        let (at, gen) = {
-            let inner = self.kernel.inner.lock();
+        {
+            let mut inner = self.kernel.inner.lock();
             let at = inner.now + d;
             let gen = inner.fibers[self.pid].park_gen + 1;
-            (at, gen)
-        };
-        self.kernel.schedule_wake(at, self.pid, gen);
+            inner.push_event(at, self.pid, gen);
+        }
         self.park();
     }
 
@@ -301,8 +331,12 @@ impl Ctx {
 
     /// Yields to other fibers runnable at the current instant.
     pub fn yield_now(&self) {
-        let gen = self.kernel.inner.lock().fibers[self.pid].park_gen + 1;
-        self.kernel.schedule_wake(self.now(), self.pid, gen);
+        {
+            let mut inner = self.kernel.inner.lock();
+            let now = inner.now;
+            let gen = inner.fibers[self.pid].park_gen + 1;
+            inner.push_event(now, self.pid, gen);
+        }
         self.park();
     }
 
@@ -337,8 +371,9 @@ impl Ctx {
     /// Schedules a wake for `(pid, gen)` at the current time. Used by wait
     /// queues when notifying.
     pub(crate) fn wake_at_now(&self, pid: Pid, gen: u64) {
-        let now = self.kernel.now();
-        self.kernel.schedule_wake(now, pid, gen);
+        let mut inner = self.kernel.inner.lock();
+        let now = inner.now;
+        inner.push_event(now, pid, gen);
     }
 
     /// Schedules a wake for `(pid, gen)` at absolute time `at`. Used by
@@ -475,7 +510,9 @@ impl Simulation {
             inner: Mutex::new(KernelInner {
                 now: SimTime::ZERO,
                 seq: 0,
-                events: BinaryHeap::new(),
+                // Pre-sized so steady-state scheduling never reallocates.
+                events: BinaryHeap::with_capacity(1024),
+                at_now: VecDeque::with_capacity(256),
                 fibers: Vec::new(),
                 rng: SmallRng::seed_from_u64(seed),
                 events_processed: 0,
@@ -557,7 +594,7 @@ impl Simulation {
             let next = {
                 let mut inner = self.kernel.inner.lock();
                 loop {
-                    match inner.events.pop() {
+                    match inner.pop_event() {
                         None => break None,
                         Some(ev) => {
                             let slot = &inner.fibers[ev.pid];
@@ -571,7 +608,7 @@ impl Simulation {
                                 }
                                 let tx = inner.fibers[ev.pid].resume_tx.clone();
                                 inner.fibers[ev.pid].state = FiberState::Running;
-                                break Some((ev.pid, tx, ev.time, inner.events.len()));
+                                break Some((ev.pid, tx, ev.time, inner.pending_events()));
                             }
                             // Stale wake: generation mismatch or fiber done.
                         }

@@ -60,6 +60,13 @@ pub struct SsdConfig {
     pub pm_max_keys: usize,
     /// Maximum keyword length in bytes (paper: 16).
     pub pm_max_key_len: usize,
+    /// Device-DRAM page frames cached for synthetic (generator-backed)
+    /// pages, so repeated reads of the same logical page share one buffer
+    /// instead of regenerating it. Purely a host-memory/wall-clock
+    /// optimization: simulated timing always charges the full NAND sense
+    /// and transfer, and eviction is FIFO in first-touch order, so results
+    /// and traces are byte-identical at any setting. Zero disables caching.
+    pub synth_cache_pages: usize,
 }
 
 impl SsdConfig {
@@ -87,6 +94,7 @@ impl SsdConfig {
             pm_rate: 235.0e6, // slightly below channel_rate: IP handshaking
             pm_max_keys: 3,
             pm_max_key_len: 16,
+            synth_cache_pages: 4096, // 64 MiB of 16 KiB frames
         }
     }
 

@@ -14,9 +14,12 @@
 //!   an extra per-request IP-setup cost, landing between Conv and raw
 //!   Biscuit bandwidth (Fig. 7), while only matching pages surface.
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
+
+use biscuit_proto::{Buf, BufPool};
 
 use biscuit_sim::fault::{FaultPlan, FaultSite};
 use biscuit_sim::metrics::{self, MetricsRegistry};
@@ -30,11 +33,39 @@ use biscuit_sim::Ctx;
 use crate::config::SsdConfig;
 use crate::ftl::{Ftl, FtlError};
 use crate::memory::DeviceMemory;
-use crate::nand::{NandArray, PageData, Ppa};
+use crate::nand::{NandArray, PageData, PageGen, Ppa};
 use crate::pattern::PatternSet;
 
-/// A materialized page payload.
-pub type PageBuf = Arc<[u8]>;
+/// A materialized page payload: a shared window onto one allocation. Every
+/// layer from the NAND to the host holds the same bytes by reference.
+pub type PageBuf = Buf;
+
+/// A byte-copy (memcpy) site on the data path, for the
+/// `sim_bytes_copied_total` metric. The zero-copy work tracks every place
+/// payload bytes are duplicated rather than shared; each site increments the
+/// counter by the bytes it copied so the claim "a page is allocated once at
+/// the NAND and shared to the host" stays measurable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopySite {
+    /// A synthetic page was (re)generated at the NAND instead of being
+    /// served from a shared buffer.
+    NandSynth,
+    /// Host-side assembly of page buffers into one contiguous read result.
+    HostAssemble,
+    /// Host bytes staged into a full device page on the write path.
+    WriteStage,
+}
+
+impl CopySite {
+    /// The `site` label value used on `sim_bytes_copied_total`.
+    pub fn label(self) -> &'static str {
+        match self {
+            CopySite::NandSynth => "nand_synth",
+            CopySite::HostAssemble => "host_read_assemble",
+            CopySite::WriteStage => "device_write_stage",
+        }
+    }
+}
 
 /// Errors surfaced by device operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +149,10 @@ struct DeviceInstruments {
     pages_scanned: metrics::Counter,
     pages_matched: metrics::Counter,
     pages_written: metrics::Counter,
+    /// `sim_bytes_copied_total{site}` — bytes duplicated per [`CopySite`].
+    copy_nand_synth: metrics::Counter,
+    copy_host_assemble: metrics::Counter,
+    copy_write_stage: metrics::Counter,
 }
 
 impl DeviceInstruments {
@@ -151,6 +186,26 @@ impl DeviceInstruments {
             pages_scanned: registry.counter("device_pages_scanned_total", &[]),
             pages_matched: registry.counter("device_pages_matched_total", &[]),
             pages_written: registry.counter("device_pages_written_total", &[]),
+            copy_nand_synth: registry.counter(
+                "sim_bytes_copied_total",
+                &[("site", CopySite::NandSynth.label())],
+            ),
+            copy_host_assemble: registry.counter(
+                "sim_bytes_copied_total",
+                &[("site", CopySite::HostAssemble.label())],
+            ),
+            copy_write_stage: registry.counter(
+                "sim_bytes_copied_total",
+                &[("site", CopySite::WriteStage.label())],
+            ),
+        }
+    }
+
+    fn copy_counter(&self, site: CopySite) -> &metrics::Counter {
+        match site {
+            CopySite::NandSynth => &self.copy_nand_synth,
+            CopySite::HostAssemble => &self.copy_host_assemble,
+            CopySite::WriteStage => &self.copy_write_stage,
         }
     }
 }
@@ -164,6 +219,20 @@ struct PowerHook {
 struct Storage {
     nand: NandArray,
     ftl: Ftl,
+}
+
+/// Bounded cache of materialized synthetic pages, keyed by (generator
+/// identity, file-relative lpn). Without it every read of a generator-backed
+/// page re-runs the generator — the dominant wall-clock cost of scan-heavy
+/// workloads — even though the simulated timing is identical. FIFO eviction
+/// in first-touch order keeps behaviour independent of hash iteration order,
+/// so same-seed runs stay byte-identical.
+#[derive(Default)]
+struct SynthCache {
+    // Each entry pins its generator Arc so the address in the key cannot be
+    // freed and reused by a different generator while the entry lives.
+    map: HashMap<(usize, u64), (Buf, Arc<dyn PageGen>)>,
+    order: VecDeque<(usize, u64)>,
 }
 
 /// The simulated SSD.
@@ -180,6 +249,8 @@ pub struct SsdDevice {
     metrics: OnceLock<DeviceInstruments>,
     fault: OnceLock<FaultPlan>,
     zero_page: PageBuf,
+    synth_cache: Mutex<SynthCache>,
+    pool: BufPool,
 }
 
 impl std::fmt::Debug for SsdDevice {
@@ -214,7 +285,10 @@ impl SsdDevice {
             cfg.pages_per_block as u32,
             cfg.logical_pages(),
         );
-        let zero_page: PageBuf = Arc::from(vec![0u8; cfg.page_size].into_boxed_slice());
+        let zero_page: PageBuf = Buf::from_vec(vec![0u8; cfg.page_size]);
+        // Page frames for write staging and recycled synth-cache evictions;
+        // the free-list cap keeps idle frames bounded by one cache's worth.
+        let pool = BufPool::new(cfg.page_size, cfg.synth_cache_pages.max(64));
         SsdDevice {
             dies: ServerBank::new(cfg.channels * cfg.ways),
             buses: ServerBank::new(cfg.channels),
@@ -227,8 +301,15 @@ impl SsdDevice {
             fault: OnceLock::new(),
             storage: Mutex::new(Storage { nand, ftl }),
             zero_page,
+            synth_cache: Mutex::new(SynthCache::default()),
+            pool,
             cfg,
         }
+    }
+
+    /// The device's page-frame pool (diagnostics: frames allocated/recycled).
+    pub fn frame_pool(&self) -> &BufPool {
+        &self.pool
     }
 
     /// The device's configuration.
@@ -310,6 +391,51 @@ impl SsdDevice {
     #[inline]
     fn instruments(&self) -> Option<&DeviceInstruments> {
         self.metrics.get()
+    }
+
+    /// Records `bytes` duplicated at `site` into `sim_bytes_copied_total`.
+    /// Host-side layers (I/O assembly, the filesystem) call this for their
+    /// own memcpy sites so every copy on the NAND-to-host path lands in one
+    /// metric. Costs one relaxed atomic load when metrics are disabled.
+    #[inline]
+    pub fn count_copy(&self, site: CopySite, bytes: u64) {
+        if let Some(m) = self.instruments() {
+            m.copy_counter(site).add(bytes);
+        }
+    }
+
+    /// Materializes fetched page data. `Bytes` pages share their stored
+    /// allocation. `Synth` pages are served from the device's synth cache
+    /// when possible; on a miss the generator runs (counted as a
+    /// `nand_synth` copy — the one place a fresh page buffer is filled) and
+    /// the result is cached, evicting the oldest entry first.
+    fn materialize_counted(&self, d: &PageData) -> PageBuf {
+        let (lpn, gen) = match d {
+            PageData::Bytes(b) => return b.clone(),
+            PageData::Synth { lpn, gen } => (*lpn, gen),
+        };
+        let cap = self.cfg.synth_cache_pages;
+        if cap == 0 {
+            self.count_copy(CopySite::NandSynth, self.cfg.page_size as u64);
+            return d.materialize(self.cfg.page_size);
+        }
+        let key = (Arc::as_ptr(gen) as *const u8 as usize, lpn);
+        let mut cache = self.synth_cache.lock();
+        if let Some((b, _pin)) = cache.map.get(&key) {
+            return b.clone();
+        }
+        self.count_copy(CopySite::NandSynth, self.cfg.page_size as u64);
+        let buf = d.materialize(self.cfg.page_size);
+        if cache.map.len() >= cap {
+            if let Some(old) = cache.order.pop_front() {
+                if let Some((evicted, _)) = cache.map.remove(&old) {
+                    self.pool.recycle(evicted);
+                }
+            }
+        }
+        cache.map.insert(key, (buf.clone(), Arc::clone(gen)));
+        cache.order.push_back(key);
+        buf
     }
 
     /// Attaches a power meter component toggled while the datapath is busy.
@@ -470,8 +596,8 @@ impl SsdDevice {
     ) -> DeviceResult<(SimTime, PageBuf)> {
         let (ppa, data) = self.fetch(lpn)?;
         let buf = match data {
-            Some(d) => d.materialize(self.cfg.page_size),
-            None => Arc::clone(&self.zero_page),
+            Some(d) => self.materialize_counted(&d),
+            None => self.zero_page.clone(),
         };
         let (die_start, die_end) =
             self.dies
@@ -533,7 +659,7 @@ impl SsdDevice {
         self.stats.pages_scanned.add(1);
         let hit = match data {
             Some(d) => {
-                let buf = d.materialize(self.cfg.page_size);
+                let buf = self.materialize_counted(&d);
                 if pattern.matches(&buf) {
                     self.stats.pages_matched.add(1);
                     Some(buf)
@@ -740,16 +866,14 @@ impl SsdDevice {
         }
         self.power_busy(ctx.now());
         let result = (|| {
-            let mut page = vec![0u8; self.cfg.page_size];
-            page[..data.len()].copy_from_slice(data);
+            self.count_copy(CopySite::WriteStage, self.cfg.page_size as u64);
+            let mut frame = self.pool.take();
+            frame.as_mut_slice()[..data.len()].copy_from_slice(data);
             let outcome = {
                 let mut st = self.storage.lock();
                 let st = &mut *st;
-                st.ftl.write(
-                    &mut st.nand,
-                    lpn,
-                    PageData::Bytes(Arc::from(page.into_boxed_slice())),
-                )?
+                st.ftl
+                    .write(&mut st.nand, lpn, PageData::Bytes(frame.freeze()))?
             };
             let ppa = self
                 .storage
@@ -850,16 +974,14 @@ impl SsdDevice {
                     let earliest = inflight.pop_front().expect("nonempty");
                     ctx.sleep_until(earliest);
                 }
-                let mut page = vec![0u8; self.cfg.page_size];
-                page[..data.len()].copy_from_slice(data);
+                self.count_copy(CopySite::WriteStage, self.cfg.page_size as u64);
+                let mut frame = self.pool.take();
+                frame.as_mut_slice()[..data.len()].copy_from_slice(data);
                 let outcome = {
                     let mut st = self.storage.lock();
                     let st = &mut *st;
-                    st.ftl.write(
-                        &mut st.nand,
-                        *lpn,
-                        PageData::Bytes(Arc::from(page.into_boxed_slice())),
-                    )?
+                    st.ftl
+                        .write(&mut st.nand, *lpn, PageData::Bytes(frame.freeze()))?
                 };
                 let ppa = self
                     .storage
@@ -936,12 +1058,10 @@ impl SsdDevice {
     pub fn load_bytes(&self, lpn_start: u64, bytes: &[u8]) -> DeviceResult<()> {
         let ps = self.cfg.page_size;
         for (i, chunk) in bytes.chunks(ps).enumerate() {
-            let mut page = vec![0u8; ps];
-            page[..chunk.len()].copy_from_slice(chunk);
-            self.load_page(
-                lpn_start + i as u64,
-                PageData::Bytes(Arc::from(page.into_boxed_slice())),
-            )?;
+            self.count_copy(CopySite::WriteStage, ps as u64);
+            let mut frame = self.pool.take();
+            frame.as_mut_slice()[..chunk.len()].copy_from_slice(chunk);
+            self.load_page(lpn_start + i as u64, PageData::Bytes(frame.freeze()))?;
         }
         Ok(())
     }
@@ -967,8 +1087,8 @@ impl SsdDevice {
     pub fn peek_page(&self, lpn: u64) -> DeviceResult<PageBuf> {
         let (_, data) = self.fetch(lpn)?;
         Ok(match data {
-            Some(d) => d.materialize(self.cfg.page_size),
-            None => Arc::clone(&self.zero_page),
+            Some(d) => self.materialize_counted(&d),
+            None => self.zero_page.clone(),
         })
     }
 }

@@ -516,10 +516,9 @@ impl Ftl {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     fn page(fill: u8, size: usize) -> PageData {
-        PageData::Bytes(Arc::from(vec![fill; size].into_boxed_slice()))
+        PageData::Bytes(biscuit_proto::Buf::from_vec(vec![fill; size]))
     }
 
     fn setup(blocks_per_die: u32, logical_pages: u64) -> (NandArray, Ftl) {

@@ -58,7 +58,7 @@ pub mod nand;
 pub mod pattern;
 
 pub use config::SsdConfig;
-pub use device::{DeviceError, DeviceResult, PageBuf, SsdDevice};
+pub use device::{CopySite, DeviceError, DeviceResult, PageBuf, SsdDevice};
 pub use ftl::Ftl;
 pub use nand::{NandArray, PageData, PageGen, Ppa};
 pub use pattern::{PatternError, PatternLimits, PatternSet};

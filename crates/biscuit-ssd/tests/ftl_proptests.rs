@@ -1,7 +1,6 @@
 //! Property tests for FTL correctness under arbitrary write/trim schedules.
 
 use std::collections::HashMap;
-use std::sync::Arc;
 
 use proptest::prelude::*;
 
@@ -24,7 +23,7 @@ fn op_strategy(logical_pages: u64) -> impl Strategy<Value = Op> {
 }
 
 fn page(fill: u8) -> PageData {
-    PageData::Bytes(Arc::from(vec![fill; PAGE].into_boxed_slice()))
+    PageData::Bytes(biscuit_proto::Buf::from_vec(vec![fill; PAGE]))
 }
 
 fn read_fill(nand: &NandArray, ftl: &Ftl, lpn: u64) -> Option<u8> {

@@ -25,6 +25,9 @@ if ! $docs_only; then
     cargo test -q -p biscuit-host --test array_proptests
     cargo test -q --test scaleout
     cargo test -q --test determinism scaleout
+    echo "== wall-clock smoke: throughput bench + 2x regression gate"
+    WALLCLOCK_SMOKE=1 WALLCLOCK_BASELINE=benchmarks/wallclock_baseline.json \
+        cargo bench -p biscuit-bench --bench wallclock
     echo "== lint: clippy, warnings as errors"
     cargo clippy --workspace --all-targets -- -D warnings
 fi
