@@ -81,8 +81,8 @@ impl SocialGraph {
 
 /// Decodes a record and picks the walk's next vertex.
 fn next_vertex(record: &[u8], rng: &mut SmallRng) -> u64 {
-    let degree = u64::from_le_bytes(record[..8].try_into().expect("8 bytes"))
-        .clamp(1, MAX_DEGREE as u64);
+    let degree =
+        u64::from_le_bytes(record[..8].try_into().expect("8 bytes")).clamp(1, MAX_DEGREE as u64);
     let pick = rng.random_range(0..degree) as usize;
     let start = 8 + pick * 8;
     u64::from_le_bytes(record[start..start + 8].try_into().expect("8 bytes"))

@@ -21,7 +21,8 @@ pub mod wordcount;
 
 pub use graph::{biscuit_chase, chase_module, conv_chase, ChaseArgs, SocialGraph};
 pub use search::{
-    array_conv_grep, biscuit_grep, conv_grep, grep_module, load_grep_module, ArrayGrep, GrepArgs,
+    array_conv_grep, biscuit_grep, conv_grep, fleet_grep, fleet_grep_expected, grep_module,
+    load_grep_module, ArrayGrep, GrepArgs,
 };
 pub use weblog::{WeblogGen, NEEDLE};
 pub use wordcount::{reference_wordcount, run_wordcount, wordcount_module};

@@ -6,15 +6,21 @@
 //!   pattern matcher at internal bandwidth; only match counting touches the
 //!   device CPU, and a single number crosses the link. Load-insensitive.
 
+use std::sync::Arc;
+
 use biscuit_core::module::{ModuleBuilder, SsdletSpec};
 use biscuit_core::task::{args_as, Ssdlet, TaskCtx};
-use biscuit_core::{Application, BiscuitError, BiscuitResult, Ssd, SsdletModule};
-use biscuit_fs::{File, Mode};
-use biscuit_host::array::{ShardFailure, SsdArray};
-use biscuit_host::{BoyerMoore, ConvIo, HostLoad};
+use biscuit_core::{Application, BiscuitError, BiscuitResult, CoreConfig, Ssd, SsdletModule};
+use biscuit_fs::{File, Fs, Mode};
+use biscuit_host::array::{ArrayShard, ShardFailure, SsdArray};
+use biscuit_host::fleet::{FleetConfig, FleetReport};
+use biscuit_host::{BoyerMoore, ConvIo, HostConfig, HostLoad};
 use biscuit_sim::time::SimDuration;
 use biscuit_sim::Ctx;
 use biscuit_ssd::pattern::{PatternLimits, PatternSet};
+use biscuit_ssd::{SsdConfig, SsdDevice};
+
+use crate::weblog::{WeblogGen, NEEDLE};
 
 /// Host-side `grep`: returns the number of needle occurrences.
 ///
@@ -242,10 +248,7 @@ impl ArrayGrep {
                 Ok(vec![count])
             },
         )?;
-        Ok(results
-            .iter()
-            .map(|r| r.items.iter().sum::<u64>())
-            .sum())
+        Ok(results.iter().map(|r| r.items.iter().sum::<u64>()).sum())
     }
 }
 
@@ -269,6 +272,86 @@ pub fn array_conv_grep(
         total += conv_grep(ctx, &shard.conv, &file, needle, load)?;
     }
     Ok(total)
+}
+
+/// Device-side grep over a **parallel shard fleet**
+/// ([`SsdArray::scatter_parallel`]): each of `cfg.drives` shard kernels
+/// gets a fresh drive holding a `shard_pages`-page synthetic web log
+/// (generator seed `100 + shard`, needle rarity `needle_every`), loads
+/// the grepper module, and runs `passes` grep passes, streaming each
+/// pass's count through the fleet merge port.
+///
+/// The workload mirrors the wallclock bench's in-sim array soak, so
+/// the two regimes are directly comparable; `tests/parallel.rs` and
+/// the `par_soak` bench rows both drive this function. The merged
+/// counts (and, when enabled, trace/metrics exports) are byte-identical
+/// for a given `cfg.seed` across every thread policy.
+///
+/// # Panics
+///
+/// Panics on filesystem or framework errors inside a shard (corpus
+/// creation, module load, grep) — this is a benchmark/test harness, not
+/// a fallible API.
+pub fn fleet_grep(
+    cfg: &FleetConfig,
+    shard_pages: u64,
+    needle_every: u64,
+    passes: usize,
+) -> FleetReport<u64> {
+    SsdArray::scatter_parallel::<u64, _, _>(
+        cfg,
+        move |i, _sim| {
+            let dev = Arc::new(SsdDevice::new(SsdConfig {
+                logical_capacity: 64 << 20,
+                ..SsdConfig::paper_default()
+            }));
+            let fs = Fs::format(Arc::clone(&dev));
+            let page = dev.config().page_size;
+            fs.create_synthetic(
+                "shard.log",
+                shard_pages * page as u64,
+                Arc::new(WeblogGen::new(100 + i as u64, needle_every)),
+            )
+            .expect("synthetic shard corpus");
+            let ssd = Ssd::new(fs, CoreConfig::paper_default());
+            let conv = ConvIo::new(
+                Arc::clone(ssd.device()),
+                Arc::clone(ssd.link()),
+                HostConfig::paper_default(),
+            );
+            ArrayShard { id: i, ssd, conv }
+        },
+        move |ctx, shard, tx| {
+            let module = load_grep_module(ctx, &shard.ssd).expect("grep module");
+            let file = shard
+                .ssd
+                .fs()
+                .open("shard.log", Mode::ReadOnly)
+                .expect("shard corpus");
+            for _ in 0..passes {
+                let count = biscuit_grep(ctx, &shard.ssd, module, &file, NEEDLE.as_bytes())
+                    .expect("fleet grep");
+                tx.send(count);
+            }
+        },
+    )
+}
+
+/// Exact total count [`fleet_grep`] must report: per-shard needle count
+/// times `passes`, summed over `drives` shards. Pure function of the
+/// corpus parameters (the generators are deterministic), independent of
+/// the fleet seed and thread policy.
+pub fn fleet_grep_expected(
+    drives: usize,
+    shard_pages: u64,
+    needle_every: u64,
+    passes: usize,
+) -> u64 {
+    let page = SsdConfig::paper_default().page_size;
+    (0..drives)
+        .map(|i| WeblogGen::new(100 + i as u64, needle_every).count_needles(shard_pages, page))
+        .sum::<u64>()
+        * passes as u64
 }
 
 #[cfg(test)]
@@ -353,8 +436,8 @@ mod tests {
             let b = grep
                 .run(ctx, &arr, "shard.log", NEEDLE.as_bytes(), HostLoad::IDLE)
                 .unwrap();
-            let s = array_conv_grep(ctx, &arr, "shard.log", NEEDLE.as_bytes(), HostLoad::IDLE)
-                .unwrap();
+            let s =
+                array_conv_grep(ctx, &arr, "shard.log", NEEDLE.as_bytes(), HostLoad::IDLE).unwrap();
             c.lock().extend([b, s]);
         });
         sim.run().assert_quiescent();
@@ -362,6 +445,41 @@ mod tests {
         assert!(expected > 0);
         assert_eq!(counts[0], expected, "array biscuit count");
         assert_eq!(counts[1], expected, "array conv count");
+    }
+
+    #[test]
+    fn fleet_grep_counts_match_and_modes_agree() {
+        use biscuit_sim::par::{ParConfig, ParMode};
+        use biscuit_sim::time::SimDuration;
+
+        let (drives, pages, rarity, passes) = (2usize, 32u64, 150u64, 2usize);
+        let expected = fleet_grep_expected(drives, pages, rarity, passes);
+        assert!(expected > 0);
+        let run = |mode: ParMode| {
+            let cfg = FleetConfig {
+                drives,
+                seed: 7,
+                metrics: true,
+                par: ParConfig {
+                    mode,
+                    lookahead: Some(SimDuration::from_micros(200)),
+                },
+                ..FleetConfig::default()
+            };
+            let report = fleet_grep(&cfg, pages, rarity, passes);
+            report.assert_quiescent();
+            report
+        };
+        let single = run(ParMode::Single);
+        assert_eq!(
+            single.items.iter().map(|(_, c)| *c).sum::<u64>(),
+            expected,
+            "fleet count"
+        );
+        let par = run(ParMode::PerShard);
+        assert_eq!(par.items, single.items, "merged items");
+        assert_eq!(par.metrics_json(), single.metrics_json(), "metrics export");
+        assert_eq!(par.events_processed(), single.events_processed());
     }
 
     #[test]

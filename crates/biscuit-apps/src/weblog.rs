@@ -51,12 +51,12 @@ impl WeblogGen {
             rng.random_range(0..255),
             rng.random_range(1..255)
         );
-        let tag = if self.needle_every > 0 && global_line % self.needle_every == self.needle_every / 2
-        {
-            format!(" {NEEDLE}")
-        } else {
-            String::new()
-        };
+        let tag =
+            if self.needle_every > 0 && global_line % self.needle_every == self.needle_every / 2 {
+                format!(" {NEEDLE}")
+            } else {
+                String::new()
+            };
         format!(
             "{ip} - - [17/Jan/1995:{:02}:{:02}:{:02}] \"{} {} HTTP/1.1\" {} {}{}\n",
             rng.random_range(0..24),
@@ -90,10 +90,7 @@ impl WeblogGen {
             let page = self.generate(p, page_size);
             let mut from = 0;
             let needle = NEEDLE.as_bytes();
-            while let Some(pos) = page[from..]
-                .windows(needle.len())
-                .position(|w| w == needle)
-            {
+            while let Some(pos) = page[from..].windows(needle.len()).position(|w| w == needle) {
                 n += 1;
                 from += pos + 1;
             }
@@ -105,7 +102,8 @@ impl WeblogGen {
 impl PageGen for WeblogGen {
     fn generate(&self, lpn: u64, page_size: usize) -> Vec<u8> {
         // Page-local RNG: page contents depend only on (seed, lpn).
-        let mut rng = SmallRng::seed_from_u64(self.seed ^ (lpn.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ (lpn.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
         // Lines per page vary with line lengths; assign deterministic global
         // line numbers by reserving a fixed per-page budget.
         let line_budget = (page_size / 96) as u64;

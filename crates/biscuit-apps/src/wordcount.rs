@@ -47,7 +47,9 @@ pub fn wordcount_module(n_reducers: usize) -> SsdletModule {
             },
         )
         .register("idShuffler", shuffler_spec, move |_args| {
-            Ok(Box::new(Shuffler { outputs: n_reducers }))
+            Ok(Box::new(Shuffler {
+                outputs: n_reducers,
+            }))
         })
         .register(
             "idReducer",
@@ -113,10 +115,7 @@ pub fn tokenize_region(bytes: &[u8], from: usize, to: usize) -> Vec<String> {
             i += 1;
         }
         if start < to {
-            out.push(
-                String::from_utf8_lossy(&bytes[start..i])
-                    .to_lowercase(),
-            );
+            out.push(String::from_utf8_lossy(&bytes[start..i]).to_lowercase());
         }
     }
     out
@@ -246,7 +245,10 @@ mod tests {
 
     #[test]
     fn tokenizer_basics() {
-        assert_eq!(tokenize(b"Hello, world! hello"), vec!["hello", "world", "hello"]);
+        assert_eq!(
+            tokenize(b"Hello, world! hello"),
+            vec!["hello", "world", "hello"]
+        );
         assert_eq!(tokenize(b"  \n\t "), Vec::<String>::new());
         assert_eq!(tokenize(b"a-b_c"), vec!["a", "b", "c"]);
     }

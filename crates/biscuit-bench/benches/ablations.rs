@@ -93,7 +93,9 @@ fn ablation_join_order(report: &mut BenchReport) {
         let q = q14.clone();
         let (t, io) = simulate(move |ctx| {
             db.prepare(ctx).expect("module");
-            let out = q.run(&db, ctx, ExecMode::Biscuit, HostLoad::IDLE).expect("q14");
+            let out = q
+                .run(&db, ctx, ExecMode::Biscuit, HostLoad::IDLE)
+                .expect("q14");
             (
                 out.stats.elapsed.as_secs_f64(),
                 out.stats.link_bytes_to_host,
@@ -104,7 +106,11 @@ fn ablation_join_order(report: &mut BenchReport) {
     row(&["join order", "Q14 Biscuit time", "link bytes"]);
     for (reorder, t, io) in &rows_out {
         row(&[
-            if *reorder { "NDP-filtered first" } else { "smallest first" },
+            if *reorder {
+                "NDP-filtered first"
+            } else {
+                "smallest first"
+            },
             &secs(*t),
             &format!("{:.1} MiB", *io as f64 / (1 << 20) as f64),
         ]);
@@ -114,7 +120,13 @@ fn ablation_join_order(report: &mut BenchReport) {
         ratio(rows_out[1].1 / rows_out[0].1)
     );
     // TPC-H data comes from `rand`: gate loosely.
-    report.push_tol("join_reorder_gain", "x", None, rows_out[1].1 / rows_out[0].1, GATE_LOOSE);
+    report.push_tol(
+        "join_reorder_gain",
+        "x",
+        None,
+        rows_out[1].1 / rows_out[0].1,
+        GATE_LOOSE,
+    );
 }
 
 /// Ablation 3: predicate selectivity sweep — at which selectivity the
@@ -181,8 +193,20 @@ fn ablation_selectivity(report: &mut BenchReport) {
         ]);
         // The offload verdict is the structural result of this sweep; gate
         // it exactly. Speed-ups ride on `rand` data: gate loosely.
-        report.push_tol(&format!("selectivity_case{i}_offloaded"), "", None, offloaded as u64 as f64, 0.0);
-        report.push_tol(&format!("selectivity_case{i}_speedup"), "x", None, conv_t / bis_t, GATE_LOOSE);
+        report.push_tol(
+            &format!("selectivity_case{i}_offloaded"),
+            "",
+            None,
+            offloaded as u64 as f64,
+            0.0,
+        );
+        report.push_tol(
+            &format!("selectivity_case{i}_speedup"),
+            "x",
+            None,
+            conv_t / bis_t,
+            GATE_LOOSE,
+        );
     }
     println!("past the threshold the planner declines and Biscuit == Conv (1.0x).");
 }

@@ -6,7 +6,9 @@
 //! join order), 14 queries stay at 1.0x, and the whole suite finishes 3.6x
 //! faster.
 
-use biscuit_bench::{geomean, header, ratio, row, secs, simulate_metered, tpch_db, BenchReport, GATE_LOOSE};
+use biscuit_bench::{
+    geomean, header, ratio, row, secs, simulate_metered, tpch_db, BenchReport, GATE_LOOSE,
+};
 use biscuit_db::spec::ExecMode;
 use biscuit_db::tpch::all_queries;
 use biscuit_host::HostLoad;
@@ -53,7 +55,14 @@ fn main() {
     });
 
     header(&format!("Fig. 10: TPC-H relative performance (SF {SF})"));
-    row(&["query", "Conv", "Biscuit", "speedup", "I/O reduction", "offloaded"]);
+    row(&[
+        "query",
+        "Conv",
+        "Biscuit",
+        "speedup",
+        "I/O reduction",
+        "offloaded",
+    ]);
     let mut sorted: Vec<&QueryResult> = results.iter().collect();
     sorted.sort_by(|a, b| {
         let ra = a.conv_secs / a.bis_secs;
@@ -76,10 +85,7 @@ fn main() {
         ]);
     }
 
-    let offloaded: Vec<&QueryResult> = results
-        .iter()
-        .filter(|r| !r.offloaded.is_empty())
-        .collect();
+    let offloaded: Vec<&QueryResult> = results.iter().filter(|r| !r.offloaded.is_empty()).collect();
     let speedups: Vec<f64> = offloaded.iter().map(|r| r.conv_secs / r.bis_secs).collect();
     let mut top = speedups.clone();
     top.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
@@ -94,11 +100,7 @@ fn main() {
         "8 of 22",
         &format!("{} of 22", offloaded.len()),
     ]);
-    row(&[
-        "geomean (offloaded)",
-        "6.1x",
-        &ratio(geomean(&speedups)),
-    ]);
+    row(&["geomean (offloaded)", "6.1x", &ratio(geomean(&speedups))]);
     row(&[
         "top-5 average",
         "15.4x",
@@ -126,8 +128,20 @@ fn main() {
     // verdicts on 22 fixed queries) but a borderline table can flip, so it
     // gets a moderate gate; the aggregates get the loose one.
     let mut report = BenchReport::new("fig10_tpch");
-    report.push_tol("queries_offloaded", "", Some(8.0), offloaded.len() as f64, 0.3);
-    report.push_tol("geomean_offloaded_speedup", "x", Some(6.1), geomean(&speedups), GATE_LOOSE);
+    report.push_tol(
+        "queries_offloaded",
+        "",
+        Some(8.0),
+        offloaded.len() as f64,
+        0.3,
+    );
+    report.push_tol(
+        "geomean_offloaded_speedup",
+        "x",
+        Some(6.1),
+        geomean(&speedups),
+        GATE_LOOSE,
+    );
     report.push_tol(
         "top5_avg_speedup",
         "x",
@@ -135,7 +149,13 @@ fn main() {
         top5.iter().sum::<f64>() / top5.len() as f64,
         GATE_LOOSE,
     );
-    report.push_tol("total_suite_speedup", "x", Some(3.6), conv_total / bis_total, GATE_LOOSE);
+    report.push_tol(
+        "total_suite_speedup",
+        "x",
+        Some(3.6),
+        conv_total / bis_total,
+        GATE_LOOSE,
+    );
     report.set_metrics(metrics);
     report.write();
 }

@@ -8,9 +8,9 @@
 //! the plateau by ~512 KiB while sync still climbs at 4 MiB.
 
 use biscuit_bench::{header, platform, row, simulate_metered, BenchReport, Platform};
-use biscuit_sim::metrics::MetricsSnapshot;
 use biscuit_fs::Mode;
 use biscuit_host::HostLoad;
+use biscuit_sim::metrics::MetricsSnapshot;
 use biscuit_ssd::PatternSet;
 
 const TOTAL_BYTES: u64 = 256 << 20;
@@ -89,7 +89,12 @@ fn run(
 
 fn panel(report: &mut BenchReport, title: &str, panel_key: &str, queue_depth: usize) {
     header(title);
-    row(&["request size", "Conv GB/s", "Biscuit GB/s", "Biscuit+PM GB/s"]);
+    row(&[
+        "request size",
+        "Conv GB/s",
+        "Biscuit GB/s",
+        "Biscuit+PM GB/s",
+    ]);
     for size in SIZES {
         let (conv, _) = run(setup(), size, queue_depth, "conv");
         let (bis, metrics) = run(setup(), size, queue_depth, "biscuit");
@@ -123,8 +128,18 @@ fn panel(report: &mut BenchReport, title: &str, panel_key: &str, queue_depth: us
 
 fn main() {
     let mut report = BenchReport::new("fig7_read_bandwidth");
-    panel(&mut report, "Fig. 7 (left): synchronous read bandwidth (qd=1)", "sync", 1);
-    panel(&mut report, "Fig. 7 (right): asynchronous read bandwidth (qd=32)", "async", 32);
+    panel(
+        &mut report,
+        "Fig. 7 (left): synchronous read bandwidth (qd=1)",
+        "sync",
+        1,
+    );
+    panel(
+        &mut report,
+        "Fig. 7 (right): asynchronous read bandwidth (qd=32)",
+        "async",
+        32,
+    );
     println!("\npaper shape: Conv caps at ~3.2 GB/s (PCIe); Biscuit internal ~+1 GB/s;");
     println!("pattern-matched in between; async saturates by ~512 KiB requests.");
     report.write();

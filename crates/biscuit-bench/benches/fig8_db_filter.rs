@@ -15,7 +15,6 @@
 //! Biscuit stays consistent. We run each query at several background load
 //! levels to reproduce the variance structure.
 
-
 use biscuit_bench::{header, ratio, row, secs, simulate_metered, tpch_db, BenchReport, GATE_LOOSE};
 use biscuit_db::expr::Expr;
 use biscuit_db::spec::{ExecMode, SelectSpec};
@@ -27,7 +26,10 @@ const SF: f64 = 0.05;
 
 fn query1() -> SelectSpec {
     let mut spec = SelectSpec::new("fig8-q1");
-    spec.scan("lineitem", Some(Expr::col_eq(l::SHIPDATE, Value::date("1995-01-17"))));
+    spec.scan(
+        "lineitem",
+        Some(Expr::col_eq(l::SHIPDATE, Value::date("1995-01-17"))),
+    );
     spec.projection = vec![
         Expr::Col(l::ORDERKEY),
         Expr::Col(l::SHIPDATE),
@@ -91,7 +93,14 @@ fn main() {
     let (results, metrics) = results;
 
     header(&format!("Fig. 8: lineitem filter queries (TPC-H SF {SF})"));
-    row(&["query/load", "Conv", "Biscuit", "speedup", "rows", "offloaded"]);
+    row(&[
+        "query/load",
+        "Conv",
+        "Biscuit",
+        "speedup",
+        "rows",
+        "offloaded",
+    ]);
     for (name, threads, conv_t, bis_t, rows_n, offloaded) in &results {
         row(&[
             &format!("{name} @{threads}thr"),

@@ -41,7 +41,11 @@ struct PowerRun {
 
 fn run(mode: ExecMode) -> (PowerRun, biscuit_sim::metrics::MetricsSnapshot) {
     let (plat, db) = tpch_db(SF);
-    let name = if mode == ExecMode::Conv { "fig9/conv" } else { "fig9/biscuit" };
+    let name = if mode == ExecMode::Conv {
+        "fig9/conv"
+    } else {
+        "fig9/biscuit"
+    };
     simulate_metered(name, move |ctx| {
         plat.ssd.attach_metrics(ctx.metrics());
         db.prepare(ctx).expect("module load");
@@ -106,8 +110,16 @@ fn main() {
 
     header(&format!("Fig. 9: power during Query 1 (TPC-H SF {SF})"));
     println!("power ramp over each run's own window (103W idle .. 136W peak):");
-    println!("  Conv    [{}] {:.2}s", sparkline(&conv.trace, conv.window_secs), conv.window_secs);
-    println!("  Biscuit [{}] {:.2}s", sparkline(&bis.trace, bis.window_secs), bis.window_secs);
+    println!(
+        "  Conv    [{}] {:.2}s",
+        sparkline(&conv.trace, conv.window_secs),
+        conv.window_secs
+    );
+    println!(
+        "  Biscuit [{}] {:.2}s",
+        sparkline(&bis.trace, bis.window_secs),
+        bis.window_secs
+    );
     row(&["system", "paper avg (W)", "measured avg (W)"]);
     row(&["idle", "103", "103"]);
     row(&["Conv", "122", &format!("{:.0}", conv.avg_watts)]);
@@ -126,9 +138,27 @@ fn main() {
 
     // TPC-H data comes from `rand`: gate the power/energy shape loosely.
     let mut report = BenchReport::new("fig9_table6_power");
-    report.push_tol("conv_avg_watts", "W", Some(122.0), conv.avg_watts, GATE_LOOSE);
-    report.push_tol("biscuit_avg_watts", "W", Some(136.0), bis.avg_watts, GATE_LOOSE);
-    report.push_tol("energy_ratio", "x", Some(5.0), conv.energy_j / bis.energy_j, GATE_LOOSE);
+    report.push_tol(
+        "conv_avg_watts",
+        "W",
+        Some(122.0),
+        conv.avg_watts,
+        GATE_LOOSE,
+    );
+    report.push_tol(
+        "biscuit_avg_watts",
+        "W",
+        Some(136.0),
+        bis.avg_watts,
+        GATE_LOOSE,
+    );
+    report.push_tol(
+        "energy_ratio",
+        "x",
+        Some(5.0),
+        conv.energy_j / bis.energy_j,
+        GATE_LOOSE,
+    );
     report.set_metrics(metrics);
     report.write();
 }

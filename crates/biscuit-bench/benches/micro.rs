@@ -73,7 +73,11 @@ fn bench_row_codec(c: &mut Criterion) {
         b.iter(|| {
             texts
                 .iter()
-                .map(|t| row_from_text(&types, t.trim_end()).expect("valid row").len())
+                .map(|t| {
+                    row_from_text(&types, t.trim_end())
+                        .expect("valid row")
+                        .len()
+                })
                 .sum::<usize>()
         });
     });
@@ -93,8 +97,7 @@ fn bench_ftl(c: &mut Criterion) {
             },
             |(mut nand, mut ftl)| {
                 for i in 0..512u64 {
-                    let data =
-                        PageData::Bytes(biscuit_proto::Buf::from_vec(vec![i as u8; 64]));
+                    let data = PageData::Bytes(biscuit_proto::Buf::from_vec(vec![i as u8; 64]));
                     ftl.write(&mut nand, i % 1024, data).expect("write");
                 }
             },
@@ -181,7 +184,13 @@ fn write_report() {
     let mut report = BenchReport::new("micro");
     report.push_tol("boyer_moore_matches_1mib", "", None, matches as f64, 0.0);
     report.push_tol("pm_page_hits_1mib", "", None, page_hits as f64, 0.0);
-    report.push_tol("sim_context_switches_10k_sleeps", "", None, switches as f64, 0.0);
+    report.push_tol(
+        "sim_context_switches_10k_sleeps",
+        "",
+        None,
+        switches as f64,
+        0.0,
+    );
     report.set_metrics(sim_report.metrics);
     report.write();
 }

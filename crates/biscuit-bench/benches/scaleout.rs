@@ -59,8 +59,9 @@ fn main() {
                 array.attach_metrics(ctx.metrics());
                 let grep = ArrayGrep::prepare(ctx, &array).expect("load modules");
                 let t0 = ctx.now();
-                let c = array_conv_grep(ctx, &array, "shard.log", NEEDLE.as_bytes(), HostLoad::IDLE)
-                    .expect("conv");
+                let c =
+                    array_conv_grep(ctx, &array, "shard.log", NEEDLE.as_bytes(), HostLoad::IDLE)
+                        .expect("conv");
                 let conv_t = (ctx.now() - t0).as_secs_f64();
                 let t1 = ctx.now();
                 let b = grep
@@ -75,8 +76,20 @@ fn main() {
         results.push((n, conv_mibps, bis_mibps));
         // Loose gates: the web-log content and fiber interleaving depend
         // on the `rand` implementation, so absolute rates may shift.
-        report.push_tol(&format!("conv_mibps_{n}drives"), "MiB/s", None, conv_mibps, GATE_LOOSE);
-        report.push_tol(&format!("biscuit_mibps_{n}drives"), "MiB/s", None, bis_mibps, GATE_LOOSE);
+        report.push_tol(
+            &format!("conv_mibps_{n}drives"),
+            "MiB/s",
+            None,
+            conv_mibps,
+            GATE_LOOSE,
+        );
+        report.push_tol(
+            &format!("biscuit_mibps_{n}drives"),
+            "MiB/s",
+            None,
+            bis_mibps,
+            GATE_LOOSE,
+        );
         report.set_metrics(metrics);
         let _ = matches;
     }

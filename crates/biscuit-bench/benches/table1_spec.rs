@@ -16,17 +16,33 @@ fn main() {
         &format!("{:.1}GB/s shaper", link.bandwidth_bytes_per_sec / 1e9),
     ]);
     row(&["protocol", "NVMe 1.1", "NVMe-like command model"]);
-    row(&["device density", "1 TB", &format!("{} GiB logical (configurable)", cfg.logical_capacity >> 30)]);
+    row(&[
+        "device density",
+        "1 TB",
+        &format!("{} GiB logical (configurable)", cfg.logical_capacity >> 30),
+    ]);
     row(&[
         "architecture",
         "multi channel/way",
         &format!("{} channels x {} ways", cfg.channels, cfg.ways),
     ]);
-    row(&["medium", "multi-bit NAND", &format!("tR={}us pages={}KiB", cfg.t_read.as_micros(), cfg.page_size >> 10)]);
+    row(&[
+        "medium",
+        "multi-bit NAND",
+        &format!(
+            "tR={}us pages={}KiB",
+            cfg.t_read.as_micros(),
+            cfg.page_size >> 10
+        ),
+    ]);
     row(&[
         "compute",
         "2x Cortex-R7 @750MHz",
-        &format!("{} cores, {}MB/s sw scan", cfg.cores, (cfg.cpu_scan_rate / 1e6) as u64),
+        &format!(
+            "{} cores, {}MB/s sw scan",
+            cfg.cores,
+            (cfg.cpu_scan_rate / 1e6) as u64
+        ),
     ]);
     row(&[
         "hardware IP",
@@ -47,11 +63,23 @@ fn main() {
     // Pure configuration constants: gate them exactly so an accidental
     // calibration change (e.g. editing `paper_default`) is caught.
     let mut report = BenchReport::new("table1_spec");
-    report.push_tol("host_bandwidth_gbps", "GB/s", Some(3.2), link.bandwidth_bytes_per_sec / 1e9, 0.0);
+    report.push_tol(
+        "host_bandwidth_gbps",
+        "GB/s",
+        Some(3.2),
+        link.bandwidth_bytes_per_sec / 1e9,
+        0.0,
+    );
     report.push_tol("channels", "", None, cfg.channels as f64, 0.0);
     report.push_tol("ways", "", None, cfg.ways as f64, 0.0);
     report.push_tol("cores", "", Some(2.0), cfg.cores as f64, 0.0);
     report.push_tol("pm_max_keys", "", None, cfg.pm_max_keys as f64, 0.0);
-    report.push_tol("internal_bandwidth_gbps", "GB/s", None, cfg.internal_bandwidth() / 1e9, 0.0);
+    report.push_tol(
+        "internal_bandwidth_gbps",
+        "GB/s",
+        None,
+        cfg.internal_bandwidth() / 1e9,
+        0.0,
+    );
     report.write();
 }

@@ -7,10 +7,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use biscuit_bench::{header, platform, row, simulate_metered, BenchReport, Platform};
-use biscuit_sim::metrics::MetricsSnapshot;
 use biscuit_core::module::{ModuleBuilder, SsdletSpec};
 use biscuit_core::task::{args_as, Ssdlet, TaskCtx};
 use biscuit_core::{connect_apps, Application};
+use biscuit_sim::metrics::MetricsSnapshot;
 use biscuit_sim::time::SimDuration;
 
 struct SendOnce;
@@ -49,7 +49,9 @@ fn h2d(plat: Platform) -> (f64, MetricsSnapshot) {
         plat.ssd.attach_metrics(ctx.metrics());
         let mid = plat.ssd.load_module(ctx, module()).expect("load");
         let app = Application::new(&plat.ssd, "h2d");
-        let r = app.ssdlet_with(mid, "idRecv", Arc::clone(&c)).expect("proxy");
+        let r = app
+            .ssdlet_with(mid, "idRecv", Arc::clone(&c))
+            .expect("proxy");
         let tx = app.connect_from::<u64>(r.input(0)).expect("port");
         app.start(ctx).expect("start");
         ctx.sleep(SimDuration::from_micros(500));
@@ -83,7 +85,9 @@ fn inter_ssdlet(plat: Platform) -> (f64, MetricsSnapshot) {
         let mid = plat.ssd.load_module(ctx, module()).expect("load");
         let app = Application::new(&plat.ssd, "inter");
         let t = app.ssdlet(mid, "idSend").expect("proxy");
-        let r = app.ssdlet_with(mid, "idRecv", Arc::clone(&c)).expect("proxy");
+        let r = app
+            .ssdlet_with(mid, "idRecv", Arc::clone(&c))
+            .expect("proxy");
         app.connect::<u64>(t.out(0), r.input(0)).expect("connect");
         app.start(ctx).expect("start");
         app.join(ctx);

@@ -47,7 +47,12 @@ fn main() {
     let mut report = BenchReport::new("table3_read_latency");
     report.push("conv_us", "us", Some(90.0), conv_us);
     report.push("biscuit_us", "us", Some(75.9), biscuit_us);
-    report.push("gain_pct", "%", Some(18.0), (1.0 - biscuit_us / conv_us) * 100.0);
+    report.push(
+        "gain_pct",
+        "%",
+        Some(18.0),
+        (1.0 - biscuit_us / conv_us) * 100.0,
+    );
     report.set_metrics(metrics);
     report.write();
 }

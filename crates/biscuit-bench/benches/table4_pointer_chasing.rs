@@ -102,8 +102,20 @@ fn main() {
         let bis_x = bis_t / hops * PAPER_HOPS;
         let paper_c = (!paper_conv[i].is_nan()).then_some(paper_conv[i]);
         let paper_b = (!paper_bis[i].is_nan()).then_some(paper_bis[i]);
-        report.push_tol(&format!("conv_load{threads}_s"), "s", paper_c, conv_x, GATE_LOOSE);
-        report.push_tol(&format!("biscuit_load{threads}_s"), "s", paper_b, bis_x, GATE_LOOSE);
+        report.push_tol(
+            &format!("conv_load{threads}_s"),
+            "s",
+            paper_c,
+            conv_x,
+            GATE_LOOSE,
+        );
+        report.push_tol(
+            &format!("biscuit_load{threads}_s"),
+            "s",
+            paper_b,
+            bis_x,
+            GATE_LOOSE,
+        );
     }
     report.set_metrics(metrics);
     report.write();

@@ -35,8 +35,8 @@ fn main() {
             let c = conv_grep(ctx, &plat.conv, &file, NEEDLE.as_bytes(), load).expect("conv");
             let conv_t = (ctx.now() - t0).as_secs_f64();
             let t1 = ctx.now();
-            let b = biscuit_grep(ctx, &plat.ssd, module, &file, NEEDLE.as_bytes())
-                .expect("biscuit");
+            let b =
+                biscuit_grep(ctx, &plat.ssd, module, &file, NEEDLE.as_bytes()).expect("biscuit");
             let bis_t = (ctx.now() - t1).as_secs_f64();
             assert_eq!(c, b, "both paths count the same needles");
             out.push((threads, conv_t, bis_t));

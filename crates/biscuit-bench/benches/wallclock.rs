@@ -17,6 +17,12 @@
 //! instrumentation disabled vs enabled, pinning the cost of the metrics
 //! cold path.
 //!
+//! A fourth workload, the **parallel fleet soak**, runs a 4-drive grep
+//! fleet through `SsdArray::scatter_parallel` twice — single-threaded
+//! (`par_soak_single_*` rows) and one-thread-per-shard (`par_soak_par_*`
+//! rows) — asserts their exports byte-identical, and reports the
+//! speedup with a machine-aware floor (see `docs/PARALLEL.md`).
+//!
 //! Results land in `BENCH_wallclock.json`. The wall-clock rows are
 //! machine-dependent and deliberately *not* part of
 //! `benchmarks/baseline.json`; instead the smoke gate uses env vars:
@@ -32,7 +38,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use biscuit_apps::search::{array_conv_grep, biscuit_grep, load_grep_module, ArrayGrep};
+use biscuit_apps::search::{
+    array_conv_grep, biscuit_grep, fleet_grep, fleet_grep_expected, load_grep_module, ArrayGrep,
+};
 use biscuit_apps::weblog::{WeblogGen, NEEDLE};
 use biscuit_bench::report::{parse_json, Json};
 use biscuit_bench::{header, platform, row, simulate_profiled, weblog_file, BenchReport};
@@ -41,7 +49,9 @@ use biscuit_db::spec::ExecMode;
 use biscuit_db::tpch::all_queries;
 use biscuit_fs::Fs;
 use biscuit_host::array::ArrayConfig;
+use biscuit_host::fleet::FleetConfig;
 use biscuit_host::{HostConfig, HostLoad, SsdArray};
+use biscuit_sim::par::{ParConfig, ParMode};
 use biscuit_sim::time::SimDuration;
 use biscuit_ssd::{SsdConfig, SsdDevice};
 
@@ -56,6 +66,8 @@ struct Sizes {
     soak_drives: usize,
     soak_runs: usize,
     micro_events: u64,
+    par_pages: u64,
+    par_passes: usize,
 }
 
 impl Sizes {
@@ -67,6 +79,8 @@ impl Sizes {
                 soak_drives: 2,
                 soak_runs: 1,
                 micro_events: 200_000,
+                par_pages: 256,
+                par_passes: 2,
             }
         } else {
             Sizes {
@@ -75,6 +89,8 @@ impl Sizes {
                 soak_drives: 4,
                 soak_runs: 3,
                 micro_events: 1_000_000,
+                par_pages: 1024, // 16 MiB per drive, matching make_array
+                par_passes: 6,
             }
         }
     }
@@ -113,7 +129,13 @@ impl Measured {
 
     fn push_rows(&self, report: &mut BenchReport, wl: &str) {
         // Deterministic rows (exact functions of the seed + data path).
-        report.push_tol(&format!("{wl}_events"), "events", None, self.events as f64, 0.0);
+        report.push_tol(
+            &format!("{wl}_events"),
+            "events",
+            None,
+            self.events as f64,
+            0.0,
+        );
         report.push_tol(
             &format!("{wl}_bytes_copied"),
             "bytes",
@@ -138,13 +160,7 @@ impl Measured {
             self.wall_secs * 1e3,
             1e18,
         );
-        report.push_tol(
-            &format!("{wl}_peak_rss_mb"),
-            "MiB",
-            None,
-            self.rss_mb,
-            1e18,
-        );
+        report.push_tol(&format!("{wl}_peak_rss_mb"), "MiB", None, self.rss_mb, 1e18);
     }
 }
 
@@ -246,6 +262,62 @@ fn soak_workload(sizes: &Sizes) -> Measured {
     m
 }
 
+/// Parallel-DES fleet soak (`docs/PARALLEL.md`): a 4-drive grep corpus
+/// like `soak_workload`'s, but each drive lives in its own shard kernel
+/// (`fleet_grep`) — run once single-threaded and once with a thread per
+/// shard. The fleet is 4 drives in smoke AND full so the gated row names
+/// and the determinism contract cover the same fleet shape everywhere;
+/// only corpus size and pass count shrink in smoke.
+///
+/// Beyond timing, this *asserts* the concurrency contract: merged items,
+/// metrics exports, and event counts must be byte-identical across the
+/// two thread policies.
+fn par_soak_workload(sizes: &Sizes) -> (Measured, Measured) {
+    const DRIVES: usize = 4;
+    const NEEDLE_EVERY: u64 = 3000;
+    let (pages, passes) = (sizes.par_pages, sizes.par_passes);
+    let expected = fleet_grep_expected(DRIVES, pages, NEEDLE_EVERY, passes);
+    let run = |mode: ParMode| {
+        let cfg = FleetConfig {
+            drives: DRIVES,
+            seed: 0xB15C,
+            metrics: true,
+            trace: None,
+            par: ParConfig {
+                mode,
+                lookahead: Some(SimDuration::from_millis(1)),
+            },
+        };
+        let t0 = Instant::now();
+        let report = fleet_grep(&cfg, pages, NEEDLE_EVERY, passes);
+        let wall_secs = t0.elapsed().as_secs_f64();
+        report.assert_quiescent();
+        let total: u64 = report.items.iter().map(|(_, c)| *c).sum();
+        assert_eq!(total, expected, "{mode:?} fleet match count");
+        let bytes_copied = report
+            .reports
+            .iter()
+            .map(|r| r.metrics.counter_sum("sim_bytes_copied_total"))
+            .sum();
+        let m = Measured {
+            events: report.events_processed(),
+            bytes_copied,
+            wall_secs,
+            rss_mb: peak_rss_mb(),
+        };
+        (m, report.metrics_json(), report.items.clone())
+    };
+    let (single, single_metrics, single_items) = run(ParMode::Single);
+    let (par, par_metrics, par_items) = run(ParMode::PerShard);
+    assert_eq!(par_items, single_items, "parallel merged items diverged");
+    assert_eq!(
+        par_metrics, single_metrics,
+        "parallel metrics export diverged"
+    );
+    assert_eq!(par.events, single.events, "parallel event count diverged");
+    (single, par)
+}
+
 /// Pure-kernel switch microbench: one fiber sleeping `n` times, so the
 /// event count is `n` + spawn/teardown. Measures the DES hot path with no
 /// workload attached — `metered` toggles the instrumentation cold path.
@@ -296,7 +368,9 @@ fn gate_against(baseline_text: &str, report: &BenchReport) -> Result<Vec<String>
 }
 
 fn main() {
-    let smoke = std::env::var("WALLCLOCK_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let smoke = std::env::var("WALLCLOCK_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let sizes = Sizes::pick(smoke);
     let mut report = BenchReport::new("wallclock");
 
@@ -304,7 +378,14 @@ fn main() {
         "Wall-clock throughput ({} config)",
         if smoke { "smoke" } else { "full" }
     ));
-    row(&["workload", "events", "events/s", "bytes copied", "wall", "peak RSS"]);
+    row(&[
+        "workload",
+        "events",
+        "events/s",
+        "bytes copied",
+        "wall",
+        "peak RSS",
+    ]);
 
     let workloads: [(&str, Measured); 3] = [
         ("grep", grep_workload(&sizes)),
@@ -323,6 +404,42 @@ fn main() {
         m.push_rows(&mut report, wl);
     }
 
+    let (par_single, par_par) = par_soak_workload(&sizes);
+    for (wl, m) in [("par_soak_single", &par_single), ("par_soak_par", &par_par)] {
+        row(&[
+            wl,
+            &m.events.to_string(),
+            &format!("{:.0}", m.events_per_sec()),
+            &m.bytes_copied.to_string(),
+            &format!("{:.0}ms", m.wall_secs * 1e3),
+            &format!("{:.0}MiB", m.rss_mb),
+        ]);
+        m.push_rows(&mut report, wl);
+    }
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup = par_par.events_per_sec() / par_single.events_per_sec().max(1e-9);
+    println!(
+        "\npar soak: {speedup:.2}x parallel speedup over single-threaded \
+         ({threads} hardware threads)"
+    );
+    report.push_tol("par_soak_speedup", "x", None, speedup, 1e18);
+    report.push_tol("par_soak_threads", "threads", None, threads as f64, 1e18);
+    // Machine-aware scaling floor: the determinism asserts above always
+    // run; the speedup claim only binds where the cores exist to back it.
+    let floor = if threads >= 4 {
+        Some(2.5)
+    } else if threads >= 2 {
+        Some(1.2)
+    } else {
+        None // 1 hardware thread: parallelism can only add overhead.
+    };
+    if let Some(floor) = floor {
+        assert!(
+            speedup >= floor,
+            "par soak speedup {speedup:.2}x below the {floor}x floor for {threads} threads"
+        );
+    }
+
     let disabled = kernel_microbench(sizes.micro_events, false);
     let enabled = kernel_microbench(sizes.micro_events, true);
     println!(
@@ -335,16 +452,20 @@ fn main() {
 
     report.write();
 
-    let baseline = std::env::var("WALLCLOCK_BASELINE").ok().filter(|p| !p.is_empty());
+    let baseline = std::env::var("WALLCLOCK_BASELINE")
+        .ok()
+        .filter(|p| !p.is_empty());
     if let Some(path) = baseline {
-        if std::env::var("WALLCLOCK_UPDATE").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("WALLCLOCK_UPDATE")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             std::fs::write(&path, report.to_json())
                 .unwrap_or_else(|e| panic!("writing {path}: {e}"));
             println!("updated wallclock baseline {path}");
             return;
         }
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
         match gate_against(&text, &report) {
             Ok(failures) if failures.is_empty() => println!("wallclock gate: PASS"),
             Ok(failures) => {

@@ -51,7 +51,10 @@ fn main() -> ExitCode {
     if update {
         return match update_baseline(&baseline, &dir) {
             Ok(n) => {
-                println!("baseline {} updated from {n} bench reports", baseline.display());
+                println!(
+                    "baseline {} updated from {n} bench reports",
+                    baseline.display()
+                );
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -66,12 +69,20 @@ fn main() -> ExitCode {
             for line in &outcome.lines {
                 println!("{line}");
             }
-            let gated = outcome.lines.iter().filter(|l| !l.starts_with("new")).count();
+            let gated = outcome
+                .lines
+                .iter()
+                .filter(|l| !l.starts_with("new"))
+                .count();
             if outcome.passed {
                 println!("\nbench_check: PASS ({gated} gated rows within tolerance)");
                 ExitCode::SUCCESS
             } else {
-                let failed = outcome.lines.iter().filter(|l| l.starts_with("FAIL")).count();
+                let failed = outcome
+                    .lines
+                    .iter()
+                    .filter(|l| l.starts_with("FAIL"))
+                    .count();
                 println!("\nbench_check: FAIL ({failed} of {gated} gated rows out of tolerance)");
                 ExitCode::FAILURE
             }

@@ -346,9 +346,7 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, 
 
 fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
-    while *pos < b.len()
-        && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
-    {
+    while *pos < b.len() && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
         *pos += 1;
     }
     let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
@@ -379,12 +377,9 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
                         let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                        let code =
-                            u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
                         // Surrogate pairs never appear in our own output.
                         out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         *pos += 4;
@@ -476,8 +471,8 @@ struct BaselineRow {
 type Baseline = BTreeMap<String, BTreeMap<String, BaselineRow>>;
 
 fn load_baseline(path: &Path) -> Result<Baseline, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let doc = parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     let benches = doc
         .get("benches")
@@ -509,8 +504,8 @@ fn load_baseline(path: &Path) -> Result<Baseline, String> {
 
 /// Parses one `BENCH_<id>.json` into `(row name -> (measured, tol))`.
 fn load_report_rows(path: &Path) -> Result<BTreeMap<String, (f64, f64)>, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let doc = parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     let rows = doc
         .get("rows")
@@ -694,7 +689,10 @@ mod tests {
             doc.get("a").and_then(Json::as_arr).map(<[Json]>::len),
             Some(3)
         );
-        assert_eq!(doc.get("a").unwrap().as_arr().unwrap()[2], Json::Num(-300.0));
+        assert_eq!(
+            doc.get("a").unwrap().as_arr().unwrap()[2],
+            Json::Num(-300.0)
+        );
         assert_eq!(doc.get("b").and_then(Json::as_str), Some("x\"y"));
         assert_eq!(doc.get("c"), Some(&Json::Null));
         assert_eq!(doc.get("d"), Some(&Json::Bool(true)));

@@ -378,7 +378,8 @@ impl<T: Wire + Any + Send> HostInPort<T> {
             .downcast::<Packet>()
             .expect("boundary envelope holds a packet");
         self.conn.trace_port(ctx, false, pkt.len() as u64);
-        self.conn.count_decode_copy(T::ZERO_COPY_DECODE, pkt.len() as u64);
+        self.conn
+            .count_decode_copy(T::ZERO_COPY_DECODE, pkt.len() as u64);
         let v = (self.conn.codec.as_ref().expect("boundary has codec").decode)(&pkt);
         Some(*v.downcast::<T>().expect("codec produced declared type"))
     }
@@ -403,7 +404,8 @@ impl<T: Wire + Any + Send> HostInPort<T> {
                     .downcast::<Packet>()
                     .expect("boundary envelope holds a packet");
                 self.conn.trace_port(ctx, false, pkt.len() as u64);
-                self.conn.count_decode_copy(T::ZERO_COPY_DECODE, pkt.len() as u64);
+                self.conn
+                    .count_decode_copy(T::ZERO_COPY_DECODE, pkt.len() as u64);
                 let v = (self.conn.codec.as_ref().expect("boundary has codec").decode)(&pkt);
                 Ok(Some(
                     *v.downcast::<T>().expect("codec produced declared type"),

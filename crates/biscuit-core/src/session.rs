@@ -161,10 +161,13 @@ mod tests {
 
     #[test]
     fn channel_quota_enforced() {
-        let s = Session::new("alice", SessionQuota {
-            max_channels: 2,
-            max_memory: 1 << 20,
-        });
+        let s = Session::new(
+            "alice",
+            SessionQuota {
+                max_channels: 2,
+                max_memory: 1 << 20,
+            },
+        );
         s.take_channel().unwrap();
         s.take_channel().unwrap();
         assert!(matches!(
@@ -178,10 +181,13 @@ mod tests {
 
     #[test]
     fn memory_quota_enforced_and_peak_tracked() {
-        let s = Session::new("bob", SessionQuota {
-            max_channels: 1,
-            max_memory: 100,
-        });
+        let s = Session::new(
+            "bob",
+            SessionQuota {
+                max_channels: 1,
+                max_memory: 100,
+            },
+        );
         s.take_memory(60).unwrap();
         assert!(s.take_memory(50).is_err());
         s.take_memory(40).unwrap();
@@ -192,8 +198,20 @@ mod tests {
 
     #[test]
     fn sessions_are_independent() {
-        let a = Session::new("a", SessionQuota { max_channels: 1, max_memory: 10 });
-        let b = Session::new("b", SessionQuota { max_channels: 1, max_memory: 10 });
+        let a = Session::new(
+            "a",
+            SessionQuota {
+                max_channels: 1,
+                max_memory: 10,
+            },
+        );
+        let b = Session::new(
+            "b",
+            SessionQuota {
+                max_channels: 1,
+                max_memory: 10,
+            },
+        );
         a.take_channel().unwrap();
         a.take_memory(10).unwrap();
         // b unaffected by a's exhaustion.

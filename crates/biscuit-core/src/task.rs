@@ -36,10 +36,7 @@ pub fn args_as<T: Any>(args: TaskArgs) -> BiscuitResult<T> {
             std::any::type_name::<T>()
         ))),
         Some(b) => b.downcast::<T>().map(|b| *b).map_err(|_| {
-            BiscuitError::BadArgument(format!(
-                "argument is not a {}",
-                std::any::type_name::<T>()
-            ))
+            BiscuitError::BadArgument(format!("argument is not a {}", std::any::type_name::<T>()))
         }),
     }
 }
@@ -155,7 +152,8 @@ impl<'a> TaskCtx<'a> {
         match conn.recv_on_device(self.sim, &self.cfg) {
             None => Ok(None),
             Some(v) => Ok(Some(
-                *v.downcast::<T>().expect("connection type checked at connect"),
+                *v.downcast::<T>()
+                    .expect("connection type checked at connect"),
             )),
         }
     }

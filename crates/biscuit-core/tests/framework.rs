@@ -177,11 +177,9 @@ fn spmc_and_mpsc_inter_ssdlet_topologies() {
     let results: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
     let results2 = Arc::clone(&results);
     let module = ModuleBuilder::new("topo")
-        .register(
-            "idProducer",
-            SsdletSpec::new().output::<u64>(),
-            |args| Ok(Box::new(Producer(args_as::<u64>(args)?))),
-        )
+        .register("idProducer", SsdletSpec::new().output::<u64>(), |args| {
+            Ok(Box::new(Producer(args_as::<u64>(args)?)))
+        })
         .register(
             "idIdentity",
             SsdletSpec::new().input::<u64>().output::<u64>(),
@@ -332,9 +330,11 @@ fn table2_inter_ssdlet_latency() {
         .register("idSender", SsdletSpec::new().output::<u64>(), |_| {
             Ok(Box::new(Sender))
         })
-        .register("idReceiver", SsdletSpec::new().input::<u64>(), move |args| {
-            Ok(Box::new(Receiver(args_as::<Arc<AtomicU64>>(args)?)))
-        })
+        .register(
+            "idReceiver",
+            SsdletSpec::new().input::<u64>(),
+            move |args| Ok(Box::new(Receiver(args_as::<Arc<AtomicU64>>(args)?))),
+        )
         .build();
     sim.spawn("host", move |ctx| {
         let mid = s.load_module(ctx, module).unwrap();
@@ -380,9 +380,11 @@ fn table2_inter_app_latency() {
         .register("idSender", SsdletSpec::new().output::<u64>(), |_| {
             Ok(Box::new(Sender))
         })
-        .register("idReceiver", SsdletSpec::new().input::<u64>(), move |args| {
-            Ok(Box::new(Receiver(args_as::<Arc<AtomicU64>>(args)?)))
-        })
+        .register(
+            "idReceiver",
+            SsdletSpec::new().input::<u64>(),
+            move |args| Ok(Box::new(Receiver(args_as::<Arc<AtomicU64>>(args)?))),
+        )
         .build();
     sim.spawn("host", move |ctx| {
         let mid = s.load_module(ctx, module).unwrap();
@@ -411,25 +413,18 @@ fn memory_exhaustion_fails_start_and_rolls_back() {
     let s = ssd.clone();
     let huge = ssd.device().config().dram_bytes + 1;
     let module = ModuleBuilder::new("mem")
-        .register(
-            "idHog",
-            SsdletSpec::new().memory(huge),
-            |_| Ok(Box::new(Identity)),
-        )
+        .register("idHog", SsdletSpec::new().memory(huge), |_| {
+            Ok(Box::new(Identity))
+        })
         .build();
     sim.spawn("host", move |ctx| {
         let mid = s.load_module(ctx, module).unwrap();
         let app = Application::new(&s, "hog");
         app.ssdlet(mid, "idHog").unwrap();
-        assert!(matches!(
-            app.start(ctx),
-            Err(BiscuitError::OutOfMemory(_))
-        ));
+        assert!(matches!(app.start(ctx), Err(BiscuitError::OutOfMemory(_))));
         // Rollback: nothing left allocated in the user arena.
         assert_eq!(
-            s.device()
-                .memory()
-                .used(biscuit_ssd::memory::Arena::User),
+            s.device().memory().used(biscuit_ssd::memory::Arena::User),
             0
         );
     });
@@ -451,7 +446,10 @@ fn memory_freed_after_app_completes() {
         assert!(s.device().memory().used(biscuit_ssd::memory::Arena::User) > 0);
         tx.close(ctx);
         app.join(ctx);
-        assert_eq!(s.device().memory().used(biscuit_ssd::memory::Arena::User), 0);
+        assert_eq!(
+            s.device().memory().used(biscuit_ssd::memory::Arena::User),
+            0
+        );
         assert_eq!(s.runtime().open_channels(), 0);
     });
     sim.run().assert_quiescent();
@@ -503,10 +501,7 @@ fn connections_rejected_after_start() {
             app.ssdlet(mid, "idIdentity"),
             Err(BiscuitError::InvalidState(_))
         ));
-        assert!(matches!(
-            app.start(ctx),
-            Err(BiscuitError::InvalidState(_))
-        ));
+        assert!(matches!(app.start(ctx), Err(BiscuitError::InvalidState(_))));
         tx.close(ctx);
         app.join(ctx);
     });
@@ -599,7 +594,8 @@ fn many_concurrent_applications_stress() {
                 .map(|_| app.ssdlet(mid, "idIdentity").unwrap())
                 .collect();
             for pair in stages.windows(2) {
-                app.connect::<u64>(pair[0].out(0), pair[1].input(0)).unwrap();
+                app.connect::<u64>(pair[0].out(0), pair[1].input(0))
+                    .unwrap();
             }
             let tx = app.connect_from::<u64>(stages[0].input(0)).unwrap();
             let rx = app.connect_to::<u64>(stages[3].out(0)).unwrap();
@@ -622,7 +618,10 @@ fn many_concurrent_applications_stress() {
         }
         // Every resource returned.
         assert_eq!(s.runtime().open_channels(), 0);
-        assert_eq!(s.device().memory().used(biscuit_ssd::memory::Arena::User), 0);
+        assert_eq!(
+            s.device().memory().used(biscuit_ssd::memory::Arena::User),
+            0
+        );
         s.unload_module(ctx, mid).unwrap();
     });
     let report = sim.run();

@@ -45,14 +45,20 @@ fn session_channel_quota_limits_one_tenant_only() {
     let s = ssd.clone();
     sim.spawn("host", move |ctx| {
         let mid = s.load_module(ctx, module()).unwrap();
-        let alice = Session::new("alice", SessionQuota {
-            max_channels: 2,
-            max_memory: 4 << 20,
-        });
-        let bob = Session::new("bob", SessionQuota {
-            max_channels: 2,
-            max_memory: 4 << 20,
-        });
+        let alice = Session::new(
+            "alice",
+            SessionQuota {
+                max_channels: 2,
+                max_memory: 4 << 20,
+            },
+        );
+        let bob = Session::new(
+            "bob",
+            SessionQuota {
+                max_channels: 2,
+                max_memory: 4 << 20,
+            },
+        );
 
         // Alice uses both her channels.
         let app_a = Application::new_in_session(&s, "alice-app", &alice);
@@ -100,10 +106,13 @@ fn session_memory_quota_fails_start_with_rollback() {
     let s = ssd.clone();
     sim.spawn("host", move |ctx| {
         let mid = s.load_module(ctx, module()).unwrap();
-        let tiny = Session::new("tiny", SessionQuota {
-            max_channels: 8,
-            max_memory: 100, // far below the default per-SSDlet footprint
-        });
+        let tiny = Session::new(
+            "tiny",
+            SessionQuota {
+                max_channels: 8,
+                max_memory: 100, // far below the default per-SSDlet footprint
+            },
+        );
         let app = Application::new_in_session(&s, "t", &tiny);
         let a = app.ssdlet(mid, "idIdentity").unwrap();
         let tx = app.connect_from::<u64>(a.input(0)).unwrap();
@@ -128,10 +137,13 @@ fn session_memory_returned_after_completion() {
     let s = ssd.clone();
     sim.spawn("host", move |ctx| {
         let mid = s.load_module(ctx, module()).unwrap();
-        let session = Session::new("u", SessionQuota {
-            max_channels: 4,
-            max_memory: 8 << 20,
-        });
+        let session = Session::new(
+            "u",
+            SessionQuota {
+                max_channels: 4,
+                max_memory: 8 << 20,
+            },
+        );
         let app = Application::new_in_session(&s, "u-app", &session);
         let a = app.ssdlet(mid, "idIdentity").unwrap();
         let tx = app.connect_from::<u64>(a.input(0)).unwrap();

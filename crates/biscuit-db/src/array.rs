@@ -58,7 +58,11 @@ impl ArrayDb {
             .iter()
             .map(|s| Arc::new(Db::new(s.ssd.clone(), host_cfg.clone(), cfg.clone())))
             .collect();
-        ArrayDb { array, dbs, batch_rows }
+        ArrayDb {
+            array,
+            dbs,
+            batch_rows,
+        }
     }
 
     /// The underlying shard coordinator.
@@ -193,7 +197,11 @@ impl ArrayDb {
                         // Conv path for byte-identical rows.
                         let out =
                             self.dbs[shard.id].execute(fctx, &shard_spec, ExecMode::Conv, load)?;
-                        Ok(out.rows.chunks(self.batch_rows).map(<[Row]>::to_vec).collect())
+                        Ok(out
+                            .rows
+                            .chunks(self.batch_rows)
+                            .map(<[Row]>::to_vec)
+                            .collect())
                     },
                 )?;
                 let mut acc = Vec::new();
@@ -278,7 +286,9 @@ mod tests {
     }
 
     fn mk_rows(n: i64) -> Vec<Row> {
-        (0..n).map(|i| vec![Value::Int(i), Value::Int((i * 7) % 50)]).collect()
+        (0..n)
+            .map(|i| vec![Value::Int(i), Value::Int((i * 7) % 50)])
+            .collect()
     }
 
     fn test_spec() -> SelectSpec {
@@ -307,7 +317,11 @@ mod tests {
         solo.create_table("orders", schema.clone(), &rows).unwrap();
         let solo = Arc::new(solo);
 
-        let mut adb = ArrayDb::new(mk_array(3), HostConfig::paper_default(), DbConfig::paper_default());
+        let mut adb = ArrayDb::new(
+            mk_array(3),
+            HostConfig::paper_default(),
+            DbConfig::paper_default(),
+        );
         adb.create_table("orders", schema, &rows).unwrap();
         let adb = Arc::new(adb);
 
@@ -317,7 +331,9 @@ mod tests {
             let solo = Arc::clone(&solo);
             let expect = Arc::clone(&expect);
             sim.spawn("solo", move |ctx| {
-                let out = solo.execute(ctx, &test_spec(), ExecMode::Conv, HostLoad::IDLE).unwrap();
+                let out = solo
+                    .execute(ctx, &test_spec(), ExecMode::Conv, HostLoad::IDLE)
+                    .unwrap();
                 *expect.lock().unwrap() = out.rows;
             });
         }
@@ -331,7 +347,9 @@ mod tests {
             let sim = Simulation::new(7);
             sim.spawn("arr", move |ctx| {
                 adb.prepare(ctx).unwrap();
-                let out = adb.execute(ctx, &test_spec(), mode, HostLoad::IDLE).unwrap();
+                let out = adb
+                    .execute(ctx, &test_spec(), mode, HostLoad::IDLE)
+                    .unwrap();
                 assert_eq!(out.rows, expect, "mode {mode:?} diverged from single drive");
                 assert_eq!(out.stats.rows_out, expect.len());
             });
@@ -348,7 +366,10 @@ mod tests {
         spec.scan("orders", None);
         spec.group_by = vec![Expr::Col(1)];
         spec.aggregates = vec![(AggFun::Count, Expr::Col(0))];
-        spec.order_by = vec![OrderKey { col: 0, desc: false }];
+        spec.order_by = vec![OrderKey {
+            col: 0,
+            desc: false,
+        }];
         spec.limit = Some(5);
 
         let mut solo = Db::new(
@@ -357,7 +378,11 @@ mod tests {
             DbConfig::paper_default(),
         );
         solo.create_table("orders", schema.clone(), &rows).unwrap();
-        let mut adb = ArrayDb::new(mk_array(4), HostConfig::paper_default(), DbConfig::paper_default());
+        let mut adb = ArrayDb::new(
+            mk_array(4),
+            HostConfig::paper_default(),
+            DbConfig::paper_default(),
+        );
         adb.create_table("orders", schema, &rows).unwrap();
         let solo = Arc::new(solo);
         let adb = Arc::new(adb);
@@ -365,8 +390,12 @@ mod tests {
         let sim = Simulation::new(11);
         sim.spawn("cmp", move |ctx| {
             adb.prepare(ctx).unwrap();
-            let want = solo.execute(ctx, &spec, ExecMode::Conv, HostLoad::IDLE).unwrap();
-            let got = adb.execute(ctx, &spec, ExecMode::Biscuit, HostLoad::IDLE).unwrap();
+            let want = solo
+                .execute(ctx, &spec, ExecMode::Conv, HostLoad::IDLE)
+                .unwrap();
+            let got = adb
+                .execute(ctx, &spec, ExecMode::Biscuit, HostLoad::IDLE)
+                .unwrap();
             assert_eq!(got.rows, want.rows);
             assert_eq!(got.rows.len(), 5);
         });
@@ -376,7 +405,11 @@ mod tests {
     #[test]
     fn joins_are_rejected_as_unsupported() {
         let schema = Schema::new(&[("id", ColumnType::Int), ("qty", ColumnType::Int)]);
-        let mut adb = ArrayDb::new(mk_array(2), HostConfig::paper_default(), DbConfig::paper_default());
+        let mut adb = ArrayDb::new(
+            mk_array(2),
+            HostConfig::paper_default(),
+            DbConfig::paper_default(),
+        );
         adb.create_table("a", schema.clone(), &mk_rows(10)).unwrap();
         adb.create_table("b", schema, &mk_rows(10)).unwrap();
         let adb = Arc::new(adb);

@@ -66,7 +66,10 @@ pub fn hash_probe_block(
 ) {
     let mut table: HashMap<String, Vec<usize>> = HashMap::new();
     for (i, row) in outer_block.iter().enumerate() {
-        table.entry(key_of_cols(row, outer_cols)).or_default().push(i);
+        table
+            .entry(key_of_cols(row, outer_cols))
+            .or_default()
+            .push(i);
     }
     for inner in inner_local {
         if let Some(matches) = table.get(&key_of_cols(inner, inner_cols)) {
@@ -320,11 +323,7 @@ mod tests {
         let mut spec = SelectSpec::new("t");
         spec.group_by = vec![Expr::Col(0)];
         spec.aggregates = vec![(AggFun::Sum, Expr::Col(1)), (AggFun::Count, Expr::Col(1))];
-        let rows = vec![
-            vec![v(1), v(10)],
-            vec![v(2), v(20)],
-            vec![v(1), v(30)],
-        ];
+        let rows = vec![vec![v(1), v(10)], vec![v(2), v(20)], vec![v(1), v(30)]];
         let out = aggregate(&spec, &rows).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0], vec![v(1), Value::Float(40.0), v(2)]);
@@ -355,14 +354,7 @@ mod tests {
     #[test]
     fn order_and_limit_applies() {
         let mut rows = vec![vec![v(3)], vec![v(1)], vec![v(2)]];
-        order_and_limit(
-            &mut rows,
-            &[OrderKey {
-                col: 0,
-                desc: true,
-            }],
-            Some(2),
-        );
+        order_and_limit(&mut rows, &[OrderKey { col: 0, desc: true }], Some(2));
         assert_eq!(rows, vec![vec![v(3)], vec![v(2)]]);
     }
 

@@ -101,9 +101,9 @@ impl Expr {
             Expr::Lit(v) => Ok(v.clone()),
             Expr::Cmp(op, a, b) => {
                 let (a, b) = (a.eval_cow(row)?, b.eval_cow(row)?);
-                let ord = a.compare(&b).ok_or_else(|| {
-                    DbError::TypeError(format!("cannot compare {a:?} and {b:?}"))
-                })?;
+                let ord = a
+                    .compare(&b)
+                    .ok_or_else(|| DbError::TypeError(format!("cannot compare {a:?} and {b:?}")))?;
                 let r = match op {
                     CmpOp::Eq => ord.is_eq(),
                     CmpOp::Ne => ord.is_ne(),
@@ -154,12 +154,14 @@ impl Expr {
             }
             Expr::Between(x, lo, hi) => {
                 let v = x.eval_cow(row)?;
-                let ge = v.compare(lo).map(|o| o.is_ge()).ok_or_else(|| {
-                    DbError::TypeError("BETWEEN on incomparable values".into())
-                })?;
-                let le = v.compare(hi).map(|o| o.is_le()).ok_or_else(|| {
-                    DbError::TypeError("BETWEEN on incomparable values".into())
-                })?;
+                let ge = v
+                    .compare(lo)
+                    .map(|o| o.is_ge())
+                    .ok_or_else(|| DbError::TypeError("BETWEEN on incomparable values".into()))?;
+                let le = v
+                    .compare(hi)
+                    .map(|o| o.is_le())
+                    .ok_or_else(|| DbError::TypeError("BETWEEN on incomparable values".into()))?;
                 Ok(Value::Int(i64::from(ge && le)))
             }
             Expr::Arith(op, a, b) => {
@@ -480,12 +482,11 @@ mod tests {
         )
         .eval_bool(&r)
         .unwrap());
-        assert!(Expr::InList(
-            Box::new(Expr::Col(0)),
-            vec![Value::Int(1), Value::Int(3)]
-        )
-        .eval_bool(&r)
-        .unwrap());
+        assert!(
+            Expr::InList(Box::new(Expr::Col(0)), vec![Value::Int(1), Value::Int(3)])
+                .eval_bool(&r)
+                .unwrap()
+        );
     }
 
     #[test]
@@ -502,10 +503,7 @@ mod tests {
     #[test]
     fn equality_yields_framed_key() {
         let e = Expr::col_eq(3, Value::date("1995-01-17"));
-        assert_eq!(
-            pattern_keys(&e).unwrap(),
-            vec![b"|1995-01-17|".to_vec()]
-        );
+        assert_eq!(pattern_keys(&e).unwrap(), vec![b"|1995-01-17|".to_vec()]);
     }
 
     #[test]
@@ -523,10 +521,7 @@ mod tests {
             Expr::col_cmp(2, CmpOp::Lt, Value::Float(0.07)), // no keys
             Expr::col_eq(3, Value::date("1995-01-17")),      // keys
         ]);
-        assert_eq!(
-            pattern_keys(&e).unwrap(),
-            vec![b"|1995-01-17|".to_vec()]
-        );
+        assert_eq!(pattern_keys(&e).unwrap(), vec![b"|1995-01-17|".to_vec()]);
     }
 
     #[test]
@@ -554,11 +549,7 @@ mod tests {
         // Open range: no keys.
         assert!(pattern_keys(&Expr::col_cmp(3, CmpOp::Le, Value::date("1998-09-02"))).is_none());
         // NOT LIKE: the hardware cannot prove absence.
-        assert!(pattern_keys(&Expr::NotLike(
-            Box::new(Expr::Col(1)),
-            "%special%".into()
-        ))
-        .is_none());
+        assert!(pattern_keys(&Expr::NotLike(Box::new(Expr::Col(1)), "%special%".into())).is_none());
         // Single-character literal: rejected as in the paper.
         assert!(pattern_keys(&Expr::col_eq(1, Value::Str("x".into()))).is_none());
         // Too many OR branches.

@@ -151,10 +151,8 @@ impl Ssdlet for ScanFilter {
                 if self.args.predicate.eval_bool(&row).unwrap_or(false) {
                     batch.push(row);
                     if batch.len() >= self.args.batch_rows {
-                        let full = std::mem::replace(
-                            &mut batch,
-                            Vec::with_capacity(self.args.batch_rows),
-                        );
+                        let full =
+                            std::mem::replace(&mut batch, Vec::with_capacity(self.args.batch_rows));
                         ctx.send(0, full).expect("host port open while scanning");
                     }
                 }
@@ -176,7 +174,10 @@ pub fn candidate_lines(page: &[u8], offsets: &[usize]) -> Vec<(usize, usize)> {
         if o >= page.len() {
             continue;
         }
-        let start = page[..o].iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+        let start = page[..o]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1);
         let end = page[o..]
             .iter()
             .position(|&b| b == b'\n')

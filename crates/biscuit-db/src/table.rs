@@ -82,12 +82,7 @@ pub fn parse_page(schema: &Schema, table: &str, page: &[u8]) -> DbResult<Vec<Row
 /// # Errors
 ///
 /// Returns filesystem or row-size errors.
-pub fn create_table(
-    fs: &Fs,
-    name: &str,
-    schema: Schema,
-    rows: &[Row],
-) -> DbResult<TableMeta> {
+pub fn create_table(fs: &Fs, name: &str, schema: Schema, rows: &[Row]) -> DbResult<TableMeta> {
     let page_size = fs.device().config().page_size;
     let file_path = format!("tbl_{name}");
     fs.create(&file_path)?;

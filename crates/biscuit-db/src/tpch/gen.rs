@@ -21,7 +21,12 @@ const SEGMENTS: [&str; 5] = [
 ];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-const INSTRUCTIONS: [&str; 4] = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_SYLL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
@@ -30,14 +35,56 @@ const CONTAINER_SYLL2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", 
 /// A 32-word subset of dbgen's P_NAME color list, keeping every color the
 /// queries reference (`green`, `forest`, ...).
 const COLORS: [&str; 32] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral",
-    "forest", "frosted", "gainsboro", "ghost", "green",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "green",
 ];
 const COMMENT_WORDS: [&str; 16] = [
-    "carefully", "quickly", "furiously", "silent", "ironic", "final", "bold", "express",
-    "pending", "regular", "even", "special", "requests", "deposits", "accounts", "packages",
+    "carefully",
+    "quickly",
+    "furiously",
+    "silent",
+    "ironic",
+    "final",
+    "bold",
+    "express",
+    "pending",
+    "regular",
+    "even",
+    "special",
+    "requests",
+    "deposits",
+    "accounts",
+    "packages",
 ];
 /// The standard 25 nations with their region keys.
 const NATIONS: [(&str, i64); 25] = [
@@ -377,7 +424,10 @@ mod tests {
             .part
             .iter()
             .any(|r| r[4].as_str().unwrap().starts_with("PROMO")));
-        assert!(d.part.iter().any(|r| r[1].as_str().unwrap().contains("green")));
+        assert!(d
+            .part
+            .iter()
+            .any(|r| r[1].as_str().unwrap().contains("green")));
         assert!(d
             .orders
             .iter()
@@ -392,7 +442,10 @@ mod tests {
     fn rows_match_schemas() {
         use crate::tpch::schema;
         let d = TpchData::generate(0.001, 4);
-        assert!(d.lineitem.iter().all(|r| r.len() == schema::lineitem().len()));
+        assert!(d
+            .lineitem
+            .iter()
+            .all(|r| r.len() == schema::lineitem().len()));
         assert!(d.orders.iter().all(|r| r.len() == schema::orders().len()));
         assert!(d.part.iter().all(|r| r.len() == schema::part().len()));
     }

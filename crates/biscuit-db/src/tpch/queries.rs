@@ -43,13 +43,7 @@ impl TpchQuery {
     /// # Errors
     ///
     /// Propagates engine errors.
-    pub fn run(
-        &self,
-        db: &Db,
-        ctx: &Ctx,
-        mode: ExecMode,
-        load: HostLoad,
-    ) -> DbResult<QueryOutput> {
+    pub fn run(&self, db: &Db, ctx: &Ctx, mode: ExecMode, load: HostLoad) -> DbResult<QueryOutput> {
         if mode == ExecMode::Biscuit {
             db.prepare(ctx)?;
         }
@@ -73,28 +67,116 @@ impl TpchQuery {
 /// The full suite, in query order.
 pub fn all_queries() -> Vec<TpchQuery> {
     vec![
-        TpchQuery { id: 1, description: "pricing summary report", runner: q1 },
-        TpchQuery { id: 2, description: "minimum cost supplier", runner: q2 },
-        TpchQuery { id: 3, description: "shipping priority", runner: q3 },
-        TpchQuery { id: 4, description: "order priority checking", runner: q4 },
-        TpchQuery { id: 5, description: "local supplier volume", runner: q5 },
-        TpchQuery { id: 6, description: "forecasting revenue change", runner: q6 },
-        TpchQuery { id: 7, description: "volume shipping", runner: q7 },
-        TpchQuery { id: 8, description: "national market share", runner: q8 },
-        TpchQuery { id: 9, description: "product type profit", runner: q9 },
-        TpchQuery { id: 10, description: "returned item reporting", runner: q10 },
-        TpchQuery { id: 11, description: "important stock identification", runner: q11 },
-        TpchQuery { id: 12, description: "shipping modes and priority", runner: q12 },
-        TpchQuery { id: 13, description: "customer distribution", runner: q13 },
-        TpchQuery { id: 14, description: "promotion effect", runner: q14 },
-        TpchQuery { id: 15, description: "top supplier", runner: q15 },
-        TpchQuery { id: 16, description: "parts/supplier relationship", runner: q16 },
-        TpchQuery { id: 17, description: "small-quantity-order revenue", runner: q17 },
-        TpchQuery { id: 18, description: "large volume customer", runner: q18 },
-        TpchQuery { id: 19, description: "discounted revenue", runner: q19 },
-        TpchQuery { id: 20, description: "potential part promotion", runner: q20 },
-        TpchQuery { id: 21, description: "suppliers who kept orders waiting", runner: q21 },
-        TpchQuery { id: 22, description: "global sales opportunity", runner: q22 },
+        TpchQuery {
+            id: 1,
+            description: "pricing summary report",
+            runner: q1,
+        },
+        TpchQuery {
+            id: 2,
+            description: "minimum cost supplier",
+            runner: q2,
+        },
+        TpchQuery {
+            id: 3,
+            description: "shipping priority",
+            runner: q3,
+        },
+        TpchQuery {
+            id: 4,
+            description: "order priority checking",
+            runner: q4,
+        },
+        TpchQuery {
+            id: 5,
+            description: "local supplier volume",
+            runner: q5,
+        },
+        TpchQuery {
+            id: 6,
+            description: "forecasting revenue change",
+            runner: q6,
+        },
+        TpchQuery {
+            id: 7,
+            description: "volume shipping",
+            runner: q7,
+        },
+        TpchQuery {
+            id: 8,
+            description: "national market share",
+            runner: q8,
+        },
+        TpchQuery {
+            id: 9,
+            description: "product type profit",
+            runner: q9,
+        },
+        TpchQuery {
+            id: 10,
+            description: "returned item reporting",
+            runner: q10,
+        },
+        TpchQuery {
+            id: 11,
+            description: "important stock identification",
+            runner: q11,
+        },
+        TpchQuery {
+            id: 12,
+            description: "shipping modes and priority",
+            runner: q12,
+        },
+        TpchQuery {
+            id: 13,
+            description: "customer distribution",
+            runner: q13,
+        },
+        TpchQuery {
+            id: 14,
+            description: "promotion effect",
+            runner: q14,
+        },
+        TpchQuery {
+            id: 15,
+            description: "top supplier",
+            runner: q15,
+        },
+        TpchQuery {
+            id: 16,
+            description: "parts/supplier relationship",
+            runner: q16,
+        },
+        TpchQuery {
+            id: 17,
+            description: "small-quantity-order revenue",
+            runner: q17,
+        },
+        TpchQuery {
+            id: 18,
+            description: "large volume customer",
+            runner: q18,
+        },
+        TpchQuery {
+            id: 19,
+            description: "discounted revenue",
+            runner: q19,
+        },
+        TpchQuery {
+            id: 20,
+            description: "potential part promotion",
+            runner: q20,
+        },
+        TpchQuery {
+            id: 21,
+            description: "suppliers who kept orders waiting",
+            runner: q21,
+        },
+        TpchQuery {
+            id: 22,
+            description: "global sales opportunity",
+            runner: q22,
+        },
     ]
 }
 
@@ -157,11 +239,17 @@ fn revenue(off: usize) -> Expr {
 }
 
 fn asc(colidx: usize) -> OrderKey {
-    OrderKey { col: colidx, desc: false }
+    OrderKey {
+        col: colidx,
+        desc: false,
+    }
 }
 
 fn desc(colidx: usize) -> OrderKey {
-    OrderKey { col: colidx, desc: true }
+    OrderKey {
+        col: colidx,
+        desc: true,
+    }
 }
 
 fn run_phase(
@@ -207,7 +295,13 @@ fn q1(db: &Db, ctx: &Ctx, mode: ExecMode, load: HostLoad) -> DbResult<(Vec<Row>,
 
 /// Q2: minimum-cost supplier (subquery materialized host-side).
 fn q2(db: &Db, ctx: &Ctx, mode: ExecMode, load: HostLoad) -> DbResult<(Vec<Row>, Vec<String>)> {
-    let (pp, pss, ss, nn, rr) = (0, p::WIDTH, p::WIDTH + ps::WIDTH, p::WIDTH + ps::WIDTH + s::WIDTH, p::WIDTH + ps::WIDTH + s::WIDTH + n::WIDTH);
+    let (pp, pss, ss, nn, rr) = (
+        0,
+        p::WIDTH,
+        p::WIDTH + ps::WIDTH,
+        p::WIDTH + ps::WIDTH + s::WIDTH,
+        p::WIDTH + ps::WIDTH + s::WIDTH + n::WIDTH,
+    );
     let mut spec = SelectSpec::new("q2");
     let t_p = spec.scan(
         "part",
@@ -277,7 +371,11 @@ fn q3(db: &Db, ctx: &Ctx, mode: ExecMode, load: HostLoad) -> DbResult<(Vec<Row>,
     );
     spec.join(t_c, c::CUSTKEY, t_o, o::CUSTKEY);
     spec.join(t_o, o::ORDERKEY, t_l, l::ORDERKEY);
-    spec.group_by = vec![col(ll, l::ORDERKEY), col(oo, o::ORDERDATE), col(oo, o::SHIPPRIORITY)];
+    spec.group_by = vec![
+        col(ll, l::ORDERKEY),
+        col(oo, o::ORDERDATE),
+        col(oo, o::SHIPPRIORITY),
+    ];
     spec.aggregates = vec![(AggFun::Sum, revenue(ll))];
     spec.order_by = vec![desc(3), asc(1)];
     spec.limit = Some(10);
@@ -439,10 +537,7 @@ fn q8(db: &Db, ctx: &Ctx, mode: ExecMode, load: HostLoad) -> DbResult<(Vec<Row>,
     let ss = rr + r::WIDTH;
     let n2 = ss + s::WIDTH;
     let mut spec = SelectSpec::new("q8");
-    let t_p = spec.scan(
-        "part",
-        Some(eq(0, p::TYPE, st("ECONOMY ANODIZED STEEL"))),
-    );
+    let t_p = spec.scan("part", Some(eq(0, p::TYPE, st("ECONOMY ANODIZED STEEL"))));
     let t_l = spec.scan("lineitem", None);
     let t_o = spec.scan(
         "orders",
@@ -601,10 +696,7 @@ fn q12(db: &Db, ctx: &Ctx, mode: ExecMode, load: HostLoad) -> DbResult<(Vec<Row>
     let t_l = spec.scan(
         "lineitem",
         Some(Expr::And(vec![
-            Expr::InList(
-                Box::new(col(0, l::SHIPMODE)),
-                vec![st("MAIL"), st("SHIP")],
-            ),
+            Expr::InList(Box::new(col(0, l::SHIPMODE)), vec![st("MAIL"), st("SHIP")]),
             between(0, l::RECEIPTDATE, d("1994-01-01"), d("1994-12-31")),
             Expr::Cmp(
                 CmpOp::Lt,
@@ -668,7 +760,11 @@ fn q13(db: &Db, ctx: &Ctx, mode: ExecMode, load: HostLoad) -> DbResult<(Vec<Row>
     cust_spec.projection = vec![col(0, c::CUSTKEY)];
     let cust_rows = run_phase(db, ctx, &cust_spec, mode, load, &mut off)?;
 
-    db.charge_host_bytes(ctx, ((order_rows.len() + cust_rows.len()) * 16) as u64, load);
+    db.charge_host_bytes(
+        ctx,
+        ((order_rows.len() + cust_rows.len()) * 16) as u64,
+        load,
+    );
     let mut per_customer: std::collections::HashMap<i64, i64> = Default::default();
     for row in &cust_rows {
         per_customer.insert(row[0].as_i64().expect("custkey"), 0);
@@ -717,7 +813,11 @@ fn q14(db: &Db, ctx: &Ctx, mode: ExecMode, load: HostLoad) -> DbResult<(Vec<Row>
     let rows = run_phase(db, ctx, &spec, mode, load, &mut off)?;
     let promo = rows[0][0].as_f64().unwrap_or(0.0);
     let total = rows[0][1].as_f64().unwrap_or(0.0);
-    let pct = if total == 0.0 { 0.0 } else { 100.0 * promo / total };
+    let pct = if total == 0.0 {
+        0.0
+    } else {
+        100.0 * promo / total
+    };
     Ok((vec![vec![Value::Float(pct)]], off))
 }
 
@@ -845,7 +945,9 @@ fn q17(db: &Db, ctx: &Ctx, mode: ExecMode, load: HostLoad) -> DbResult<(Vec<Row>
     db.charge_host_bytes(ctx, (rows.len() * 24) as u64, load);
     let mut sums: std::collections::HashMap<i64, (f64, u64)> = Default::default();
     for row in &rows {
-        let e = sums.entry(row[0].as_i64().expect("partkey")).or_insert((0.0, 0));
+        let e = sums
+            .entry(row[0].as_i64().expect("partkey"))
+            .or_insert((0.0, 0));
         e.0 += row[1].as_f64().unwrap_or(0.0);
         e.1 += 1;
     }
@@ -873,7 +975,12 @@ fn q18(db: &Db, ctx: &Ctx, mode: ExecMode, load: HostLoad) -> DbResult<(Vec<Row>
     let big: std::collections::HashMap<i64, f64> = qty
         .into_iter()
         .filter(|r| r[1].as_f64().unwrap_or(0.0) > 300.0)
-        .map(|r| (r[0].as_i64().expect("orderkey"), r[1].as_f64().expect("qty")))
+        .map(|r| {
+            (
+                r[0].as_i64().expect("orderkey"),
+                r[1].as_f64().expect("qty"),
+            )
+        })
         .collect();
 
     let oo = 0;
@@ -941,9 +1048,27 @@ fn q19(db: &Db, ctx: &Ctx, mode: ExecMode, load: HostLoad) -> DbResult<(Vec<Row>
     );
     spec.join(t_l, l::PARTKEY, t_p, p::PARTKEY);
     spec.residual = Some(Expr::Or(vec![
-        branch("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5),
-        branch("Brand#23", ["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10.0, 20.0, 10),
-        branch("Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20.0, 30.0, 15),
+        branch(
+            "Brand#12",
+            ["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+            1.0,
+            11.0,
+            5,
+        ),
+        branch(
+            "Brand#23",
+            ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+            10.0,
+            20.0,
+            10,
+        ),
+        branch(
+            "Brand#34",
+            ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+            20.0,
+            30.0,
+            15,
+        ),
     ]));
     spec.aggregates = vec![(AggFun::Sum, revenue(ll))];
     let mut off = Vec::new();

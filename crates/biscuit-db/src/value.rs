@@ -244,7 +244,13 @@ mod tests {
 
     #[test]
     fn date_round_trips() {
-        for s in ["1970-01-01", "1995-01-17", "1998-12-01", "2000-02-29", "1992-12-31"] {
+        for s in [
+            "1970-01-01",
+            "1995-01-17",
+            "1998-12-01",
+            "2000-02-29",
+            "1992-12-31",
+        ] {
             let d = parse_date(s).unwrap();
             assert_eq!(format_date(d), s, "date {s}");
         }

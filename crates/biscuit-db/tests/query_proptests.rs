@@ -57,10 +57,8 @@ fn make_db() -> Arc<Db> {
 fn predicate_strategy() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         // Equality on category (keyable).
-        (0usize..CATEGORIES.len(), 0i64..17).prop_map(|(c, n)| Expr::col_eq(
-            1,
-            Value::Str(format!("{}{:02}", CATEGORIES[c], n))
-        )),
+        (0usize..CATEGORIES.len(), 0i64..17)
+            .prop_map(|(c, n)| Expr::col_eq(1, Value::Str(format!("{}{:02}", CATEGORIES[c], n)))),
         // LIKE fragment on category (keyable).
         (0usize..CATEGORIES.len())
             .prop_map(|c| Expr::Like(Box::new(Expr::Col(1)), format!("%{}%", CATEGORIES[c]))),

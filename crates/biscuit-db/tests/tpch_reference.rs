@@ -56,7 +56,9 @@ fn q1_matches_direct_computation() {
     // Direct recomputation over the generated rows.
     let mut groups: HashMap<(String, String), (f64, f64, i64)> = HashMap::new();
     for row in &data.lineitem {
-        let Value::Date(ship) = row[l::SHIPDATE] else { panic!() };
+        let Value::Date(ship) = row[l::SHIPDATE] else {
+            panic!()
+        };
         if ship > cutoff {
             continue;
         }
@@ -77,7 +79,10 @@ fn q1_matches_direct_computation() {
             row[1].as_str().unwrap().to_owned(),
         );
         let (sum_qty, sum_price, count) = groups[&key];
-        assert!(close(row[2].as_f64().unwrap(), sum_qty), "sum_qty for {key:?}");
+        assert!(
+            close(row[2].as_f64().unwrap(), sum_qty),
+            "sum_qty for {key:?}"
+        );
         assert!(
             close(row[3].as_f64().unwrap(), sum_price),
             "sum_base_price for {key:?}"
@@ -95,7 +100,9 @@ fn q6_matches_direct_computation() {
         .lineitem
         .iter()
         .filter(|row| {
-            let Value::Date(ship) = row[l::SHIPDATE] else { panic!() };
+            let Value::Date(ship) = row[l::SHIPDATE] else {
+                panic!()
+            };
             let disc = row[l::DISCOUNT].as_f64().unwrap();
             let qty = row[l::QUANTITY].as_f64().unwrap();
             (lo..=hi).contains(&ship) && (0.05..=0.07).contains(&disc) && qty < 24.0
@@ -130,12 +137,14 @@ fn q14_matches_direct_computation() {
         .collect();
     let (mut promo, mut total) = (0.0f64, 0.0f64);
     for row in &data.lineitem {
-        let Value::Date(ship) = row[l::SHIPDATE] else { panic!() };
+        let Value::Date(ship) = row[l::SHIPDATE] else {
+            panic!()
+        };
         if !(lo..=hi).contains(&ship) {
             continue;
         }
-        let revenue = row[l::EXTENDEDPRICE].as_f64().unwrap()
-            * (1.0 - row[l::DISCOUNT].as_f64().unwrap());
+        let revenue =
+            row[l::EXTENDEDPRICE].as_f64().unwrap() * (1.0 - row[l::DISCOUNT].as_f64().unwrap());
         total += revenue;
         let ty = &part_type[&row[l::PARTKEY].as_i64().unwrap()];
         if ty.starts_with("PROMO") {
@@ -173,7 +182,9 @@ fn q4_matches_direct_computation() {
     }
     let mut expected: HashMap<String, i64> = HashMap::new();
     for row in &data.orders {
-        let Value::Date(d) = row[o::ORDERDATE] else { panic!() };
+        let Value::Date(d) = row[o::ORDERDATE] else {
+            panic!()
+        };
         if (lo..=hi).contains(&d) && late_orders.contains(&row[o::ORDERKEY].as_i64().unwrap()) {
             *expected
                 .entry(row[o::ORDERPRIORITY].as_str().unwrap().to_owned())
@@ -184,11 +195,7 @@ fn q4_matches_direct_computation() {
     assert_eq!(out.rows.len(), expected.len());
     for row in &out.rows {
         let prio = row[0].as_str().unwrap();
-        assert_eq!(
-            row[1].as_i64().unwrap(),
-            expected[prio],
-            "count for {prio}"
-        );
+        assert_eq!(row[1].as_i64().unwrap(), expected[prio], "count for {prio}");
     }
 }
 

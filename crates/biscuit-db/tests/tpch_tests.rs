@@ -84,7 +84,11 @@ fn tpch_suite_conv_vs_biscuit() {
             ));
         }
     }
-    assert!(failures.is_empty(), "result mismatches:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "result mismatches:\n{}",
+        failures.join("\n")
+    );
 
     // 2. Offload pattern matches the paper's structure: ~8 queries offload,
     //    including Q14/Q6; the paper's named non-candidates never offload;
@@ -95,7 +99,10 @@ fn tpch_suite_conv_vs_biscuit() {
         .filter(|(_, out)| !out.stats.offloaded_tables.is_empty())
         .map(|(q, _)| q.id)
         .collect();
-    assert!(offloaded.contains(&14), "Q14 must offload, got {offloaded:?}");
+    assert!(
+        offloaded.contains(&14),
+        "Q14 must offload, got {offloaded:?}"
+    );
     assert!(offloaded.contains(&6), "Q6 must offload, got {offloaded:?}");
     for never in [1, 13, 16, 18, 21, 22] {
         assert!(
@@ -132,5 +139,8 @@ fn tpch_suite_conv_vs_biscuit() {
     let io_reduction =
         conv[idx].stats.link_bytes_to_host as f64 / bis[idx].stats.link_bytes_to_host.max(1) as f64;
     assert!(speedup > 5.0, "Q14 speedup only {speedup:.1}x");
-    assert!(io_reduction > 10.0, "Q14 I/O reduction only {io_reduction:.1}x");
+    assert!(
+        io_reduction > 10.0,
+        "Q14 I/O reduction only {io_reduction:.1}x"
+    );
 }

@@ -176,9 +176,21 @@ mod tests {
     fn allocate_first_fit() {
         let mut a = ExtentAllocator::new(10, 100);
         let e = a.allocate(30).unwrap();
-        assert_eq!(e, Extent { start: 10, pages: 30 });
+        assert_eq!(
+            e,
+            Extent {
+                start: 10,
+                pages: 30
+            }
+        );
         let f = a.allocate(70).unwrap();
-        assert_eq!(f, Extent { start: 40, pages: 70 });
+        assert_eq!(
+            f,
+            Extent {
+                start: 40,
+                pages: 70
+            }
+        );
         assert!(a.allocate(1).is_none());
     }
 
@@ -193,7 +205,13 @@ mod tests {
         a.free(e2); // middle: should merge into one 100-page extent
         assert_eq!(a.free_pages(), 100);
         assert_eq!(a.largest_free(), 100);
-        assert_eq!(a.allocate(100).unwrap(), Extent { start: 0, pages: 100 });
+        assert_eq!(
+            a.allocate(100).unwrap(),
+            Extent {
+                start: 0,
+                pages: 100
+            }
+        );
     }
 
     #[test]
@@ -208,8 +226,14 @@ mod tests {
     #[test]
     fn from_used_replays_mount_state() {
         let used = vec![
-            Extent { start: 5, pages: 10 },
-            Extent { start: 20, pages: 5 },
+            Extent {
+                start: 5,
+                pages: 10,
+            },
+            Extent {
+                start: 20,
+                pages: 5,
+            },
         ];
         let a = ExtentAllocator::from_used(0, 30, &used);
         assert_eq!(a.free_pages(), 15);

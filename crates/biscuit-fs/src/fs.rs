@@ -177,11 +177,8 @@ impl Fs {
             }
             files.insert(name, Inode { size, extents });
         }
-        let alloc = ExtentAllocator::from_used(
-            DEFAULT_META_PAGES,
-            total_pages - DEFAULT_META_PAGES,
-            &used,
-        );
+        let alloc =
+            ExtentAllocator::from_used(DEFAULT_META_PAGES, total_pages - DEFAULT_META_PAGES, &used);
         Ok(Fs {
             inner: Arc::new(FsInner {
                 page_size,
@@ -274,11 +271,8 @@ impl Fs {
     /// Lists `(path, size)` of every file.
     pub fn list(&self) -> Vec<(String, u64)> {
         let st = self.inner.state.lock();
-        let mut out: Vec<(String, u64)> = st
-            .files
-            .iter()
-            .map(|(k, v)| (k.clone(), v.size))
-            .collect();
+        let mut out: Vec<(String, u64)> =
+            st.files.iter().map(|(k, v)| (k.clone(), v.size)).collect();
         out.sort();
         out
     }

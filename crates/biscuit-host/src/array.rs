@@ -131,10 +131,7 @@ impl<T: Send + 'static> MergeTx<T> {
         if seq >= self.inner.cut.load(Ordering::Relaxed) {
             return Ok(()); // silently lost: the drive is dead
         }
-        self.inner
-            .lane
-            .push(ctx, (seq, item))
-            .map_err(|e| (e.0).1)
+        self.inner.lane.push(ctx, (seq, item)).map_err(|e| (e.0).1)
     }
 
     /// Items sent so far (including any silently dropped ones).
@@ -531,7 +528,8 @@ impl SsdArray {
         self.mark(ctx, "array_scatter", format!("{name} over {n} shards"));
         let (txs, mut rx) = merge_channel::<T>(n, self.inner.cfg.merge_capacity);
         let job = Arc::new(job);
-        let failed: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+        let failed: Arc<Vec<AtomicBool>> =
+            Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
         for shard in self.shards() {
             let i = shard.id;
             let tx = txs[i].clone();
@@ -734,7 +732,9 @@ impl QueryScheduler {
         assert!(cfg.max_inflight > 0, "max_inflight must be positive");
         QueryScheduler {
             inner: Arc::new(SchedInner {
-                queues: (0..cfg.users).map(|_| SimQueue::new(cfg.queue_capacity)).collect(),
+                queues: (0..cfg.users)
+                    .map(|_| SimQueue::new(cfg.queue_capacity))
+                    .collect(),
                 admit: Semaphore::new(cfg.max_inflight),
                 work: WaitQueue::new(),
                 done: WaitQueue::new(),

@@ -11,16 +11,20 @@
 //!   search baseline (Table V).
 //! - [`array`] — multi-SSD scale-out: the shard coordinator, ordered
 //!   merge port, and concurrent query scheduler (Fig. 1(b), `docs/SCALE.md`).
+//! - [`fleet`] — the parallel-DES face of the coordinator: one shard
+//!   kernel per drive, each on its own OS thread (`docs/PARALLEL.md`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod array;
 pub mod config;
+pub mod fleet;
 pub mod io;
 pub mod search;
 
 pub use array::{ArrayConfig, QueryScheduler, SchedulerConfig, SsdArray};
 pub use config::{HostConfig, HostLoad};
+pub use fleet::{FleetConfig, FleetReport};
 pub use io::ConvIo;
 pub use search::BoyerMoore;

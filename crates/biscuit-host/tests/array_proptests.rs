@@ -119,7 +119,11 @@ fn mk_array(n: usize) -> SsdArray {
             Ssd::new(Fs::format(dev), CoreConfig::paper_default())
         })
         .collect();
-    SsdArray::new(drives, HostConfig::paper_default(), ArrayConfig { merge_capacity: 2 })
+    SsdArray::new(
+        drives,
+        HostConfig::paper_default(),
+        ArrayConfig { merge_capacity: 2 },
+    )
 }
 
 proptest! {

@@ -199,7 +199,13 @@ impl std::hash::Hash for Buf {
 
 impl std::fmt::Debug for Buf {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Buf[{}..{} of {}]", self.off, self.off + self.len, self.data.len())
+        write!(
+            f,
+            "Buf[{}..{} of {}]",
+            self.off,
+            self.off + self.len,
+            self.data.len()
+        )
     }
 }
 

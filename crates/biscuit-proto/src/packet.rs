@@ -387,10 +387,7 @@ mod tests {
         b.put_u32(100); // claims 100 bytes follow
         let p = b.build();
         assert_eq!(p.reader().get_blob(), Err(DecodeError::UnexpectedEnd));
-        assert_eq!(
-            p.reader().get_blob_buf(),
-            Err(DecodeError::UnexpectedEnd)
-        );
+        assert_eq!(p.reader().get_blob_buf(), Err(DecodeError::UnexpectedEnd));
     }
 
     #[test]

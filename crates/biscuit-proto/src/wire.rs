@@ -308,9 +308,6 @@ mod tests {
         let mut b = PacketBuilder::new();
         b.put_u32(u32::MAX); // claims 4 billion elements
         let p = b.build();
-        assert_eq!(
-            Vec::<u64>::from_packet(&p),
-            Err(DecodeError::UnexpectedEnd)
-        );
+        assert_eq!(Vec::<u64>::from_packet(&p), Err(DecodeError::UnexpectedEnd));
     }
 }

@@ -711,7 +711,10 @@ mod tests {
         assert!(a.drive_loss(8).is_some());
         assert_eq!(a.drive_loss(8), None, "budget exhausted");
         // Inert defaults never fire, and zero shards cannot lose a drive.
-        assert_eq!(FaultPlan::seeded(11, FaultConfig::default()).drive_loss(4), None);
+        assert_eq!(
+            FaultPlan::seeded(11, FaultConfig::default()).drive_loss(4),
+            None
+        );
         assert_eq!(FaultPlan::none().drive_loss(4), None);
         let c = FaultPlan::seeded(11, cfg);
         assert_eq!(c.drive_loss(0), None);

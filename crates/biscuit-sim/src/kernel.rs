@@ -132,6 +132,25 @@ impl KernelInner {
         self.events.len() + self.at_now.len()
     }
 
+    /// Timestamp of the event [`KernelInner::pop_event`] would return, if
+    /// any. The event may still be stale (generation mismatch); callers
+    /// that pause on a horizon treat a stale future event as a pause point
+    /// and discard it on the next window — harmless, never reordering.
+    fn peek_event_time(&self) -> Option<SimTime> {
+        match (self.at_now.front(), self.events.peek()) {
+            (Some(f), Some(h)) => {
+                if (f.time, f.seq) < (h.time, h.seq) {
+                    Some(f.time)
+                } else {
+                    Some(h.time)
+                }
+            }
+            (Some(f), None) => Some(f.time),
+            (None, Some(h)) => Some(h.time),
+            (None, None) => None,
+        }
+    }
+
     /// Pops the earliest `(time, seq)` event across the FIFO and the heap.
     fn pop_event(&mut self) -> Option<Event> {
         let fifo_first = match (self.at_now.front(), self.events.peek()) {
@@ -451,6 +470,28 @@ impl SimReport {
     }
 }
 
+/// Outcome of one [`Simulation::run_until`] call.
+///
+/// A shard kernel driven in bounded windows (see [`crate::par`]) reports
+/// through this enum whether it still has pending virtual-time work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The event queue drained: no fiber has a pending wake. The kernel
+    /// may still hold parked fibers (they are reported as blocked by
+    /// [`Simulation::finish`]).
+    Drained,
+    /// Events remain, but the earliest is beyond the requested horizon.
+    Paused {
+        /// Timestamp of the earliest pending event (always greater than
+        /// the `limit` passed to [`Simulation::run_until`]).
+        next: SimTime,
+    },
+    /// A fiber panicked. The payload is held and re-raised by
+    /// [`Simulation::finish`] (or [`Simulation::run`]); further
+    /// `run_until` calls return `Panicked` without processing events.
+    Panicked,
+}
+
 /// A discrete-event simulation instance.
 ///
 /// # Examples
@@ -470,11 +511,42 @@ impl SimReport {
 /// assert_eq!(done_at.load(Ordering::SeqCst), 10);
 /// report.assert_quiescent();
 /// ```
+///
+/// ## Driving a kernel in bounded windows
+///
+/// [`Simulation::run`] executes to completion. A simulation can instead be
+/// driven as an independent *shard kernel*: [`Simulation::run_until`]
+/// processes events up to a virtual-time horizon and pauses, and
+/// [`Simulation::finish`] tears down and produces the [`SimReport`]. The
+/// event order is identical however the run is partitioned — windows only
+/// decide when control returns to the caller, never which event runs next:
+///
+/// ```
+/// use biscuit_sim::kernel::RunStatus;
+/// use biscuit_sim::{Simulation, SimTime, time::SimDuration};
+///
+/// let mut sim = Simulation::new(0);
+/// sim.spawn("worker", |ctx| {
+///     for _ in 0..10 {
+///         ctx.sleep(SimDuration::from_micros(3));
+///     }
+/// });
+/// // Drive in 10 us lookahead windows until the shard drains.
+/// let mut horizon = SimTime::ZERO + SimDuration::from_micros(10);
+/// while let RunStatus::Paused { .. } = sim.run_until(horizon) {
+///     horizon = horizon + SimDuration::from_micros(10);
+/// }
+/// let report = sim.finish();
+/// assert_eq!(report.end_time.as_micros(), 30);
+/// report.assert_quiescent();
+/// ```
 pub struct Simulation {
     kernel: Arc<Kernel>,
     yield_rx: Receiver<(Pid, YieldMsg)>,
     max_events: u64,
     finished: bool,
+    /// First fiber panic observed by `run_until`; re-raised by `finish`.
+    first_panic: Option<Box<dyn Any + Send>>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -527,6 +599,7 @@ impl Simulation {
             yield_rx,
             max_events: u64::MAX,
             finished: false,
+            first_panic: None,
         }
     }
 
@@ -588,35 +661,65 @@ impl Simulation {
     /// Re-raises the first panic that occurred inside a fiber, and panics if
     /// the configured event cap is exceeded.
     pub fn run(mut self) -> SimReport {
-        let mut first_panic: Option<Box<dyn Any + Send>> = None;
+        let _ = self.run_until(SimTime::MAX);
+        self.finish()
+    }
+
+    /// Processes every event with timestamp at or before `limit`, then
+    /// returns control to the caller.
+    ///
+    /// This is the *shard kernel* entry point for conservative parallel DES
+    /// (see [`crate::par`] and `docs/PARALLEL.md`): a coordinator owns N
+    /// independent simulations and advances each in bounded lookahead
+    /// windows on its own OS thread. Partitioning a run into windows never
+    /// changes the event order — events execute in global `(time, seq)`
+    /// order exactly as under [`Simulation::run`] — so traces, metrics, and
+    /// results are byte-identical for any window schedule, including
+    /// `run_until(SimTime::MAX)`.
+    ///
+    /// After [`RunStatus::Drained`] the queue may refill if a still-parked
+    /// fiber is woken by outside action; calling `run_until` again resumes
+    /// processing. After [`RunStatus::Panicked`] the kernel stops
+    /// scheduling; call [`Simulation::finish`] to re-raise the payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured event cap is exceeded.
+    pub fn run_until(&mut self, limit: SimTime) -> RunStatus {
+        if self.first_panic.is_some() {
+            return RunStatus::Panicked;
+        }
         loop {
-            // Pop the next valid event.
+            // Pop the next valid event at or before the horizon.
             let next = {
                 let mut inner = self.kernel.inner.lock();
                 loop {
-                    match inner.pop_event() {
+                    match inner.peek_event_time() {
                         None => break None,
-                        Some(ev) => {
-                            let slot = &inner.fibers[ev.pid];
-                            if slot.state == FiberState::Parked && slot.park_gen == ev.gen {
-                                inner.now = ev.time;
-                                inner.events_processed += 1;
-                                if inner.events_processed > self.max_events {
-                                    drop(inner);
-                                    self.teardown();
-                                    panic!("simulation exceeded event cap");
-                                }
-                                let tx = inner.fibers[ev.pid].resume_tx.clone();
-                                inner.fibers[ev.pid].state = FiberState::Running;
-                                break Some((ev.pid, tx, ev.time, inner.pending_events()));
-                            }
-                            // Stale wake: generation mismatch or fiber done.
-                        }
+                        Some(t) if t > limit => break Some(Err(t)),
+                        Some(_) => {}
                     }
+                    let ev = inner.pop_event().expect("peeked event exists");
+                    let slot = &inner.fibers[ev.pid];
+                    if slot.state == FiberState::Parked && slot.park_gen == ev.gen {
+                        inner.now = ev.time;
+                        inner.events_processed += 1;
+                        if inner.events_processed > self.max_events {
+                            drop(inner);
+                            self.teardown();
+                            panic!("simulation exceeded event cap");
+                        }
+                        let tx = inner.fibers[ev.pid].resume_tx.clone();
+                        inner.fibers[ev.pid].state = FiberState::Running;
+                        break Some(Ok((ev.pid, tx, ev.time, inner.pending_events())));
+                    }
+                    // Stale wake: generation mismatch or fiber done.
                 }
             };
-            let Some((pid, tx, at, pending)) = next else {
-                break;
+            let (pid, tx, at, pending) = match next {
+                None => return RunStatus::Drained,
+                Some(Err(t)) => return RunStatus::Paused { next: t },
+                Some(Ok(ev)) => ev,
             };
             self.kernel.sched.context_switches.inc();
             self.kernel.sched.runnable.set(pending as i64);
@@ -641,18 +744,42 @@ impl Simulation {
                         let _ = h.join();
                     }
                     if let Some(p) = panic {
-                        first_panic.get_or_insert(p);
+                        self.first_panic.get_or_insert(p);
                     }
                 }
             }
-            if first_panic.is_some() {
-                break;
+            if self.first_panic.is_some() {
+                return RunStatus::Panicked;
             }
         }
+    }
+
+    /// Timestamp of the earliest pending wake event, or `None` when the
+    /// queue is drained. The returned event may be a stale wake (it would
+    /// be discarded, not dispatched); windowed drivers only use this to
+    /// pace horizons, so an occasional stale timestamp is harmless.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.kernel.inner.lock().peek_event_time()
+    }
+
+    /// Wake events processed so far (the wall-clock bench's sim-events
+    /// numerator, readable mid-run when driving windows).
+    pub fn events_processed(&self) -> u64 {
+        self.kernel.inner.lock().events_processed
+    }
+
+    /// Builds the final [`SimReport`] and tears down any still-parked
+    /// fibers. Use after driving the kernel with [`Simulation::run_until`];
+    /// [`Simulation::run`] is exactly `run_until(SimTime::MAX)` + `finish`.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic that occurred inside a fiber.
+    pub fn finish(mut self) -> SimReport {
         let report = self.build_report();
         self.teardown();
         self.finished = true;
-        if let Some(p) = first_panic {
+        if let Some(p) = self.first_panic.take() {
             panic::resume_unwind(p);
         }
         report
@@ -879,6 +1006,90 @@ mod tests {
         });
         sim.run().assert_quiescent();
         assert_eq!(*log.lock(), vec!["a1", "b1", "a2"]);
+    }
+
+    /// A three-fiber workload driven (a) to completion with `run` and (b) in
+    /// bounded windows with `run_until` produces the same schedule log and
+    /// report — windows decide when control returns, never what runs next.
+    #[test]
+    fn windowed_run_matches_run_to_completion() {
+        fn build(sim: &Simulation) -> Arc<Mutex<Vec<(u64, usize)>>> {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for id in 0..3usize {
+                let log = Arc::clone(&log);
+                sim.spawn(format!("f{id}"), move |ctx| {
+                    for step in 0..5u64 {
+                        ctx.sleep(SimDuration::from_micros(7 * (id as u64 + 1) + step));
+                        log.lock().push((ctx.now().as_micros(), id));
+                    }
+                });
+            }
+            log
+        }
+        let sim = Simulation::new(3);
+        let log_full = build(&sim);
+        let full = sim.run();
+        full.assert_quiescent();
+
+        // Re-run in 5 us windows; also exercise Paused::next pacing.
+        let mut sim = Simulation::new(3);
+        let log_win = build(&sim);
+        let mut horizon = SimTime::ZERO + SimDuration::from_micros(5);
+        let windowed = loop {
+            match sim.run_until(horizon) {
+                RunStatus::Drained => break sim.finish(),
+                RunStatus::Paused { next } => {
+                    assert!(next > horizon);
+                    horizon = horizon + SimDuration::from_micros(5);
+                }
+                RunStatus::Panicked => unreachable!("no fiber panics here"),
+            }
+        };
+        windowed.assert_quiescent();
+
+        assert_eq!(*log_full.lock(), *log_win.lock());
+        assert_eq!(full.end_time, windowed.end_time);
+        assert_eq!(full.events_processed, windowed.events_processed);
+    }
+
+    #[test]
+    fn run_until_pauses_at_horizon() {
+        let mut sim = Simulation::new(0);
+        sim.spawn("w", |ctx| {
+            ctx.sleep(SimDuration::from_micros(100));
+        });
+        // The spawn wake at t=0 runs; the sleep wake at t=100 is past the
+        // horizon, so the kernel pauses and reports it.
+        let status = sim.run_until(SimTime::ZERO + SimDuration::from_micros(10));
+        assert_eq!(
+            status,
+            RunStatus::Paused {
+                next: SimTime::ZERO + SimDuration::from_micros(100)
+            }
+        );
+        assert_eq!(
+            sim.next_event_time(),
+            Some(SimTime::ZERO + SimDuration::from_micros(100))
+        );
+        assert_eq!(sim.run_until(SimTime::MAX), RunStatus::Drained);
+        let report = sim.finish();
+        assert_eq!(report.end_time.as_micros(), 100);
+        report.assert_quiescent();
+    }
+
+    #[test]
+    fn run_until_reports_panic_and_finish_reraises() {
+        let mut sim = Simulation::new(0);
+        sim.spawn("boom", |ctx| {
+            ctx.sleep(SimDuration::from_micros(5));
+            panic!("windowed explosion");
+        });
+        assert_eq!(sim.run_until(SimTime::MAX), RunStatus::Panicked);
+        // Subsequent windows refuse to schedule.
+        assert_eq!(sim.run_until(SimTime::MAX), RunStatus::Panicked);
+        let err = panic::catch_unwind(AssertUnwindSafe(|| sim.finish())).unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "windowed explosion");
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! ## Layout
 //!
 //! - [`kernel`] — the event loop, fibers, and the [`Ctx`] handle.
+//! - [`par`] — conservative parallel DES: drive N independent shard
+//!   kernels on real OS threads with a canonical cross-thread merge port
+//!   (see `docs/PARALLEL.md`).
 //! - [`fault`] — seeded, deterministic fault injection ([`FaultPlan`]) for
 //!   the instrumented sites across the stack (see `docs/FAULTS.md`).
 //! - [`time`] — [`SimTime`]/[`SimDuration`] arithmetic.
@@ -56,6 +59,7 @@
 pub mod fault;
 pub mod kernel;
 pub mod metrics;
+pub mod par;
 pub mod power;
 pub mod queue;
 pub mod resource;
@@ -64,7 +68,8 @@ pub mod time;
 pub mod trace;
 
 pub use fault::{DriveLoss, DriveLossPhase, FaultConfig, FaultPlan, FaultSite};
-pub use kernel::{Ctx, Kernel, Pid, SimReport, Simulation};
+pub use kernel::{Ctx, Kernel, Pid, RunStatus, SimReport, Simulation};
 pub use metrics::{MetricsConfig, MetricsRegistry, MetricsSnapshot};
+pub use par::{ParConfig, ParMode, PortRx, PortTx};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceConfig, TraceEvent, Tracer};

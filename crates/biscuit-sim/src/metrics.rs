@@ -743,8 +743,7 @@ impl MetricsSnapshot {
                             cumulative += n;
                             let le = bucket_upper(b).to_string();
                             let with_le = prom_labels(&s.labels, Some(("le", &le)));
-                            let _ =
-                                writeln!(out, "{}_bucket{} {}", s.name, with_le, cumulative);
+                            let _ = writeln!(out, "{}_bucket{} {}", s.name, with_le, cumulative);
                         }
                     }
                     let inf = prom_labels(&s.labels, Some(("le", "+Inf")));
@@ -752,13 +751,7 @@ impl MetricsSnapshot {
                     let _ = writeln!(out, "{}_sum{} {}", s.name, labels, h.sum);
                     let _ = writeln!(out, "{}_count{} {}", s.name, labels, h.count);
                     for (suffix, p) in [("p50", 50.0), ("p95", 95.0), ("p99", 99.0)] {
-                        let _ = writeln!(
-                            out,
-                            "{}_{suffix}{} {}",
-                            s.name,
-                            labels,
-                            h.percentile(p)
-                        );
+                        let _ = writeln!(out, "{}_{suffix}{} {}", s.name, labels, h.percentile(p));
                     }
                 }
             }
@@ -846,7 +839,8 @@ mod tests {
         again.inc();
         assert_eq!(c.get(), 43);
         assert_eq!(
-            reg.snapshot().counter_value("ops_total", &[("channel", "3")]),
+            reg.snapshot()
+                .counter_value("ops_total", &[("channel", "3")]),
             Some(43)
         );
     }
@@ -969,7 +963,8 @@ mod tests {
     fn utilization_derived_from_busy_counters() {
         let reg = MetricsRegistry::new();
         reg.enable();
-        reg.counter("link_busy_ps_total", &[("dir", "to_host")]).add(250_000);
+        reg.counter("link_busy_ps_total", &[("dir", "to_host")])
+            .add(250_000);
         reg.set_horizon(SimTime::from_ps(1_000_000));
         let json = reg.snapshot().to_json();
         assert!(

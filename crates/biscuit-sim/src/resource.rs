@@ -255,7 +255,12 @@ impl ServerBank {
     /// Like [`ServerBank::enqueue`], but returns the `(start, end)` pair of
     /// the reserved service window — callers that emit their own
     /// domain-specific trace spans (e.g. NAND operations) need the start.
-    pub fn enqueue_span(&self, now: SimTime, idx: usize, service: SimDuration) -> (SimTime, SimTime) {
+    pub fn enqueue_span(
+        &self,
+        now: SimTime,
+        idx: usize,
+        service: SimDuration,
+    ) -> (SimTime, SimTime) {
         let (start, end) = {
             let mut avail = self.servers[idx].lock();
             let start = (*avail).max(now);

@@ -297,7 +297,10 @@ mod tests {
             assert!(approx >= bounded.min().as_ps());
             assert!(approx <= bounded.max().as_ps());
             assert!(approx >= truth / 2, "p{p}: {approx} vs {truth}");
-            assert!(approx <= truth.saturating_mul(2), "p{p}: {approx} vs {truth}");
+            assert!(
+                approx <= truth.saturating_mul(2),
+                "p{p}: {approx} vs {truth}"
+            );
         }
         // Bounded collectors do not retain raw samples.
         assert!(bounded.samples().is_empty());

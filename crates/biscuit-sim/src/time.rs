@@ -134,7 +134,10 @@ impl SimDuration {
             "duration seconds must be finite and non-negative, got {s}"
         );
         let ps = s * PS_PER_S as f64;
-        assert!(ps <= u64::MAX as f64, "duration overflows SimDuration: {s}s");
+        assert!(
+            ps <= u64::MAX as f64,
+            "duration overflows SimDuration: {s}s"
+        );
         SimDuration(ps as u64)
     }
 
@@ -232,11 +235,7 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("SimDuration underflow"),
-        )
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
     }
 }
 

@@ -137,7 +137,10 @@ impl SsdConfig {
             return Err("channels and ways must be positive".into());
         }
         if self.page_size == 0 || !self.page_size.is_power_of_two() {
-            return Err(format!("page_size must be a power of two, got {}", self.page_size));
+            return Err(format!(
+                "page_size must be a power of two, got {}",
+                self.page_size
+            ));
         }
         if self.pages_per_block == 0 {
             return Err("pages_per_block must be positive".into());

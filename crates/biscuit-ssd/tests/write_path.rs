@@ -51,7 +51,8 @@ fn timed_writes_read_back() {
     let d = Arc::clone(&dev);
     sim.spawn("rw", move |ctx| {
         for i in 0..32u64 {
-            d.write_page(ctx, i, format!("page-{i}").as_bytes()).unwrap();
+            d.write_page(ctx, i, format!("page-{i}").as_bytes())
+                .unwrap();
         }
         let pages = d.read_pages(ctx, &(0..32).collect::<Vec<_>>()).unwrap();
         for (i, page) in pages.iter().enumerate() {

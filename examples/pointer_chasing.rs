@@ -38,15 +38,16 @@ fn main() {
     let sim = Simulation::new(0);
     sim.spawn("host-program", move |ctx| {
         let module = ssd.load_module(ctx, chase_module()).expect("load module");
+        println!("{WALKS} random walks x {STEPS} hops over a {VERTICES}-vertex social graph\n");
         println!(
-            "{WALKS} random walks x {STEPS} hops over a {VERTICES}-vertex social graph\n"
+            "{:<10} {:>12} {:>12} {:>8}",
+            "load", "Conv", "Biscuit", "gain"
         );
-        println!("{:<10} {:>12} {:>12} {:>8}", "load", "Conv", "Biscuit", "gain");
         for threads in [0u32, 18, 24] {
             let load = HostLoad::new(threads);
             let t0 = ctx.now();
-            let c = conv_chase(ctx, &conv, &file, WALKS, STEPS, 7, VERTICES, load)
-                .expect("conv chase");
+            let c =
+                conv_chase(ctx, &conv, &file, WALKS, STEPS, 7, VERTICES, load).expect("conv chase");
             let conv_t = (ctx.now() - t0).as_secs_f64();
             let t1 = ctx.now();
             let b = biscuit_chase(

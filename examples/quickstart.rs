@@ -55,7 +55,10 @@ fn main() {
     sim.spawn("host-program", move |ctx| {
         let t0 = ctx.now();
         let pairs = run_wordcount(ctx, &ssd, &file, 2, 2).expect("wordcount");
-        println!("wordcount over {} bytes on 2 mappers / 2 reducers:", corpus.len());
+        println!(
+            "wordcount over {} bytes on 2 mappers / 2 reducers:",
+            corpus.len()
+        );
         for (word, count) in &pairs {
             println!("  {word:<12} {count}");
         }
@@ -67,7 +70,10 @@ fn main() {
     });
     let report = sim.run();
     report.assert_quiescent();
-    if let Some(path) = std::env::var("BISCUIT_TRACE").ok().filter(|p| !p.is_empty()) {
+    if let Some(path) = std::env::var("BISCUIT_TRACE")
+        .ok()
+        .filter(|p| !p.is_empty())
+    {
         report.trace.write_chrome_json(&path).expect("write trace");
         println!("trace written to {path} — open in chrome://tracing or Perfetto");
     }

@@ -60,7 +60,10 @@ fn main() {
     });
     let report = sim.run();
     report.assert_quiescent();
-    if let Some(path) = std::env::var("BISCUIT_TRACE").ok().filter(|p| !p.is_empty()) {
+    if let Some(path) = std::env::var("BISCUIT_TRACE")
+        .ok()
+        .filter(|p| !p.is_empty())
+    {
         report.trace.write_chrome_json(&path).expect("write trace");
         println!("trace written to {path} — open in chrome://tracing or Perfetto");
     }

@@ -52,8 +52,9 @@ fn main() {
         // (the host CPU's Boyer-Moore is the bottleneck; extra drives
         // do not help).
         let t0 = ctx.now();
-        let conv_total = array_conv_grep(ctx, &array, "shard.log", NEEDLE.as_bytes(), HostLoad::IDLE)
-            .expect("conv grep");
+        let conv_total =
+            array_conv_grep(ctx, &array, "shard.log", NEEDLE.as_bytes(), HostLoad::IDLE)
+                .expect("conv grep");
         let conv_t = (ctx.now() - t0).as_secs_f64();
 
         // --- Biscuit: every drive filters its own shard, in parallel ---
@@ -66,10 +67,24 @@ fn main() {
 
         assert_eq!(conv_total, biscuit_total, "same matches either way");
         let total_mib = DRIVES as u64 * SHARD_PAGES * 16 / 1024;
-        println!("{DRIVES} drives x {} MiB shards = {total_mib} MiB, {conv_total} matches\n", SHARD_PAGES * 16 / 1024);
-        println!("Conv    (1 host thread, {DRIVES} drives): {:7.1} ms  ({:.2} GB/s aggregate)", conv_t * 1e3, total_mib as f64 / 1024.0 / conv_t);
-        println!("Biscuit ({DRIVES} drives in parallel):    {:7.1} ms  ({:.2} GB/s aggregate)", bis_t * 1e3, total_mib as f64 / 1024.0 / bis_t);
-        println!("\nscale-out speedup: {:.1}x (per-drive filtering multiplies with drive count;", conv_t / bis_t);
+        println!(
+            "{DRIVES} drives x {} MiB shards = {total_mib} MiB, {conv_total} matches\n",
+            SHARD_PAGES * 16 / 1024
+        );
+        println!(
+            "Conv    (1 host thread, {DRIVES} drives): {:7.1} ms  ({:.2} GB/s aggregate)",
+            conv_t * 1e3,
+            total_mib as f64 / 1024.0 / conv_t
+        );
+        println!(
+            "Biscuit ({DRIVES} drives in parallel):    {:7.1} ms  ({:.2} GB/s aggregate)",
+            bis_t * 1e3,
+            total_mib as f64 / 1024.0 / bis_t
+        );
+        println!(
+            "\nscale-out speedup: {:.1}x (per-drive filtering multiplies with drive count;",
+            conv_t / bis_t
+        );
         println!("the Conv path cannot exceed one host core's scan rate)");
     });
     sim.run().assert_quiescent();

@@ -43,8 +43,14 @@ fn main() {
     let sim = Simulation::new(0);
     sim.spawn("host-program", move |ctx| {
         let module = load_grep_module(ctx, &ssd).expect("load module");
-        println!("searching {} MiB of web log for \"{NEEDLE}\"\n", (CORPUS_PAGES * page) >> 20);
-        println!("{:<10} {:>12} {:>12} {:>9}", "load", "Conv", "Biscuit", "speedup");
+        println!(
+            "searching {} MiB of web log for \"{NEEDLE}\"\n",
+            (CORPUS_PAGES * page) >> 20
+        );
+        println!(
+            "{:<10} {:>12} {:>12} {:>9}",
+            "load", "Conv", "Biscuit", "speedup"
+        );
         for threads in [0u32, 12, 24] {
             let load = HostLoad::new(threads);
             let t0 = ctx.now();

@@ -30,11 +30,7 @@ fn main() {
     }));
     let ssd = Ssd::new(Fs::format(device), CoreConfig::paper_default());
     let ssd_handle = ssd.clone();
-    let mut db = Db::new(
-        ssd,
-        HostConfig::paper_default(),
-        DbConfig::paper_default(),
-    );
+    let mut db = Db::new(ssd, HostConfig::paper_default(), DbConfig::paper_default());
     TpchData::generate(SF, 42).load_into(&mut db).expect("load");
     let db = Arc::new(db);
     for (name, meta) in db
@@ -114,7 +110,10 @@ fn main() {
     });
     let report = sim.run();
     report.assert_quiescent();
-    if let Some(path) = std::env::var("BISCUIT_TRACE").ok().filter(|p| !p.is_empty()) {
+    if let Some(path) = std::env::var("BISCUIT_TRACE")
+        .ok()
+        .filter(|p| !p.is_empty())
+    {
         report.trace.write_chrome_json(&path).expect("write trace");
         println!("\n{}", report.trace.metrics());
         println!("trace written to {path} — open in chrome://tracing or Perfetto");

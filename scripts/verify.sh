@@ -25,6 +25,10 @@ if ! $docs_only; then
     cargo test -q -p biscuit-host --test array_proptests
     cargo test -q --test scaleout
     cargo test -q --test determinism scaleout
+    echo "== parallel DES: kernel windowing, fleet determinism stress"
+    cargo test -q -p biscuit-sim par
+    cargo test -q --test parallel
+    BISCUIT_PAR=2 cargo test -q --test parallel
     echo "== wall-clock smoke: throughput bench + 2x regression gate"
     WALLCLOCK_SMOKE=1 WALLCLOCK_BASELINE=benchmarks/wallclock_baseline.json \
         cargo bench -p biscuit-bench --bench wallclock

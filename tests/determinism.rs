@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use biscuit::apps::search::{array_conv_grep, biscuit_grep, conv_grep, load_grep_module, ArrayGrep};
+use biscuit::apps::search::{
+    array_conv_grep, biscuit_grep, conv_grep, load_grep_module, ArrayGrep,
+};
 use biscuit::apps::weblog::{WeblogGen, NEEDLE};
 use biscuit::core::{CoreConfig, Ssd};
 use biscuit::fs::{Fs, Mode};
@@ -229,7 +231,8 @@ fn scaleout_run() -> (String, String, u64) {
             let page = fs.device().config().page_size as u64;
             let gen = Arc::new(WeblogGen::new(40 + i as u64, 300));
             expected += gen.count_needles(SHARD_PAGES, page as usize);
-            fs.create_synthetic("shard.log", SHARD_PAGES * page, gen).unwrap();
+            fs.create_synthetic("shard.log", SHARD_PAGES * page, gen)
+                .unwrap();
             Ssd::new(fs, CoreConfig::paper_default())
         })
         .collect();

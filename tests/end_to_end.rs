@@ -35,7 +35,9 @@ fn wordcount_end_to_end() {
     let (ssd, _conv) = make_platform(64 << 20);
     let corpus = "near data processing moves compute to data not data to compute ".repeat(300);
     ssd.fs().create("corpus").unwrap();
-    ssd.fs().append_untimed("corpus", corpus.as_bytes()).unwrap();
+    ssd.fs()
+        .append_untimed("corpus", corpus.as_bytes())
+        .unwrap();
     let file = ssd.fs().open("corpus", Mode::ReadOnly).unwrap();
     let expected = reference_wordcount(corpus.as_bytes());
 
@@ -94,8 +96,7 @@ fn search_and_chase_share_one_device() {
         )
         .unwrap();
         assert_eq!(c, expected_checksum);
-        let c_conv =
-            conv_chase(ctx, &conv, &gfile, 3, 40, 21, 5_000, HostLoad::IDLE).unwrap();
+        let c_conv = conv_chase(ctx, &conv, &gfile, 3, 40, 21, 5_000, HostLoad::IDLE).unwrap();
         assert_eq!(c_conv, expected_checksum);
 
         ssd.unload_module(ctx, grep_mid).unwrap();
@@ -143,7 +144,9 @@ fn tpch_q14_equality_through_facade() {
     sim.spawn("host", move |ctx| {
         let q14 = all_queries().into_iter().nth(13).unwrap();
         let conv = q14.run(&db, ctx, ExecMode::Conv, HostLoad::IDLE).unwrap();
-        let bis = q14.run(&db, ctx, ExecMode::Biscuit, HostLoad::IDLE).unwrap();
+        let bis = q14
+            .run(&db, ctx, ExecMode::Biscuit, HostLoad::IDLE)
+            .unwrap();
         let (a, b) = (
             conv.rows[0][0].as_f64().unwrap(),
             bis.rows[0][0].as_f64().unwrap(),

@@ -357,8 +357,15 @@ fn drive_loss_mid_scatter_is_result_transparent() {
     let (lossy, plan, snap) = drive_loss_run(Some(DriveLossPhase::MidScatter));
     assert_eq!(lossy, clean, "drive loss must not change the result");
     assert_eq!(plan.injected_at(FaultSite::Drive), 1, "the loss fired");
-    assert_eq!(plan.recovered_at(FaultSite::Drive), 1, "the shard was re-scattered");
-    assert!(plan.failed_total() >= 1, "the gather deadline gave up on the lane");
+    assert_eq!(
+        plan.recovered_at(FaultSite::Drive),
+        1,
+        "the shard was re-scattered"
+    );
+    assert!(
+        plan.failed_total() >= 1,
+        "the gather deadline gave up on the lane"
+    );
 
     assert!(snap.counter_value("fault_injected_total", &[("site", "drive")]) >= Some(1));
     assert!(

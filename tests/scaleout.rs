@@ -42,7 +42,8 @@ fn make_array() -> (SsdArray, u64) {
             let page = fs.device().config().page_size as u64;
             let gen = Arc::new(WeblogGen::new(70 + i as u64, 250));
             expected += gen.count_needles(SHARD_PAGES, page as usize);
-            fs.create_synthetic("shard.log", SHARD_PAGES * page, gen).unwrap();
+            fs.create_synthetic("shard.log", SHARD_PAGES * page, gen)
+                .unwrap();
             Ssd::new(fs, CoreConfig::paper_default())
         })
         .collect();
@@ -117,13 +118,20 @@ fn soak_64_queries_4_drives_under_faults_drains_clean() {
     let all = counts.lock();
     assert_eq!(all.len(), QUERIES as usize, "every query completed");
     for (i, &n) in all.iter().enumerate() {
-        assert_eq!(n, expected, "query {i} diverged from the fault-free reference");
+        assert_eq!(
+            n, expected,
+            "query {i} diverged from the fault-free reference"
+        );
     }
     assert_eq!(sched_out.submitted(), QUERIES);
     assert_eq!(sched_out.completed(), QUERIES);
 
     // The drive losses actually fired and were recovered by re-scatter.
-    assert_eq!(plan.injected_at(FaultSite::Drive), 2, "both drive losses fired");
+    assert_eq!(
+        plan.injected_at(FaultSite::Drive),
+        2,
+        "both drive losses fired"
+    );
     assert_eq!(
         plan.recovered_at(FaultSite::Drive),
         2,
