@@ -328,9 +328,16 @@ pub fn fleet_grep(
                 .fs()
                 .open("shard.log", Mode::ReadOnly)
                 .expect("shard corpus");
+            // Each pass is one profiled query (tenant = shard id); module
+            // load stays outside query time, mirroring the DB engine.
+            let qp = ctx.qprof().clone();
             for _ in 0..passes {
+                let span = qp.begin_query(ctx, shard.id as u32);
                 let count = biscuit_grep(ctx, &shard.ssd, module, &file, NEEDLE.as_bytes())
                     .expect("fleet grep");
+                if let Some(sc) = span {
+                    qp.end_query(ctx, sc);
+                }
                 tx.send(count);
             }
         },

@@ -31,7 +31,12 @@
 //! - `WALLCLOCK_BASELINE=<path>` — after writing the report, compare
 //!   every `*_events_per_sec` row against the same-shaped baseline file
 //!   and exit nonzero on a >2x regression;
-//! - `WALLCLOCK_UPDATE=1` — rewrite `WALLCLOCK_BASELINE` from this run.
+//! - `WALLCLOCK_UPDATE=1` — rewrite `WALLCLOCK_BASELINE` from this run;
+//! - `WALLCLOCK_UPDATE=<prefix>` — refresh only the baseline rows whose
+//!   name starts with `<prefix>` (e.g. `par_soak`) from this run,
+//!   keeping every other row as recorded. Lets a multi-core runner
+//!   regenerate just the parallel-soak rows without clobbering numbers
+//!   measured elsewhere.
 //!
 //! See `docs/PERF.md` for the methodology and how to read the report.
 
@@ -283,6 +288,7 @@ fn par_soak_workload(sizes: &Sizes) -> (Measured, Measured) {
             seed: 0xB15C,
             metrics: true,
             trace: None,
+            qprof: false,
             par: ParConfig {
                 mode,
                 lookahead: Some(SimDuration::from_millis(1)),
@@ -329,6 +335,56 @@ fn kernel_microbench(n: u64, metered: bool) -> f64 {
         }
     });
     events as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Rewrites the baseline at `path`, replacing the `measured` value of
+/// every row whose name starts with `prefix` by this run's value (rows
+/// of this run matching the prefix but absent from the baseline are
+/// appended). All other rows keep their recorded values. Returns the
+/// number of rows refreshed.
+fn refresh_prefix(path: &str, report: &BenchReport, prefix: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = parse_json(&text)?;
+    let old_rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("baseline missing 'rows'")?;
+    let mut merged = BenchReport::new("wallclock");
+    let mut refreshed = 0usize;
+    for base_row in old_rows {
+        let name = base_row
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("baseline row without 'name'")?;
+        let fresh = name
+            .starts_with(prefix)
+            .then(|| report.rows().iter().find(|r| r.name == name))
+            .flatten();
+        match fresh {
+            Some(r) => {
+                merged.push_tol(&r.name, &r.unit, r.paper, r.measured, r.tol);
+                refreshed += 1;
+            }
+            None => {
+                let unit = base_row.get("unit").and_then(Json::as_str).unwrap_or("");
+                let paper = base_row.get("paper").and_then(Json::as_f64);
+                let measured = base_row
+                    .get("measured")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("baseline row '{name}' without 'measured'"))?;
+                let tol = base_row.get("tol").and_then(Json::as_f64).unwrap_or(1e18);
+                merged.push_tol(name, unit, paper, measured, tol);
+            }
+        }
+    }
+    for r in report.rows() {
+        if r.name.starts_with(prefix) && !merged.rows().iter().any(|m| m.name == r.name) {
+            merged.push_tol(&r.name, &r.unit, r.paper, r.measured, r.tol);
+            refreshed += 1;
+        }
+    }
+    std::fs::write(path, merged.to_json()).map_err(|e| e.to_string())?;
+    Ok(refreshed)
 }
 
 /// Applies the smoke gate: each `*_events_per_sec` row must be at least
@@ -456,13 +512,19 @@ fn main() {
         .ok()
         .filter(|p| !p.is_empty());
     if let Some(path) = baseline {
-        if std::env::var("WALLCLOCK_UPDATE")
-            .map(|v| v == "1")
-            .unwrap_or(false)
+        if let Some(update) = std::env::var("WALLCLOCK_UPDATE")
+            .ok()
+            .filter(|v| !v.is_empty())
         {
-            std::fs::write(&path, report.to_json())
-                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
-            println!("updated wallclock baseline {path}");
+            if update == "1" {
+                std::fs::write(&path, report.to_json())
+                    .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                println!("updated wallclock baseline {path}");
+            } else {
+                let n = refresh_prefix(&path, &report, &update)
+                    .unwrap_or_else(|e| panic!("refreshing {path}: {e}"));
+                println!("refreshed {n} '{update}*' rows in wallclock baseline {path}");
+            }
             return;
         }
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));

@@ -1,0 +1,149 @@
+//! Pretty-prints a query-profile JSON as a per-stage latency table.
+//!
+//! Reads the byte-deterministic export produced by
+//! `QueryProfiles::write_json` (`BISCUIT_QPROF=prof.json` on any example)
+//! or a fleet's shard-ordered `{"shards":[...]}` wrapper, and renders each
+//! query's end-to-end latency, per-stage self/busy breakdown, and
+//! critical-path summary:
+//!
+//! ```text
+//! BISCUIT_QPROF=q14.json cargo run --release --example tpch_offload
+//! cargo run --release -p biscuit-bench --bin qprof -- q14.json
+//! ```
+//!
+//! See `docs/QUERYPROF.md` for what each column means.
+
+use std::process::ExitCode;
+
+use biscuit_bench::report::{parse_json, Json};
+
+const STAGES: [&str; 8] = [
+    "queue_wait",
+    "nand_read",
+    "bus_transfer",
+    "match",
+    "ssdlet_compute",
+    "link",
+    "host_merge",
+    "host_compute",
+];
+
+const USAGE: &str = "usage: qprof <profile.json> [profile.json ...]
+
+  Pretty-prints query-profile exports (BISCUIT_QPROF=<path>, or a fleet's
+  {\"shards\":[...]} document) as per-stage latency tables.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return if args.is_empty() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let mut ok = true;
+    for path in &args {
+        if args.len() > 1 {
+            println!("== {path} ==");
+        }
+        match render_file(path) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("qprof: {path}: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn render_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = parse_json(&text)?;
+    let mut out = String::new();
+    if let Some(shards) = doc.get("shards").and_then(Json::as_arr) {
+        for (i, shard) in shards.iter().enumerate() {
+            out.push_str(&format!("shard {i}:\n"));
+            render_profiles(shard, &mut out)?;
+        }
+    } else {
+        render_profiles(&doc, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn render_profiles(doc: &Json, out: &mut String) -> Result<(), String> {
+    let queries = doc
+        .get("queries")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'queries' array — not a query-profile export")?;
+    if queries.is_empty() {
+        out.push_str("  (no completed queries)\n");
+    }
+    for q in queries {
+        render_query(q, out)?;
+    }
+    let open = num(doc, "open").unwrap_or(0.0);
+    if open > 0.0 {
+        out.push_str(&format!("WARNING: {open} queries never closed\n"));
+    }
+    Ok(())
+}
+
+fn render_query(q: &Json, out: &mut String) -> Result<(), String> {
+    let id = num(q, "query").ok_or("query without 'query' id")?;
+    let tenant = num(q, "tenant").unwrap_or(0.0);
+    let e2e = num(q, "end_to_end_ps").ok_or("query without 'end_to_end_ps'")?;
+    let spans = num(q, "spans").unwrap_or(0.0);
+    let orphans = num(q, "orphans").unwrap_or(0.0);
+    out.push_str(&format!(
+        "query {id} (tenant {tenant}): end-to-end {:.3} us, {spans} spans, {orphans} orphans\n",
+        e2e / 1e6
+    ));
+    let breakdown = q.get("breakdown_ps");
+    let busy = q.get("busy_ps");
+    let bytes = q.get("bytes");
+    out.push_str(&format!(
+        "  {:<16}{:>14}{:>9}{:>14}{:>14}\n",
+        "stage", "self (us)", "self %", "busy (us)", "bytes"
+    ));
+    let mut accounted = 0.0;
+    for stage in STAGES {
+        let self_ps = breakdown.and_then(|b| num(b, stage)).unwrap_or(0.0);
+        let busy_ps = busy.and_then(|b| num(b, stage)).unwrap_or(0.0);
+        let byt = bytes.and_then(|b| num(b, stage)).unwrap_or(0.0);
+        accounted += self_ps;
+        if self_ps == 0.0 && busy_ps == 0.0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "  {:<16}{:>14.3}{:>8.1}%{:>14.3}{:>14}\n",
+            stage,
+            self_ps / 1e6,
+            self_ps * 100.0 / e2e.max(1.0),
+            busy_ps / 1e6,
+            byt
+        ));
+    }
+    if accounted != e2e {
+        out.push_str(&format!(
+            "  WARNING: breakdown sums to {accounted} ps but end-to-end is {e2e} ps\n"
+        ));
+    }
+    let crit = q
+        .get("critical_path")
+        .and_then(Json::as_arr)
+        .map_or(0, <[Json]>::len);
+    out.push_str(&format!("  critical path: {crit} segments\n"));
+    Ok(())
+}
+
+fn num(v: &Json, key: &str) -> Option<f64> {
+    v.get(key).and_then(Json::as_f64)
+}

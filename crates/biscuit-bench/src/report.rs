@@ -158,6 +158,15 @@ impl BenchReport {
             Some(snap) => out.push_str(&snap.to_json()),
             None => out.push_str("null"),
         }
+        // Silent trace truncation must be visible in the artifact: when the
+        // representative run's ring buffer overflowed, the report says so.
+        let dropped = self
+            .metrics
+            .as_ref()
+            .map_or(0, |s| s.counter_sum("trace_dropped_total"));
+        if dropped > 0 {
+            let _ = write!(out, ",\"dropped\":{dropped}");
+        }
         out.push_str("}\n");
         out
     }

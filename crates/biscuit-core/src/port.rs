@@ -22,8 +22,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use biscuit_proto::wire::Wire;
-use biscuit_proto::{HostLink, Packet};
+use biscuit_proto::{HostLink, Packet, SpanHeader};
 use biscuit_sim::metrics::{self, MetricsRegistry};
+use biscuit_sim::qprof::{SpanContext, Stage};
 use biscuit_sim::queue::SimQueue;
 use biscuit_sim::time::{SimDuration, SimTime};
 use biscuit_sim::trace::{TraceEvent, Tracer};
@@ -50,6 +51,36 @@ pub enum PortKind {
 pub(crate) struct Envelope {
     pub ready_at: SimTime,
     pub value: Box<dyn Any + Send>,
+    /// Causal identity of the sending query, adopted by the receiver. The
+    /// runtime carries the [`SpanHeader`] out of band: it models fields in
+    /// the reserved bytes of the command envelope, already covered by the
+    /// per-command overhead, so profiling never changes wire timing.
+    pub span: Option<SpanHeader>,
+}
+
+/// The sending fiber's current query context as a wire header, if any.
+#[inline]
+fn current_span(ctx: &Ctx) -> Option<SpanHeader> {
+    ctx.qprof().current().map(|sc| SpanHeader {
+        query: sc.query,
+        tenant: sc.tenant,
+        span: sc.span,
+    })
+}
+
+/// Installs a received header as the receiving fiber's query context.
+#[inline]
+fn adopt_span(ctx: &Ctx, span: Option<SpanHeader>) {
+    if let Some(h) = span {
+        ctx.qprof().adopt(
+            ctx,
+            Some(SpanContext {
+                query: h.query,
+                tenant: h.tenant,
+                span: h.span,
+            }),
+        );
+    }
 }
 
 impl std::fmt::Debug for Envelope {
@@ -273,6 +304,7 @@ impl Connection {
         link: &HostLink,
         value: Box<dyn Any + Send>,
     ) -> BiscuitResult<()> {
+        let span = current_span(ctx);
         let (ready_at, value, bytes): (SimTime, Box<dyn Any + Send>, u64) = match self.kind {
             PortKind::InterSsdlet => (ctx.now(), value, 0),
             PortKind::InterApp => {
@@ -286,13 +318,20 @@ impl Connection {
                 (ctx.now(), Box::new(pkt), bytes)
             }
             PortKind::DeviceToHost => {
+                let send_start = ctx.now();
                 ctx.sleep(cfg.cm_send_device);
                 let codec = self.codec.as_ref().expect("boundary has codec");
                 let pkt = (codec.encode)(value);
                 let bytes = pkt.len() as u64;
                 self.count_encode_copy(codec.zero_copy_encode, bytes);
                 let dma_end = link.enqueue_dma_to_host(ctx.now(), bytes);
-                (dma_end + cfg.link_fixed, Box::new(pkt), bytes)
+                let ready_at = dma_end + cfg.link_fixed;
+                // Channel-manager send charge, then the full DMA window
+                // (including link queueing) until the bits land host-side.
+                ctx.qprof()
+                    .record(Stage::SsdletCompute, send_start, ctx.now(), 0, 0);
+                ctx.qprof().record(Stage::Link, ctx.now(), ready_at, bytes, 0);
+                (ready_at, Box::new(pkt), bytes)
             }
             PortKind::HostToDevice => {
                 return Err(BiscuitError::InvalidState(
@@ -301,7 +340,14 @@ impl Connection {
             }
         };
         self.queue
-            .push(ctx, Envelope { ready_at, value })
+            .push(
+                ctx,
+                Envelope {
+                    ready_at,
+                    value,
+                    span,
+                },
+            )
             .map_err(|_| BiscuitError::PortClosed {
                 port: self.label.to_string(),
             })?;
@@ -317,9 +363,15 @@ impl Connection {
     ) -> Option<Box<dyn Any + Send>> {
         let env = self.queue.pop(ctx)?;
         ctx.sleep_until(env.ready_at);
+        // The receiving fiber takes on the sender's query identity before
+        // charging receive-side latency, so that work is attributed too.
+        adopt_span(ctx, env.span);
+        let recv_start = ctx.now();
         match self.kind {
             PortKind::InterSsdlet => {
                 ctx.sleep(cfg.inter_ssdlet_latency());
+                ctx.qprof()
+                    .record(Stage::SsdletCompute, recv_start, ctx.now(), 0, 0);
                 self.trace_port(ctx, false, 0);
                 Some(env.value)
             }
@@ -329,6 +381,13 @@ impl Connection {
                     .value
                     .downcast::<Packet>()
                     .expect("inter-app envelope holds a packet");
+                ctx.qprof().record(
+                    Stage::SsdletCompute,
+                    recv_start,
+                    ctx.now(),
+                    pkt.len() as u64,
+                    0,
+                );
                 self.trace_port(ctx, false, pkt.len() as u64);
                 let codec = self.codec.as_ref().expect("inter-app has codec");
                 self.count_decode_copy(codec.zero_copy_decode, pkt.len() as u64);
@@ -340,6 +399,13 @@ impl Connection {
                     .value
                     .downcast::<Packet>()
                     .expect("boundary envelope holds a packet");
+                ctx.qprof().record(
+                    Stage::SsdletCompute,
+                    recv_start,
+                    ctx.now(),
+                    pkt.len() as u64,
+                    0,
+                );
                 self.trace_port(ctx, false, pkt.len() as u64);
                 let codec = self.codec.as_ref().expect("boundary has codec");
                 self.count_decode_copy(codec.zero_copy_decode, pkt.len() as u64);
@@ -372,7 +438,11 @@ impl<T: Wire + Any + Send> HostInPort<T> {
     pub fn get(&self, ctx: &Ctx) -> Option<T> {
         let env = self.conn.queue.pop(ctx)?;
         ctx.sleep_until(env.ready_at);
+        adopt_span(ctx, env.span);
+        let recv_start = ctx.now();
         ctx.sleep(self.cfg.cm_recv_host);
+        ctx.qprof()
+            .record(Stage::HostMerge, recv_start, ctx.now(), 0, 0);
         let pkt = env
             .value
             .downcast::<Packet>()
@@ -398,7 +468,11 @@ impl<T: Wire + Any + Send> HostInPort<T> {
         match self.conn.queue.pop_deadline(ctx, deadline) {
             Ok(Some(env)) => {
                 ctx.sleep_until(env.ready_at);
+                adopt_span(ctx, env.span);
+                let recv_start = ctx.now();
                 ctx.sleep(self.cfg.cm_recv_host);
+                ctx.qprof()
+                    .record(Stage::HostMerge, recv_start, ctx.now(), 0, 0);
                 let pkt = env
                     .value
                     .downcast::<Packet>()
@@ -450,18 +524,24 @@ impl<T: Wire + Any + Send> HostOutPort<T> {
                 port: self.conn.label.to_string(),
             });
         }
+        let send_start = ctx.now();
         ctx.sleep(self.cfg.cm_send_host);
         let pkt = value.to_packet();
         let bytes = pkt.len() as u64;
         self.conn.count_encode_copy(T::ZERO_COPY_ENCODE, bytes);
         let dma_end = self.link.enqueue_dma_to_device(ctx.now(), bytes);
+        let ready_at = dma_end + self.cfg.link_fixed;
+        ctx.qprof()
+            .record(Stage::HostCompute, send_start, ctx.now(), 0, 0);
+        ctx.qprof().record(Stage::Link, ctx.now(), ready_at, bytes, 1);
         self.conn
             .queue
             .push(
                 ctx,
                 Envelope {
-                    ready_at: dma_end + self.cfg.link_fixed,
+                    ready_at,
                     value: Box::new(pkt),
+                    span: current_span(ctx),
                 },
             )
             .map_err(|_| BiscuitError::PortClosed {

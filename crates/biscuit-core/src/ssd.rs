@@ -10,6 +10,7 @@ use std::sync::{Arc, OnceLock};
 
 use biscuit_fs::Fs;
 use biscuit_proto::{HostLink, LinkConfig};
+use biscuit_sim::qprof::QueryProfiler;
 use biscuit_sim::time::SimDuration;
 use biscuit_sim::{Ctx, FaultPlan, MetricsRegistry, Tracer};
 use biscuit_ssd::SsdDevice;
@@ -102,6 +103,16 @@ impl Ssd {
     /// The tracer attached via [`Ssd::attach_tracer`], if any.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.inner.trace.get()
+    }
+
+    /// Attaches the query profiler to the whole platform in one call: the
+    /// device datapath (NAND senses, bus transfers, pattern-matcher streams,
+    /// per-request core overhead) records spans of whichever query context
+    /// the calling fiber carries; port traffic and SSDlet compute already
+    /// record through the simulation context. Pass `sim.qprof()` after
+    /// `sim.enable_qprof()`. The first call wins; later calls are ignored.
+    pub fn attach_qprof(&self, prof: &QueryProfiler) {
+        self.inner.device.attach_qprof(prof);
     }
 
     /// Registers the whole platform in an aggregate metrics registry in one

@@ -11,6 +11,7 @@ use std::any::Any;
 use std::sync::Arc;
 
 use biscuit_proto::HostLink;
+use biscuit_sim::qprof::Stage;
 use biscuit_sim::time::{SimDuration, SimTime};
 use biscuit_sim::Ctx;
 use biscuit_ssd::SsdDevice;
@@ -179,7 +180,7 @@ impl<'a> TaskCtx<'a> {
     /// Concurrent SSDlets of other applications pinned to the same core
     /// queue behind it — the paper's per-application multi-core scheduling.
     pub fn compute(&self, d: SimDuration) {
-        self.device.cores().serve(self.sim, self.core, d);
+        self.compute_charged(d, 0);
     }
 
     /// Charges compute for software-processing `bytes` at the device CPU
@@ -187,7 +188,19 @@ impl<'a> TaskCtx<'a> {
     /// pattern-matcher IP).
     pub fn compute_bytes(&self, bytes: u64) {
         let rate = self.device.config().cpu_scan_rate;
-        self.compute(SimDuration::for_bytes(bytes, rate));
+        self.compute_charged(SimDuration::for_bytes(bytes, rate), bytes);
+    }
+
+    /// The charge itself plus its query-profile span. The recorded window
+    /// includes queueing behind other applications on the same core; the
+    /// profiler's sweep attributes overlap to the innermost span, so the
+    /// queued portion surfaces as blocked time, not double-counted compute.
+    fn compute_charged(&self, d: SimDuration, bytes: u64) {
+        let t0 = self.sim.now();
+        self.device.cores().serve(self.sim, self.core, d);
+        self.sim
+            .qprof()
+            .record(Stage::SsdletCompute, t0, self.sim.now(), bytes, self.core as u32);
     }
 
     /// Cooperative yield (the paper's explicit `yield` call).

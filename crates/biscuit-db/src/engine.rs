@@ -22,6 +22,7 @@ use biscuit_core::runtime::ModuleId;
 use biscuit_core::{Application, BiscuitError, Ssd};
 use biscuit_fs::Mode;
 use biscuit_host::{ConvIo, HostConfig, HostLoad};
+use biscuit_sim::qprof::Stage;
 use biscuit_sim::time::{SimDuration, SimTime};
 use biscuit_sim::trace::TraceEvent;
 use biscuit_sim::{Ctx, FaultSite};
@@ -276,7 +277,9 @@ impl Db {
     /// host-side post-processing.
     pub fn charge_host_bytes(&self, ctx: &Ctx, bytes: u64, load: HostLoad) {
         let rate = self.cfg.host_row_rate / load.bandwidth_slowdown(self.conv.config());
+        let t0 = ctx.now();
         ctx.sleep(SimDuration::for_bytes(bytes, rate));
+        ctx.qprof().record(Stage::HostCompute, t0, ctx.now(), bytes, 0);
     }
 
     fn charge_host_rows(&self, ctx: &Ctx, bytes: u64, load: HostLoad) {
@@ -491,7 +494,9 @@ impl Db {
             cpu_backlog += SimDuration::for_bytes(n * ps, cpu_rate);
             page_idx += n;
         }
+        let t_cpu = ctx.now();
         ctx.sleep(cpu_backlog);
+        ctx.qprof().record(Stage::HostCompute, t_cpu, ctx.now(), 0, 0);
         // Functional result (cached parse; the timing above covers it).
         let all = self.table_rows(meta)?;
         match predicate {
@@ -583,7 +588,22 @@ impl Db {
                 }
             }
             plan.record_recovered(ctx.now(), FaultSite::Ssdlet, "host_fallback");
-            return self.scan_conv(ctx, meta, Some(predicate), load);
+            // The re-run executes under a child phase span so the profile
+            // shows the fallback as an attributed stretch of the query
+            // rather than unexplained host time.
+            let qp = ctx.qprof().clone();
+            let parent = qp.current();
+            let phase = parent.map(|sc| qp.child(sc, "host_fallback"));
+            if phase.is_some() {
+                qp.adopt(ctx, phase);
+            }
+            let fb_start = ctx.now();
+            let recovered = self.scan_conv(ctx, meta, Some(predicate), load);
+            if let Some(p) = phase {
+                qp.record_for(p, Stage::HostCompute, fb_start, ctx.now(), 0, 0);
+                qp.adopt(ctx, parent);
+            }
+            return recovered;
         }
         Ok(rows)
     }
@@ -760,10 +780,35 @@ impl Db {
 
     /// Executes a select spec in the given mode under the given load.
     ///
+    /// When query profiling is enabled and the calling fiber carries no
+    /// span context yet (a standalone query, not one dispatched by the
+    /// array scheduler), a root query span is minted here — tenant 0 —
+    /// and closed when execution finishes, success or error.
+    ///
     /// # Errors
     ///
     /// Returns catalog, I/O, expression, or framework errors.
     pub fn execute(
+        &self,
+        ctx: &Ctx,
+        spec: &SelectSpec,
+        mode: ExecMode,
+        load: HostLoad,
+    ) -> DbResult<QueryOutput> {
+        let qp = ctx.qprof().clone();
+        let minted = if qp.current().is_none() {
+            qp.begin_query(ctx, 0)
+        } else {
+            None
+        };
+        let out = self.execute_inner(ctx, spec, mode, load);
+        if let Some(sc) = minted {
+            qp.end_query(ctx, sc);
+        }
+        out
+    }
+
+    fn execute_inner(
         &self,
         ctx: &Ctx,
         spec: &SelectSpec,

@@ -45,9 +45,10 @@ use std::sync::{Arc, OnceLock};
 
 use biscuit_core::Ssd;
 use biscuit_sim::fault::{DriveLossPhase, FaultPlan, FaultSite};
+use biscuit_sim::qprof::{QueryProfiler, SpanContext, Stage};
 use biscuit_sim::queue::{Semaphore, SimQueue, WaitQueue};
 use biscuit_sim::trace::TraceEvent;
-use biscuit_sim::{Ctx, MetricsRegistry, Tracer};
+use biscuit_sim::{Ctx, MetricsRegistry, SimTime, Tracer};
 
 use crate::config::HostConfig;
 use crate::io::ConvIo;
@@ -459,6 +460,16 @@ impl SsdArray {
         let _ = self.inner.metrics.set(registry.clone());
     }
 
+    /// Attaches the query profiler to every drive's datapath, so NAND,
+    /// bus, pattern-matcher, and core occupancy on any shard records
+    /// against the querying fiber's span context. Pass `sim.qprof()`
+    /// after `sim.enable_qprof()`. The first call per drive wins.
+    pub fn attach_qprof(&self, prof: &QueryProfiler) {
+        for shard in &self.inner.shards {
+            shard.ssd.attach_qprof(prof);
+        }
+    }
+
     /// Arms every drive with one shared fault plan: all per-drive sites
     /// plus the coordinator's whole-drive-loss site draw from `plan`.
     /// The first call wins.
@@ -564,7 +575,12 @@ impl SsdArray {
         }
         drop(txs);
         // Gather: merge in canonical order; a lane silent past the
-        // deadline is a lost drive.
+        // deadline is a lost drive. The whole gather window is one
+        // HostMerge span of the caller's query (if any); the profile
+        // sweep yields the overlap to the device spans that actually
+        // ran inside it, leaving only true merge time attributed here.
+        let qp = ctx.qprof().clone();
+        let gather_start = ctx.now();
         let mut out: Vec<ShardResult<T>> = (0..n)
             .map(|shard| ShardResult {
                 shard,
@@ -592,19 +608,33 @@ impl SsdArray {
                 None => break,
             }
         }
+        qp.record(Stage::HostMerge, gather_start, ctx.now(), 0, 0);
         for (i, f) in failed.iter().enumerate() {
             if f.load(Ordering::Relaxed) {
                 lost[i] = true;
             }
         }
         // Re-scatter every lost shard to the host-side fallback, in shard
-        // order, discarding partial device output.
+        // order, discarding partial device output. Each fallback runs as a
+        // "host_fallback" phase of the caller's query, so its spans stay
+        // causally inside the query even though the device path was lost.
         for (i, was_lost) in lost.iter().enumerate() {
             if !*was_lost {
                 continue;
             }
             self.count("array_rescatters_total");
-            out[i].items = fallback(ctx, &self.inner.shards[i])?;
+            let parent = qp.current();
+            let phase = parent.map(|sc| qp.child(sc, "host_fallback"));
+            if phase.is_some() {
+                qp.adopt(ctx, phase);
+            }
+            let fb_start = ctx.now();
+            let recovered = fallback(ctx, &self.inner.shards[i]);
+            if let Some(p) = phase {
+                qp.record_for(p, Stage::HostCompute, fb_start, ctx.now(), 0, 0);
+                qp.adopt(ctx, parent);
+            }
+            out[i].items = recovered?;
             out[i].recovered = true;
             plan.record_recovered(ctx.now(), FaultSite::Drive, "conv_rescatter");
             self.mark(ctx, "array_shard_recovered", format!("{name} shard {i}"));
@@ -660,8 +690,17 @@ impl Default for SchedulerConfig {
 
 type Job = Box<dyn FnOnce(&Ctx) + Send + 'static>;
 
+/// A submitted query waiting in its user's queue: the job plus the
+/// observability identity minted at submission time.
+struct Submitted {
+    job: Job,
+    user: usize,
+    at: SimTime,
+    span: Option<SpanContext>,
+}
+
 struct SchedInner {
-    queues: Vec<SimQueue<Job>>,
+    queues: Vec<SimQueue<Submitted>>,
     admit: Semaphore,
     work: WaitQueue,
     done: WaitQueue,
@@ -685,6 +724,18 @@ impl SchedInner {
         if let Some(reg) = self.metrics.get() {
             if reg.is_enabled() {
                 reg.gauge("array_sched_inflight", &[]).add(delta);
+            }
+        }
+    }
+
+    /// Feeds one query's end-to-end latency (submit to completion) into
+    /// the per-tenant SLO histogram `array_query_latency_ps{user=N}` —
+    /// p50/p99/p99.9 come out of the registry's summary export.
+    fn observe_latency(&self, user: usize, latency_ps: u64) {
+        if let Some(reg) = self.metrics.get() {
+            if reg.is_enabled() {
+                reg.histogram("array_query_latency_ps", &[("user", &user.to_string())])
+                    .record(latency_ps);
             }
         }
     }
@@ -772,7 +823,22 @@ impl QueryScheduler {
     pub fn submit(&self, ctx: &Ctx, user: usize, job: impl FnOnce(&Ctx) + Send + 'static) {
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
         self.inner.count("array_sched_submitted_total");
-        if self.inner.queues[user].push(ctx, Box::new(job)).is_err() {
+        // Mint the query's causal identity at submission: queue wait,
+        // admission, and execution all happen under this context. The
+        // submitting fiber itself does none of the query's work, so its
+        // own context is cleared right away.
+        let qp = ctx.qprof();
+        let span = qp.begin_query(ctx, user as u32);
+        if span.is_some() {
+            qp.adopt(ctx, None);
+        }
+        let sub = Submitted {
+            job: Box::new(job),
+            user,
+            at: ctx.now(),
+            span,
+        };
+        if self.inner.queues[user].push(ctx, sub).is_err() {
             panic!("submit on a closed scheduler");
         }
         self.inner.work.notify_all(ctx);
@@ -828,14 +894,31 @@ fn dispatch_loop(inner: &Arc<SchedInner>, ctx: &Ctx) {
             }
         }
         match job {
-            Some(job) => {
+            Some(Submitted {
+                job,
+                user,
+                at,
+                span,
+            }) => {
                 inner.admit.acquire(ctx);
                 inner.count("array_sched_admitted_total");
                 inner.inflight_add(1);
                 let qid = inner.next_query.fetch_add(1, Ordering::Relaxed);
                 let inner = Arc::clone(inner);
                 ctx.spawn(format!("query-{qid}"), move |qctx| {
+                    let qp = qctx.qprof().clone();
+                    if let Some(sc) = span {
+                        // The query fiber does the work: adopt the context
+                        // minted at submit and close the loop on how long
+                        // the query sat queued and awaiting admission.
+                        qp.adopt(qctx, Some(sc));
+                        qp.record(Stage::QueueWait, at, qctx.now(), 0, 0);
+                    }
                     job(qctx);
+                    inner.observe_latency(user, (qctx.now() - at).as_ps());
+                    if let Some(sc) = span {
+                        qp.end_query(qctx, sc);
+                    }
                     inner.inflight_add(-1);
                     inner.admit.release(qctx);
                     inner.completed.fetch_add(1, Ordering::Relaxed);

@@ -49,6 +49,9 @@ pub struct FleetConfig {
     /// Enable per-shard tracing with this config (exported in shard
     /// order by [`FleetReport::trace_json`]).
     pub trace: Option<TraceConfig>,
+    /// Enable per-shard query profiling (exported in shard order by
+    /// [`FleetReport::profiles_json`]).
+    pub qprof: bool,
     /// Thread policy and lookahead window for the fleet runner.
     pub par: ParConfig,
 }
@@ -60,6 +63,7 @@ impl Default for FleetConfig {
             seed: 0,
             metrics: false,
             trace: None,
+            qprof: false,
             par: ParConfig::default(),
         }
     }
@@ -149,6 +153,23 @@ impl<T> FleetReport<T> {
         s.push_str("]}");
         s
     }
+
+    /// One JSON document holding every shard's query profiles in shard
+    /// order: `{"shards":[<profiles>,<profiles>,...]}`. Each shard kernel
+    /// owns its own profiler and assigns query/span ids deterministically,
+    /// so this export is byte-identical for the same seed across all
+    /// thread policies (`tests/qprof.rs` asserts exactly this).
+    pub fn profiles_json(&self) -> String {
+        let mut s = String::from("{\"shards\":[");
+        for (i, r) in self.reports.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&r.profiles.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
 }
 
 impl SsdArray {
@@ -226,6 +247,9 @@ impl SsdArray {
             if cfg.metrics {
                 sim.enable_metrics();
             }
+            if cfg.qprof {
+                sim.enable_qprof();
+            }
             let shard = build(i, &sim);
             // First-call-wins attach: the drive must be fresh, so these
             // bind it to ITS kernel's registries, not a stale one's.
@@ -234,6 +258,9 @@ impl SsdArray {
             }
             if cfg.metrics {
                 shard.ssd.attach_metrics(sim.metrics());
+            }
+            if cfg.qprof {
+                shard.ssd.attach_qprof(sim.qprof());
             }
             let job = Arc::clone(&job);
             sim.spawn(format!("fleet-shard{i}"), move |ctx| {

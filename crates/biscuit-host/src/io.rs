@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use biscuit_fs::{File, FsError, FsResult};
 use biscuit_proto::HostLink;
+use biscuit_sim::qprof::Stage;
 use biscuit_sim::time::SimTime;
 use biscuit_sim::Ctx;
 use biscuit_ssd::SsdDevice;
@@ -58,7 +59,9 @@ impl ConvIo {
         let scaled = biscuit_sim::time::SimDuration::from_secs_f64(
             base.as_secs_f64() * load.latency_slowdown(&self.cfg),
         );
+        let t0 = ctx.now();
         ctx.sleep(scaled);
+        ctx.qprof().record(Stage::HostCompute, t0, ctx.now(), 0, 0);
     }
 
     /// Issues one read request for `(lpn, bytes)` page spans and returns
@@ -66,10 +69,10 @@ impl ConvIo {
     /// into per-page DMAs over the shared link.
     fn issue_request(
         &self,
-        now: SimTime,
+        ctx: &Ctx,
         spans: &[(u64, usize)],
     ) -> FsResult<(SimTime, Vec<biscuit_ssd::PageBuf>)> {
-        let dev_start = self.device.charge_request_overhead(now);
+        let dev_start = self.device.charge_request_overhead(ctx.now());
         let mut end = dev_start;
         let mut pages = Vec::with_capacity(spans.len());
         for &(lpn, bytes) in spans {
@@ -78,6 +81,8 @@ impl ConvIo {
                 .enqueue_read(dev_start, lpn, bytes)
                 .map_err(FsError::Device)?;
             let dma_done = self.link.enqueue_dma_to_host(internal_done, bytes as u64);
+            ctx.qprof()
+                .record(Stage::Link, internal_done, dma_done, bytes as u64, 0);
             end = end.max(dma_done);
             pages.push(buf);
         }
@@ -119,7 +124,7 @@ impl ConvIo {
         let slot = self.link.acquire_slot(ctx);
         self.charge_host(ctx, link_cfg.host_submit, load);
         ctx.sleep(link_cfg.device_command);
-        let (end, pages) = self.issue_request(ctx.now(), &spans)?;
+        let (end, pages) = self.issue_request(ctx, &spans)?;
         ctx.sleep_until(end);
         self.charge_host(ctx, link_cfg.host_complete, load);
         self.link.release_slot(ctx, slot);
@@ -169,7 +174,7 @@ impl ConvIo {
             }
             self.charge_host(ctx, link_cfg.host_submit, load);
             ctx.sleep(link_cfg.device_command);
-            let (end, pages) = self.issue_request(ctx.now(), chunk)?;
+            let (end, pages) = self.issue_request(ctx, chunk)?;
             inflight.push_back(end);
             all_pages.extend(pages);
         }
@@ -222,7 +227,7 @@ impl ConvIo {
             }
             self.charge_host(ctx, link_cfg.host_submit, load);
             ctx.sleep(link_cfg.device_command);
-            let (end, pages) = self.issue_request(ctx.now(), chunk)?;
+            let (end, pages) = self.issue_request(ctx, chunk)?;
             inflight.push_back(end);
             all_pages.extend(pages);
         }

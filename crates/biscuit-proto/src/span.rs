@@ -1,0 +1,99 @@
+//! The wire form of a query's causal identity.
+//!
+//! Every request the Biscuit stack forwards on behalf of a query carries a
+//! [`SpanHeader`]: which query it belongs to, which tenant submitted it,
+//! and which span is its causal parent. The header is the protocol-level
+//! twin of `biscuit_sim::qprof::SpanContext` — `biscuit-core`'s boundary
+//! ports stamp it onto each envelope at send time and the receiver adopts
+//! it, so causality survives serialization boundaries, SSDlet hops, and
+//! mid-query host fallback.
+//!
+//! The simulated *timing* of a packet does not include these 16 bytes: the
+//! header models fields riding the reserved bytes of the NVMe
+//! vendor-specific command envelope, which the per-command overhead
+//! already charges. That keeps observability strictly non-perturbing —
+//! enabling profiling can never change a simulated result (see
+//! `docs/QUERYPROF.md`).
+
+use crate::packet::{DecodeError, PacketBuilder, PacketReader};
+use crate::wire::Wire;
+
+/// Causal identity stamped on every in-flight request of a profiled query.
+///
+/// # Examples
+///
+/// ```
+/// use biscuit_proto::span::SpanHeader;
+/// use biscuit_proto::wire::Wire;
+///
+/// let h = SpanHeader { query: 7, tenant: 3, span: 12 };
+/// let pkt = h.to_packet();
+/// assert_eq!(SpanHeader::from_packet(&pkt).unwrap(), h);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanHeader {
+    /// Query id, unique within one simulation.
+    pub query: u64,
+    /// Tenant (user) id the query belongs to.
+    pub tenant: u32,
+    /// The sending side's span id — the parent of any span the receiver
+    /// records for this request.
+    pub span: u32,
+}
+
+impl Wire for SpanHeader {
+    fn encode(&self, b: &mut PacketBuilder) {
+        b.put_u64(self.query);
+        b.put_u32(self.tenant);
+        b.put_u32(self.span);
+    }
+
+    fn decode(r: &mut PacketReader<'_>) -> Result<Self, DecodeError> {
+        Ok(SpanHeader {
+            query: r.get_u64()?,
+            tenant: r.get_u32()?,
+            span: r.get_u32()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+
+    #[test]
+    fn round_trips_standalone_and_optional() {
+        let h = SpanHeader {
+            query: u64::MAX,
+            tenant: 0,
+            span: u32::MAX,
+        };
+        let pkt = h.to_packet();
+        assert_eq!(SpanHeader::from_packet(&pkt).unwrap(), h);
+
+        // The Option form is what port envelopes conceptually carry: absent
+        // while profiling is off, one tag byte plus the header when on.
+        let some = Some(h).to_packet();
+        assert_eq!(Option::<SpanHeader>::from_packet(&some).unwrap(), Some(h));
+        let none = Option::<SpanHeader>::None.to_packet();
+        assert_eq!(Option::<SpanHeader>::from_packet(&none).unwrap(), None);
+    }
+
+    #[test]
+    fn wire_layout_is_fixed_16_bytes() {
+        let h = SpanHeader {
+            query: 0x0102_0304_0506_0708,
+            tenant: 9,
+            span: 10,
+        };
+        let pkt = h.to_packet();
+        assert_eq!(pkt.len(), 16);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let pkt = Packet::copy_from_slice(&[0u8; 8]);
+        assert!(SpanHeader::from_packet(&pkt).is_err());
+    }
+}

@@ -25,6 +25,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::metrics::{self, MetricsRegistry, MetricsSnapshot};
+use crate::qprof::{QueryProfiler, QueryProfiles};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceConfig, TraceEvent, Tracer};
 
@@ -192,6 +193,7 @@ pub struct Kernel {
     yield_tx: Sender<(Pid, YieldMsg)>,
     tracer: Tracer,
     metrics: MetricsRegistry,
+    qprof: QueryProfiler,
     sched: SchedMetrics,
 }
 
@@ -222,6 +224,12 @@ impl Kernel {
     /// [`Simulation::enable_metrics`] was called).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The simulation's query profiler (disabled unless
+    /// [`Simulation::enable_qprof`] was called).
+    pub fn qprof(&self) -> &QueryProfiler {
+        &self.qprof
     }
 
     /// Schedules a wake event for `(pid, gen)` at absolute time `at`.
@@ -260,6 +268,9 @@ impl Kernel {
         inner.push_event(now, pid, 1);
         drop(inner);
         self.sched.fibers_spawned.inc();
+        // Causal inheritance: the new fiber starts under whatever query
+        // context the spawning fiber carries.
+        self.qprof.on_spawn(pid);
         if let Some(name) = trace_name {
             self.tracer
                 .record(TraceEvent::FiberSpawn { at: now, pid, name });
@@ -381,6 +392,12 @@ impl Ctx {
         self.kernel.metrics()
     }
 
+    /// The simulation's query profiler. Query entry points use this to
+    /// mint [`crate::qprof::SpanContext`]s and record resource spans.
+    pub fn qprof(&self) -> &QueryProfiler {
+        self.kernel.qprof()
+    }
+
     /// Registers the fiber's *next* park generation; used by wait queues to
     /// target a wake at the park the fiber is about to enter.
     pub(crate) fn next_park_gen(&self) -> u64 {
@@ -453,6 +470,10 @@ pub struct SimReport {
     /// [`Simulation::enable_metrics`] was called). Export it with
     /// [`MetricsSnapshot::to_json`] or [`MetricsSnapshot::to_prometheus`].
     pub metrics: MetricsSnapshot,
+    /// Per-query latency profiles (empty unless
+    /// [`Simulation::enable_qprof`] was called). Export with
+    /// [`QueryProfiles::to_json`] or render with [`QueryProfiles::to_table`].
+    pub profiles: QueryProfiles,
 }
 
 impl SimReport {
@@ -592,6 +613,7 @@ impl Simulation {
             yield_tx,
             tracer: Tracer::new(),
             metrics,
+            qprof: QueryProfiler::new(),
             sched,
         });
         Simulation {
@@ -643,6 +665,21 @@ impl Simulation {
     /// and devices via their `set_metrics`/`attach_metrics` methods.
     pub fn metrics(&self) -> &MetricsRegistry {
         self.kernel.metrics()
+    }
+
+    /// Enables query-scoped profiling for this simulation. Query entry
+    /// points mint [`crate::qprof::SpanContext`]s through the shared
+    /// [`QueryProfiler`]; the final [`SimReport::profiles`] holds the
+    /// derived per-query latency attributions. Pure observation: enabling
+    /// it never changes simulated timing or event counts.
+    pub fn enable_qprof(&self) {
+        self.kernel.qprof.enable();
+    }
+
+    /// The simulation's query profiler handle (disabled until
+    /// [`Simulation::enable_qprof`]).
+    pub fn qprof(&self) -> &QueryProfiler {
+        self.kernel.qprof()
     }
 
     /// Spawns a fiber that starts at the current virtual time.
@@ -723,6 +760,7 @@ impl Simulation {
             };
             self.kernel.sched.context_switches.inc();
             self.kernel.sched.runnable.set(pending as i64);
+            self.kernel.qprof.on_switch(pid);
             self.kernel
                 .tracer
                 .emit(|| TraceEvent::FiberResume { at, pid });
@@ -786,6 +824,15 @@ impl Simulation {
     }
 
     fn build_report(&self) -> SimReport {
+        let trace = self.kernel.tracer.snapshot();
+        // Surface ring-buffer truncation: silently dropped events would
+        // otherwise make a trace look complete when it is not.
+        if trace.dropped() > 0 {
+            self.kernel
+                .metrics
+                .counter("trace_dropped_total", &[])
+                .add(trace.dropped());
+        }
         let inner = self.kernel.inner.lock();
         self.kernel.metrics.set_horizon(inner.now);
         SimReport {
@@ -798,8 +845,9 @@ impl Simulation {
                 .collect(),
             fibers_spawned: inner.fibers.len(),
             events_processed: inner.events_processed,
-            trace: self.kernel.tracer.snapshot(),
+            trace,
             metrics: self.kernel.metrics.snapshot(),
+            profiles: self.kernel.qprof.snapshot(),
         }
     }
 

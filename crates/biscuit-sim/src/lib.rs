@@ -23,6 +23,9 @@
 //! - [`metrics`] — the aggregate metrics registry: counters, gauges, and
 //!   log-bucketed histograms with Prometheus text + stable JSON exports
 //!   (see `docs/METRICS.md` at the repo root).
+//! - [`qprof`] — query-scoped causal profiling: [`SpanContext`] propagation
+//!   and deterministic per-query latency attribution with critical-path
+//!   extraction (see `docs/QUERYPROF.md` at the repo root).
 //! - [`trace`] — structured event tracing: Chrome `trace_event` export and
 //!   flat metrics (see `docs/TRACING.md` at the repo root).
 //!
@@ -61,6 +64,7 @@ pub mod kernel;
 pub mod metrics;
 pub mod par;
 pub mod power;
+pub mod qprof;
 pub mod queue;
 pub mod resource;
 pub mod stats;
@@ -71,5 +75,6 @@ pub use fault::{DriveLoss, DriveLossPhase, FaultConfig, FaultPlan, FaultSite};
 pub use kernel::{Ctx, Kernel, Pid, RunStatus, SimReport, Simulation};
 pub use metrics::{MetricsConfig, MetricsRegistry, MetricsSnapshot};
 pub use par::{ParConfig, ParMode, PortRx, PortTx};
+pub use qprof::{QprofConfig, QueryProfile, QueryProfiler, QueryProfiles, SpanContext, Stage};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceConfig, TraceEvent, Tracer};

@@ -3,7 +3,7 @@
 //! Where [`crate::trace`] answers *"what happened, in order?"* with an event
 //! stream, this module answers *"how much, in total?"* with an aggregate
 //! [`MetricsRegistry`]: monotonic [`Counter`]s, [`Gauge`]s with high-water
-//! marks, and log-bucketed [`Histogram`]s with `p50/p95/p99/max`. Every layer
+//! marks, and log-bucketed [`Histogram`]s with `p50/p95/p99/p99.9/max`. Every layer
 //! of the Biscuit stack registers instruments against the per-simulation
 //! registry — per-channel NAND operations and busy time, channel-bus and
 //! PCIe-link bytes, device-core scheduling, port traffic and queue occupancy,
@@ -610,7 +610,7 @@ impl MetricsSnapshot {
     /// Exports the stable JSON snapshot: an object with `horizon_ps` and a
     /// `metrics` array sorted by canonical key. Counters carry `value`;
     /// gauges `value` + `high_water`; histograms `count/sum/min/max/
-    /// mean/p50/p95/p99` plus the nonzero `buckets` as `[upper_bound,
+    /// mean/p50/p95/p99/p999` plus the nonzero `buckets` as `[upper_bound,
     /// count]` pairs. Byte-deterministic: integer arithmetic only.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + self.samples.len() * 96);
@@ -647,7 +647,7 @@ impl MetricsSnapshot {
                     let _ = write!(
                         out,
                         "\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
-                         \"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                         \"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{},\"buckets\":[",
                         h.count,
                         h.sum,
                         h.min,
@@ -655,7 +655,8 @@ impl MetricsSnapshot {
                         h.mean(),
                         h.percentile(50.0),
                         h.percentile(95.0),
-                        h.percentile(99.0)
+                        h.percentile(99.0),
+                        h.percentile(99.9)
                     );
                     let mut first = true;
                     for (b, &n) in h.buckets.iter().enumerate() {
@@ -706,7 +707,7 @@ impl MetricsSnapshot {
 
     /// Exports the Prometheus text exposition format. Histograms use the
     /// conventional `_bucket{le=...}` / `_sum` / `_count` series plus
-    /// non-standard-but-useful `_p50/_p95/_p99` gauges; gauges export their
+    /// non-standard-but-useful `_p50/_p95/_p99/_p999` gauges; gauges export their
     /// value and a `<name>_high_water` companion; `*_busy_ps_total` counters
     /// also yield a derived `*_utilization` gauge. Output order follows the
     /// sorted canonical keys, so it is byte-deterministic.
@@ -750,7 +751,8 @@ impl MetricsSnapshot {
                     let _ = writeln!(out, "{}_bucket{} {}", s.name, inf, h.count);
                     let _ = writeln!(out, "{}_sum{} {}", s.name, labels, h.sum);
                     let _ = writeln!(out, "{}_count{} {}", s.name, labels, h.count);
-                    for (suffix, p) in [("p50", 50.0), ("p95", 95.0), ("p99", 99.0)] {
+                    for (suffix, p) in [("p50", 50.0), ("p95", 95.0), ("p99", 99.0), ("p999", 99.9)]
+                    {
                         let _ = writeln!(out, "{}_{suffix}{} {}", s.name, labels, h.percentile(p));
                     }
                 }

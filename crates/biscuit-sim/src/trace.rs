@@ -41,6 +41,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::kernel::Pid;
+use crate::qprof::QueryProfiles;
 use crate::time::{SimDuration, SimTime};
 
 /// Configuration for a simulation's tracer.
@@ -467,6 +468,19 @@ impl Trace {
         ChromeExporter::new(self).export()
     }
 
+    /// [`Trace::to_chrome_json`] plus query *flow events*: each profiled
+    /// query contributes one envelope slice on a dedicated "queries"
+    /// process and a flow arrow chain (`s`/`t`/`f` events keyed by query
+    /// id) stepping through its critical-path segments on the existing
+    /// device tracks (`nand.chN`, `bus.chN`, `pm.chN`, `cpu.core.N`, link
+    /// directions). Segments whose track the trace never recorded fall
+    /// back to the query's own slice, so the chain always renders.
+    pub fn to_chrome_json_with_flows(&self, profiles: &QueryProfiles) -> String {
+        let mut exporter = ChromeExporter::new(self);
+        exporter.flows = Some(profiles);
+        exporter.export()
+    }
+
     /// Writes [`Trace::to_chrome_json`] to `path`.
     ///
     /// # Errors
@@ -489,6 +503,7 @@ impl Trace {
 const PID_FIBERS: u32 = 1;
 const PID_DEVICE: u32 = 2;
 const PID_FLOW: u32 = 3;
+const PID_QUERIES: u32 = 4;
 
 /// Escapes `s` as the contents of a JSON string (without the quotes).
 pub(crate) fn escape_json_into(out: &mut String, s: &str) {
@@ -517,7 +532,7 @@ fn json_str(s: &str) -> String {
 
 /// Renders picoseconds as microseconds with six fixed fractional digits —
 /// exact and byte-deterministic (no float formatting involved).
-fn ts_us(ps: u64) -> String {
+pub(crate) fn ts_us(ps: u64) -> String {
     format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
 }
 
@@ -528,6 +543,8 @@ struct ChromeExporter<'a> {
     fiber_names: BTreeMap<Pid, Arc<str>>,
     device_tids: BTreeMap<String, u32>,
     flow_tids: BTreeMap<String, u32>,
+    /// Query profiles to stitch in as flow events, if any.
+    flows: Option<&'a QueryProfiles>,
 }
 
 impl<'a> ChromeExporter<'a> {
@@ -538,6 +555,7 @@ impl<'a> ChromeExporter<'a> {
             fiber_names: BTreeMap::new(),
             device_tids: BTreeMap::new(),
             flow_tids: BTreeMap::new(),
+            flows: None,
         }
     }
 
@@ -752,6 +770,17 @@ impl<'a> ChromeExporter<'a> {
             }
         }
 
+        // Query flow events go in after the event loop so every device
+        // track the trace will ever name is already numbered.
+        let flow_entries = self
+            .flows
+            .map(|p| p.flow_entries(&self.device_tids, PID_DEVICE, PID_QUERIES));
+        if let Some(entries) = flow_entries {
+            for (ps, entry) in entries {
+                self.push(ps, entry);
+            }
+        }
+
         // Stable sort: entries recorded in deterministic order keep that
         // order within a timestamp, and reservation spans with future end
         // times still start monotonically.
@@ -759,11 +788,15 @@ impl<'a> ChromeExporter<'a> {
 
         let mut meta: Vec<String> = Vec::new();
         if !self.entries.is_empty() {
+            let has_queries = self.flows.is_some_and(|p| !p.queries().is_empty());
             for (pid, name) in [
                 (PID_FIBERS, "fibers"),
                 (PID_DEVICE, "device"),
                 (PID_FLOW, "queues & ports"),
-            ] {
+            ]
+            .into_iter()
+            .chain(has_queries.then_some((PID_QUERIES, "queries")))
+            {
                 meta.push(format!(
                     r#"{{"name":"process_name","ph":"M","ts":0.000000,"pid":{},"tid":0,"args":{{"name":{}}}}}"#,
                     pid,
@@ -804,7 +837,13 @@ impl<'a> ChromeExporter<'a> {
             first = false;
             out.push_str(entry);
         }
-        out.push_str(r#"],"displayTimeUnit":"ms"}"#);
+        out.push(']');
+        // Surface truncation: a ring-buffer overflow silently loses the
+        // oldest events, so a nonzero count must be visible in the export.
+        if self.trace.dropped > 0 {
+            out.push_str(&format!(r#","dropped":{}"#, self.trace.dropped));
+        }
+        out.push_str(r#","displayTimeUnit":"ms"}"#);
         out
     }
 }

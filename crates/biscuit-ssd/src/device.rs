@@ -24,6 +24,7 @@ use biscuit_proto::{Buf, BufPool};
 use biscuit_sim::fault::{FaultPlan, FaultSite};
 use biscuit_sim::metrics::{self, MetricsRegistry};
 use biscuit_sim::power::{ComponentId, PowerMeter};
+use biscuit_sim::qprof::{QueryProfiler, Stage};
 use biscuit_sim::resource::ServerBank;
 use biscuit_sim::stats::Counter;
 use biscuit_sim::time::{SimDuration, SimTime};
@@ -247,6 +248,7 @@ pub struct SsdDevice {
     power: Mutex<Option<PowerHook>>,
     trace: OnceLock<Tracer>,
     metrics: OnceLock<DeviceInstruments>,
+    qprof: OnceLock<QueryProfiler>,
     fault: OnceLock<FaultPlan>,
     zero_page: PageBuf,
     synth_cache: Mutex<SynthCache>,
@@ -298,6 +300,7 @@ impl SsdDevice {
             power: Mutex::new(None),
             trace: OnceLock::new(),
             metrics: OnceLock::new(),
+            qprof: OnceLock::new(),
             fault: OnceLock::new(),
             storage: Mutex::new(Storage { nand, ftl }),
             zero_page,
@@ -391,6 +394,21 @@ impl SsdDevice {
     #[inline]
     fn instruments(&self) -> Option<&DeviceInstruments> {
         self.metrics.get()
+    }
+
+    /// Attaches the query profiler: NAND senses (including fault retries),
+    /// channel-bus transfers, pattern-matcher streams, and per-request core
+    /// overhead become spans of whichever query context the calling fiber
+    /// currently carries. Pass `sim.qprof()` after `sim.enable_qprof()`. The
+    /// first call wins; later calls are ignored. A disabled profiler (the
+    /// default) costs one relaxed atomic load per site.
+    pub fn attach_qprof(&self, prof: &QueryProfiler) {
+        let _ = self.qprof.set(prof.clone());
+    }
+
+    #[inline]
+    fn qprof(&self) -> Option<&QueryProfiler> {
+        self.qprof.get().filter(|p| p.is_enabled())
     }
 
     /// Records `bytes` duplicated at `site` into `sim_bytes_copied_total`.
@@ -516,7 +534,13 @@ impl SsdDevice {
                 overhead += stall;
             }
         }
-        self.cores.enqueue(now, idx, overhead)
+        let end = self.cores.enqueue(now, idx, overhead);
+        if let Some(q) = self.qprof() {
+            // The window includes queueing behind other requests on the
+            // core; the profile sweep surfaces that as blocked time.
+            q.record(Stage::SsdletCompute, now, end, 0, idx as u32);
+        }
+        end
     }
 
     /// Applies a drawn NAND read fault to a page sense that ended at
@@ -631,6 +655,12 @@ impl SsdDevice {
             ch.bus_busy_ps.add((bus_end - bus_start).as_ps());
             m.pages_read.inc();
         }
+        if let Some(q) = self.qprof() {
+            // die_done extends past die_end when fault retries re-sensed
+            // the page, so the span closes over the whole recovery.
+            q.record(Stage::NandRead, die_start, die_done, 0, ppa.channel);
+            q.record(Stage::BusTransfer, bus_start, bus_end, xfer_bytes, ppa.channel);
+        }
         self.stats.pages_read.add(1);
         Ok((bus_end, buf))
     }
@@ -698,6 +728,16 @@ impl SsdDevice {
                 ch.pm_hits.inc();
                 m.pages_matched.inc();
             }
+        }
+        if let Some(q) = self.qprof() {
+            q.record(Stage::NandRead, die_start, die_done, 0, ppa.channel);
+            q.record(
+                Stage::Match,
+                bus_start,
+                bus_end,
+                self.cfg.page_size as u64,
+                ppa.channel,
+            );
         }
         Ok((bus_end, hit))
     }
@@ -831,6 +871,9 @@ impl SsdDevice {
                 let start = self
                     .cores
                     .enqueue(ctx.now(), core, self.cfg.pm_setup_overhead);
+                if let Some(q) = self.qprof() {
+                    q.record(Stage::SsdletCompute, ctx.now(), start, 0, core as u32);
+                }
                 let mut end = start;
                 for &lpn in chunk {
                     let (t, hit) = self.enqueue_scan(start, lpn, pattern)?;
@@ -931,6 +974,16 @@ impl SsdDevice {
                 }
                 m.pages_written.inc();
             }
+            if let Some(q) = self.qprof() {
+                q.record(Stage::NandRead, die_start, die_end, 0, ppa.channel);
+                q.record(
+                    Stage::BusTransfer,
+                    bus_start,
+                    bus_end,
+                    self.cfg.page_size as u64,
+                    ppa.channel,
+                );
+            }
             self.stats.pages_written.add(1);
             ctx.sleep_until(end);
             Ok(())
@@ -1019,6 +1072,16 @@ impl SsdDevice {
                     ch.bus_busy_ps.add((end - bus_start).as_ps());
                     ch.nand_erase.add(outcome.erased_blocks);
                     m.pages_written.inc();
+                }
+                if let Some(q) = self.qprof() {
+                    q.record(Stage::NandRead, die_start, die_end, 0, ppa.channel);
+                    q.record(
+                        Stage::BusTransfer,
+                        bus_start,
+                        end,
+                        self.cfg.page_size as u64,
+                        ppa.channel,
+                    );
                 }
                 gc_penalty += (self.cfg.t_read + self.cfg.t_program) * outcome.relocated
                     + self.cfg.t_erase * outcome.erased_blocks;

@@ -12,14 +12,16 @@
 //! `docs/TRACING.md`). Set `BISCUIT_METRICS=wordcount-metrics.json` (or
 //! `.prom` for Prometheus text) to export the aggregate counters — NAND
 //! ops per channel, link bytes, port traffic, scheduler activity (see
-//! `docs/METRICS.md`).
+//! `docs/METRICS.md`). Set `BISCUIT_QPROF=wordcount-prof.json` to export
+//! a per-stage latency breakdown of the run with its critical path (see
+//! `docs/QUERYPROF.md`).
 
 use std::sync::Arc;
 
 use biscuit::apps::wordcount::{reference_wordcount, run_wordcount};
 use biscuit::core::{CoreConfig, Ssd};
 use biscuit::fs::{Fs, Mode};
-use biscuit::sim::{MetricsConfig, Simulation, TraceConfig};
+use biscuit::sim::{MetricsConfig, QprofConfig, Simulation, TraceConfig};
 use biscuit::ssd::{SsdConfig, SsdDevice};
 
 fn main() {
@@ -52,7 +54,15 @@ fn main() {
         sim.enable_metrics();
         ssd.attach_metrics(sim.metrics());
     }
+    if QprofConfig::from_env().is_some() {
+        sim.enable_qprof();
+        ssd.attach_qprof(sim.qprof());
+    }
     sim.spawn("host-program", move |ctx| {
+        // The whole wordcount runs as one profiled query when BISCUIT_QPROF
+        // is set (a no-op span pair otherwise).
+        let qp = ctx.qprof().clone();
+        let span = qp.begin_query(ctx, 0);
         let t0 = ctx.now();
         let pairs = run_wordcount(ctx, &ssd, &file, 2, 2).expect("wordcount");
         println!(
@@ -67,6 +77,9 @@ fn main() {
             "\nvirtual execution time: {} (all SSDlets ran on the simulated SSD)",
             ctx.now() - t0
         );
+        if let Some(sc) = span {
+            qp.end_query(ctx, sc);
+        }
     });
     let report = sim.run();
     report.assert_quiescent();
@@ -80,5 +93,13 @@ fn main() {
     if let Some(cfg) = metrics_out {
         cfg.write(&report.metrics).expect("write metrics");
         println!("metrics written to {}", cfg.path);
+    }
+    if let Some(path) = std::env::var("BISCUIT_QPROF")
+        .ok()
+        .filter(|p| !p.is_empty())
+    {
+        report.profiles.write_json(&path).expect("write profile");
+        println!("{}", report.profiles.to_table());
+        println!("query profile written to {path}");
     }
 }

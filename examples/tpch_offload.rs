@@ -7,7 +7,9 @@
 //!
 //! Set `BISCUIT_TRACE=q14.json` to capture a Chrome trace of the whole run,
 //! including the planner's offload verdicts (see `docs/TRACING.md` for an
-//! annotated walkthrough of exactly this trace).
+//! annotated walkthrough of exactly this trace). Set
+//! `BISCUIT_QPROF=q14-prof.json` to export a per-query latency breakdown
+//! with critical-path attribution (see `docs/QUERYPROF.md`).
 
 use std::sync::Arc;
 
@@ -17,7 +19,7 @@ use biscuit::db::tpch::{all_queries, TpchData};
 use biscuit::db::{Db, DbConfig};
 use biscuit::fs::Fs;
 use biscuit::host::{HostConfig, HostLoad};
-use biscuit::sim::{Simulation, TraceConfig};
+use biscuit::sim::{QprofConfig, Simulation, TraceConfig};
 use biscuit::ssd::{SsdConfig, SsdDevice};
 
 const SF: f64 = 0.02;
@@ -46,6 +48,10 @@ fn main() {
     if let Some(cfg) = TraceConfig::from_env() {
         sim.enable_trace(cfg);
         ssd_handle.attach_tracer(sim.tracer());
+    }
+    if QprofConfig::from_env().is_some() {
+        sim.enable_qprof();
+        ssd_handle.attach_qprof(sim.qprof());
     }
     sim.spawn("host-program", move |ctx| {
         db.prepare(ctx).expect("deploy scan module");
@@ -117,6 +123,14 @@ fn main() {
         report.trace.write_chrome_json(&path).expect("write trace");
         println!("\n{}", report.trace.metrics());
         println!("trace written to {path} — open in chrome://tracing or Perfetto");
+    }
+    if let Some(path) = std::env::var("BISCUIT_QPROF")
+        .ok()
+        .filter(|p| !p.is_empty())
+    {
+        report.profiles.write_json(&path).expect("write profile");
+        println!("\n{}", report.profiles.to_table());
+        println!("query profile written to {path}");
     }
 }
 

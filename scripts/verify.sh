@@ -29,6 +29,10 @@ if ! $docs_only; then
     cargo test -q -p biscuit-sim par
     cargo test -q --test parallel
     BISCUIT_PAR=2 cargo test -q --test parallel
+    echo "== observability: query-profile determinism + span closure"
+    cargo test -q -p biscuit-sim qprof
+    cargo test -q --test qprof
+    BISCUIT_PAR=2 cargo test -q --test qprof
     echo "== wall-clock smoke: throughput bench + 2x regression gate"
     WALLCLOCK_SMOKE=1 WALLCLOCK_BASELINE=benchmarks/wallclock_baseline.json \
         cargo bench -p biscuit-bench --bench wallclock

@@ -24,6 +24,7 @@ fn soak(mode: ParMode, lookahead: Option<SimDuration>) -> (Vec<(usize, u64)>, St
         seed: 0xB15C,
         metrics: true,
         trace: Some(TraceConfig::default()),
+        qprof: false,
         par: ParConfig { mode, lookahead },
     };
     let report = fleet_grep(&cfg, SHARD_PAGES, NEEDLE_EVERY, PASSES);
@@ -102,6 +103,7 @@ fn env_selected_policy_matches_reference() {
         seed: 0xB15C,
         metrics: true,
         trace: Some(TraceConfig::default()),
+        qprof: false,
         par: ParConfig::default(),
     };
     let report = fleet_grep(&cfg, SHARD_PAGES, NEEDLE_EVERY, PASSES);

@@ -168,4 +168,26 @@ fn soak_64_queries_4_drives_under_faults_drains_clean() {
         }
     }
     assert_eq!(sched_queues, USERS, "every per-user queue was instrumented");
+
+    // Per-tenant SLO substrate: every user's end-to-end query latency
+    // landed in its own histogram (p50/p99/p99.9 ride the JSON and
+    // Prometheus exports).
+    let mut slo_users = 0;
+    for s in &snap.samples {
+        if s.name != "array_query_latency_ps" {
+            continue;
+        }
+        let SampleValue::Histogram(ref data) = s.value else {
+            panic!("{} is a histogram", s.key);
+        };
+        assert!(data.count > 0, "{} recorded no queries", s.key);
+        assert!(data.max > 0, "{} recorded zero latency", s.key);
+        slo_users += 1;
+    }
+    assert_eq!(slo_users, USERS, "one latency histogram per tenant");
+    let json = snap.to_json();
+    assert!(
+        json.contains("\"p999\""),
+        "histogram export must carry p99.9"
+    );
 }
