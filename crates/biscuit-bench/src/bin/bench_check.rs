@@ -8,28 +8,37 @@
 //! ```text
 //! cargo run --release -p biscuit-bench --bin bench_check
 //! cargo run --release -p biscuit-bench --bin bench_check -- --update
+//! cargo run --release -p biscuit-bench --bin bench_check -- --only qos
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use biscuit_bench::report::{bench_output_dir, check_reports, update_baseline};
+use biscuit_bench::report::{bench_output_dir, check_reports_only, update_baseline};
 
-const USAGE: &str = "usage: bench_check [--update] [--baseline <path>] [--dir <path>]
+const USAGE: &str =
+    "usage: bench_check [--update] [--only <id>]... [--baseline <path>] [--dir <path>]
 
   --update          rewrite the baseline from the current BENCH_*.json files
+  --only <id>       gate only this baseline bench (repeatable); lets a smoke
+                    job check one regenerated report without running the rest
   --baseline <path> baseline file (default: <dir>/benchmarks/baseline.json)
   --dir <path>      directory holding BENCH_*.json (default: workspace root,
                     or $BISCUIT_BENCH_DIR)";
 
 fn main() -> ExitCode {
     let mut update = false;
+    let mut only: Vec<String> = Vec::new();
     let mut baseline: Option<PathBuf> = None;
     let mut dir: Option<PathBuf> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--update" => update = true,
+            "--only" => match argv.next() {
+                Some(id) => only.push(id),
+                None => return usage_error("--only needs a bench id"),
+            },
             "--baseline" => match argv.next() {
                 Some(p) => baseline = Some(PathBuf::from(p)),
                 None => return usage_error("--baseline needs a path"),
@@ -49,6 +58,12 @@ fn main() -> ExitCode {
     let baseline = baseline.unwrap_or_else(|| dir.join("benchmarks").join("baseline.json"));
 
     if update {
+        if !only.is_empty() {
+            // --update rebuilds the whole baseline from every report on
+            // disk; a partial rewrite would silently drop the benches
+            // that weren't rerun.
+            return usage_error("--update cannot be combined with --only");
+        }
         return match update_baseline(&baseline, &dir) {
             Ok(n) => {
                 println!(
@@ -64,7 +79,7 @@ fn main() -> ExitCode {
         };
     }
 
-    match check_reports(&baseline, &dir) {
+    match check_reports_only(&baseline, &dir, &only) {
         Ok(outcome) => {
             for line in &outcome.lines {
                 println!("{line}");

@@ -547,7 +547,42 @@ fn load_report_rows(path: &Path) -> Result<BTreeMap<String, (f64, f64)>, String>
 ///
 /// Returns an error for unreadable or malformed files.
 pub fn check_reports(baseline_path: &Path, reports_dir: &Path) -> Result<CheckOutcome, String> {
-    let baseline = load_baseline(baseline_path)?;
+    check_reports_only(baseline_path, reports_dir, &[])
+}
+
+/// Like [`check_reports`], but gates only the baseline benches named in
+/// `only` (all of them when `only` is empty). Lets a smoke job that ran
+/// a single harness gate just that harness's rows without regenerating
+/// every other report:
+///
+/// ```text
+/// cargo bench -p biscuit-bench --bench qos
+/// cargo run -p biscuit-bench --bin bench_check -- --only qos
+/// ```
+///
+/// # Errors
+///
+/// Returns an error for unreadable or malformed files, or when a name
+/// in `only` has no bench in the baseline (catching typos rather than
+/// silently gating nothing).
+pub fn check_reports_only(
+    baseline_path: &Path,
+    reports_dir: &Path,
+    only: &[String],
+) -> Result<CheckOutcome, String> {
+    let mut baseline = load_baseline(baseline_path)?;
+    for id in only {
+        if !baseline.contains_key(id) {
+            return Err(format!(
+                "--only {id}: no such bench in {} (known: {})",
+                baseline_path.display(),
+                baseline.keys().cloned().collect::<Vec<_>>().join(", ")
+            ));
+        }
+    }
+    if !only.is_empty() {
+        baseline.retain(|id, _| only.iter().any(|o| o == id));
+    }
     let mut lines = Vec::new();
     let mut passed = true;
     for (id, rows) in &baseline {
@@ -737,6 +772,31 @@ mod tests {
         // Missing report file fails.
         std::fs::remove_file(dir.join("BENCH_gatecase.json")).unwrap();
         assert!(!check_reports(&baseline, &dir).unwrap().passed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gate_only_filters_baseline_benches() {
+        let dir = std::env::temp_dir().join(format!("biscuit-gate-only-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut a = BenchReport::new("alpha");
+        a.push("x", "us", None, 1.0);
+        std::fs::write(dir.join("BENCH_alpha.json"), a.to_json()).unwrap();
+        let mut b = BenchReport::new("beta");
+        b.push("y", "us", None, 2.0);
+        std::fs::write(dir.join("BENCH_beta.json"), b.to_json()).unwrap();
+        let baseline = dir.join("baseline.json");
+        assert_eq!(update_baseline(&baseline, &dir).unwrap(), 2);
+
+        // Without beta's report the full gate fails...
+        std::fs::remove_file(dir.join("BENCH_beta.json")).unwrap();
+        assert!(!check_reports(&baseline, &dir).unwrap().passed);
+        // ...but gating only alpha passes, and an unknown id errors.
+        let only = vec!["alpha".to_owned()];
+        let outcome = check_reports_only(&baseline, &dir, &only).unwrap();
+        assert!(outcome.passed);
+        assert!(outcome.lines.iter().all(|l| !l.contains("beta")));
+        assert!(check_reports_only(&baseline, &dir, &["nope".to_owned()]).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

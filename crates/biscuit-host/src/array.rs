@@ -32,21 +32,37 @@
 //! (a Conv scan). Results stay byte-identical to the fault-free run
 //! because the fallback replaces the lost shard's entire item stream.
 //!
-//! ## Concurrent queries
+//! ## Concurrent queries and QoS
 //!
 //! [`QueryScheduler`] multiplexes many independent queries from many
-//! "users" over one array: per-user bounded submit queues (backpressure),
-//! fair round-robin dispatch, and a semaphore capping in-flight queries
-//! (admission control). All scheduler state is observable through the
-//! aggregate metrics registry and drains to zero when the work does.
+//! tenants ("users") over one array. Dispatch order is **virtual-time
+//! weighted fair queueing** (start-time fair queueing): each accepted
+//! query gets a start tag `S = max(V, F_u)` and a finish tag
+//! `F = S + cost / w_u`, a fixed pool of worker fibers (admission
+//! control) always runs the globally smallest finish tag next, and the
+//! scheduler's virtual clock `V` advances to the start tag of whatever
+//! it dispatches. Per-tenant queues are bounded: the blocking
+//! [`QueryScheduler::submit`] exerts backpressure on the host loop,
+//! while [`QueryScheduler::try_submit`] sheds instead — returning a
+//! typed [`QueryShed`] metered as `sched_shed_total{user}`. Every
+//! tenant's offered/completed/shed counts plus queue-wait and latency
+//! histograms are tracked unconditionally (and cheaply) inside the
+//! scheduler, so 1M-query soaks over tens of thousands of tenants can
+//! audit fairness without registering 20k instruments; see
+//! `docs/QOS.md` for the model and its proofs.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use parking_lot::Mutex;
+
 use biscuit_core::Ssd;
 use biscuit_sim::fault::{DriveLossPhase, FaultPlan, FaultSite};
+use biscuit_sim::metrics::{Counter, Gauge, HistogramData};
 use biscuit_sim::qprof::{QueryProfiler, SpanContext, Stage};
-use biscuit_sim::queue::{Semaphore, SimQueue, WaitQueue};
+use biscuit_sim::queue::{SimQueue, WaitQueue};
 use biscuit_sim::trace::TraceEvent;
 use biscuit_sim::{Ctx, MetricsRegistry, SimTime, Tracer};
 
@@ -665,33 +681,120 @@ impl SsdArray {
 // Concurrent query scheduler
 // ---------------------------------------------------------------------------
 
+/// Fixed-point scale for WFQ virtual time: one cost unit at weight 1
+/// advances a tenant's finish tag by this much. Room for weights up to
+/// 2^20 without rounding a unit-cost query to zero.
+const WFQ_SCALE: u128 = 1 << 20;
+
 /// Knobs for [`QueryScheduler`].
 #[derive(Debug, Clone)]
 pub struct SchedulerConfig {
-    /// Independent submit queues ("users") served round-robin.
+    /// Independent tenant ("user") queues under weighted fair queueing.
     pub users: usize,
-    /// Maximum queries running concurrently over the array (admission
-    /// control).
+    /// Maximum queries running concurrently over the array — the size of
+    /// the worker-fiber pool (admission control).
+    ///
+    /// Derive it from the array size with
+    /// [`SchedulerConfig::for_drives`]: two in-flight queries per drive
+    /// keeps every drive busy while its predecessor's results merge on
+    /// the host. Override by setting the field when a workload needs
+    /// more overlap (e.g. host-compute-heavy queries).
     pub max_inflight: usize,
-    /// Per-user submit-queue capacity; a user submitting faster than the
-    /// array drains blocks here (backpressure).
+    /// Per-user submit-queue capacity. A full queue blocks
+    /// [`QueryScheduler::submit`] (backpressure) and sheds
+    /// [`QueryScheduler::try_submit`] (load shedding).
     pub queue_capacity: usize,
+    /// Per-user WFQ weights: user `i` receives service proportional to
+    /// `weights[i]` under contention. Empty means every user weighs 1;
+    /// otherwise the length must equal `users` and every weight must be
+    /// positive.
+    pub weights: Vec<u64>,
 }
 
-impl Default for SchedulerConfig {
-    fn default() -> Self {
+impl SchedulerConfig {
+    /// A config sized for an array of `drives` drives: `max_inflight` is
+    /// `2 * drives` (min 2) so each drive can overlap one running query
+    /// with one merging its results back on the host.
+    pub fn for_drives(drives: usize) -> Self {
         SchedulerConfig {
             users: 1,
-            max_inflight: 4,
+            max_inflight: (2 * drives).max(2),
             queue_capacity: 8,
+            weights: Vec::new(),
         }
     }
 }
 
+impl Default for SchedulerConfig {
+    /// Sized for a two-drive array ([`SchedulerConfig::for_drives`]`(2)`,
+    /// so `max_inflight = 4`) — set `users`/`weights` and call
+    /// `for_drives` with the real array size for anything bigger.
+    fn default() -> Self {
+        SchedulerConfig::for_drives(2)
+    }
+}
+
+/// Why [`QueryScheduler::try_submit`] refused a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The tenant's bounded queue was at capacity.
+    QueueFull,
+    /// The scheduler was already closed.
+    Closed,
+}
+
+/// A query rejected by [`QueryScheduler::try_submit`] (load shedding).
+/// Metered as `sched_shed_total{user=N}` when a registry is attached,
+/// and always in the tenant's [`TenantReport::shed`] count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryShed {
+    /// The tenant whose query was shed.
+    pub user: usize,
+    /// Why it was shed.
+    pub reason: ShedReason,
+}
+
+impl std::fmt::Display for QueryShed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason {
+            ShedReason::QueueFull => write!(f, "query shed: user {} queue full", self.user),
+            ShedReason::Closed => write!(f, "query shed: scheduler closed (user {})", self.user),
+        }
+    }
+}
+
+impl std::error::Error for QueryShed {}
+
+/// One tenant's QoS accounting, tracked unconditionally inside the
+/// scheduler (no registry required): exact counts plus log-bucketed
+/// queue-wait and end-to-end latency histograms. The reconciliation
+/// invariant `offered == accepted + shed` and (after a drain)
+/// `accepted == completed` always holds.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant index.
+    pub user: usize,
+    /// WFQ weight.
+    pub weight: u64,
+    /// Submission attempts: accepted + shed.
+    pub offered: u64,
+    /// Queries accepted into the queue.
+    pub accepted: u64,
+    /// Queries completed.
+    pub completed: u64,
+    /// Queries shed by `try_submit`.
+    pub shed: u64,
+    /// Virtual-time wait from submission to dispatch, in picoseconds.
+    pub queue_wait: HistogramData,
+    /// Virtual-time latency from submission to completion, in
+    /// picoseconds.
+    pub latency: HistogramData,
+}
+
 type Job = Box<dyn FnOnce(&Ctx) + Send + 'static>;
 
-/// A submitted query waiting in its user's queue: the job plus the
-/// observability identity minted at submission time.
+/// A query accepted into the WFQ: the job plus the observability
+/// identity minted at submission time.
 struct Submitted {
     job: Job,
     user: usize,
@@ -699,16 +802,81 @@ struct Submitted {
     span: Option<SpanContext>,
 }
 
+/// Heap entry ordering: smallest finish tag first; ties break by user
+/// then admission sequence, so the order is a pure function of the
+/// submission history.
+struct QueuedEntry {
+    finish: u128,
+    start: u128,
+    seq: u64,
+    sub: Submitted,
+}
+
+impl PartialEq for QueuedEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for QueuedEntry {}
+impl PartialOrd for QueuedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.finish, self.sub.user, self.seq).cmp(&(other.finish, other.sub.user, other.seq))
+    }
+}
+
+/// Always-on per-tenant state under the WFQ lock.
+struct TenantState {
+    weight: u64,
+    /// Queries currently buffered (accepted, not yet dispatched).
+    depth: u32,
+    /// Finish tag of the tenant's most recently accepted query.
+    fin: u128,
+    offered: u64,
+    completed: u64,
+    shed: u64,
+    queue_wait: HistogramData,
+    latency: HistogramData,
+}
+
+/// The WFQ core, guarded by one uncontended mutex (the DES kernel runs
+/// one fiber at a time; the lock is never held across a yield point).
+struct WfqState {
+    tenants: Vec<TenantState>,
+    heap: BinaryHeap<Reverse<QueuedEntry>>,
+    /// Virtual clock: the start tag of the last dispatched query.
+    vtime: u128,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// Registry instruments for one tenant queue, mirroring
+/// `SimQueue::set_metrics` naming so dashboards keep working.
+struct QueueInstr {
+    pushes: Counter,
+    pops: Counter,
+    depth: Gauge,
+}
+
 struct SchedInner {
-    queues: Vec<SimQueue<Submitted>>,
-    admit: Semaphore,
+    capacity: usize,
+    max_inflight: usize,
+    state: Mutex<WfqState>,
+    /// Per-tenant wakeups for submitters blocked on a full queue.
+    not_full: Vec<WaitQueue>,
+    /// Wakeup for idle worker fibers.
     work: WaitQueue,
+    /// Wakeup for `wait_completed`.
     done: WaitQueue,
     submitted: AtomicU64,
     completed: AtomicU64,
-    closed: AtomicBool,
-    next_query: AtomicU64,
+    shed: AtomicU64,
     metrics: OnceLock<MetricsRegistry>,
+    queue_instr: OnceLock<Vec<QueueInstr>>,
 }
 
 impl SchedInner {
@@ -720,12 +888,24 @@ impl SchedInner {
         }
     }
 
+    fn count_user(&self, name: &'static str, user: usize) {
+        if let Some(reg) = self.metrics.get() {
+            if reg.is_enabled() {
+                reg.counter(name, &[("user", &user.to_string())]).inc();
+            }
+        }
+    }
+
     fn inflight_add(&self, delta: i64) {
         if let Some(reg) = self.metrics.get() {
             if reg.is_enabled() {
                 reg.gauge("array_sched_inflight", &[]).add(delta);
             }
         }
+    }
+
+    fn instr(&self, user: usize) -> Option<&QueueInstr> {
+        self.queue_instr.get().map(|v| &v[user])
     }
 
     /// Feeds one query's end-to-end latency (submit to completion) into
@@ -739,16 +919,30 @@ impl SchedInner {
             }
         }
     }
+
+    /// Same, for the dispatch wait: `array_queue_wait_ps{user=N}`.
+    fn observe_queue_wait(&self, user: usize, wait_ps: u64) {
+        if let Some(reg) = self.metrics.get() {
+            if reg.is_enabled() {
+                reg.histogram("array_queue_wait_ps", &[("user", &user.to_string())])
+                    .record(wait_ps);
+            }
+        }
+    }
 }
 
-/// Fair, admission-controlled scheduler for concurrent queries over an
-/// [`SsdArray`] (cheaply cloneable).
+/// Weighted-fair, admission-controlled scheduler for concurrent queries
+/// over an [`SsdArray`] (cheaply cloneable).
 ///
 /// Submitted jobs are arbitrary closures — typically a
 /// [`SsdArray::scatter`] plus result handling — so the scheduler is
-/// oblivious to query shape. Dispatch order is deterministic: the
-/// round-robin cursor over user queues plus the admission semaphore are
-/// driven entirely by the DES kernel's event order.
+/// oblivious to query shape. Dispatch order is deterministic: the WFQ
+/// tags are a pure function of the submission history, ties break on
+/// `(user, sequence)`, and the worker pool is driven entirely by the
+/// DES kernel's event order.
+///
+/// See the [module docs](self) and `docs/QOS.md` for the WFQ model,
+/// shedding policy, and backpressure contract.
 pub struct QueryScheduler {
     inner: Arc<SchedInner>,
 }
@@ -764,9 +958,10 @@ impl Clone for QueryScheduler {
 impl std::fmt::Debug for QueryScheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryScheduler")
-            .field("users", &self.inner.queues.len())
+            .field("users", &self.inner.not_full.len())
             .field("submitted", &self.inner.submitted.load(Ordering::Relaxed))
             .field("completed", &self.inner.completed.load(Ordering::Relaxed))
+            .field("shed", &self.inner.shed.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -777,53 +972,185 @@ impl QueryScheduler {
     ///
     /// # Panics
     ///
-    /// Panics if `users`, `max_inflight`, or `queue_capacity` is zero.
+    /// Panics if `users`, `max_inflight`, or `queue_capacity` is zero,
+    /// or if `weights` is non-empty with a length other than `users` or
+    /// a zero weight.
     pub fn new(cfg: SchedulerConfig) -> QueryScheduler {
         assert!(cfg.users > 0, "scheduler needs at least one user queue");
         assert!(cfg.max_inflight > 0, "max_inflight must be positive");
+        assert!(cfg.queue_capacity > 0, "queue_capacity must be positive");
+        assert!(
+            cfg.weights.is_empty() || cfg.weights.len() == cfg.users,
+            "weights must be empty or one per user"
+        );
+        assert!(
+            cfg.weights.iter().all(|&w| w > 0),
+            "WFQ weights must be positive"
+        );
+        let tenants = (0..cfg.users)
+            .map(|i| TenantState {
+                weight: cfg.weights.get(i).copied().unwrap_or(1),
+                depth: 0,
+                fin: 0,
+                offered: 0,
+                completed: 0,
+                shed: 0,
+                queue_wait: HistogramData::new(),
+                latency: HistogramData::new(),
+            })
+            .collect();
         QueryScheduler {
             inner: Arc::new(SchedInner {
-                queues: (0..cfg.users)
-                    .map(|_| SimQueue::new(cfg.queue_capacity))
-                    .collect(),
-                admit: Semaphore::new(cfg.max_inflight),
+                capacity: cfg.queue_capacity,
+                max_inflight: cfg.max_inflight,
+                state: Mutex::new(WfqState {
+                    tenants,
+                    heap: BinaryHeap::new(),
+                    vtime: 0,
+                    next_seq: 0,
+                    closed: false,
+                }),
+                not_full: (0..cfg.users).map(|_| WaitQueue::new()).collect(),
                 work: WaitQueue::new(),
                 done: WaitQueue::new(),
                 submitted: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
-                closed: AtomicBool::new(false),
-                next_query: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
                 metrics: OnceLock::new(),
+                queue_instr: OnceLock::new(),
             }),
         }
     }
 
     /// Registers the scheduler's counters, the in-flight gauge, and every
-    /// user queue's depth gauge (`queue=sched.user<i>`) in `registry`.
-    /// The first call wins.
+    /// user queue's push/pop/depth instruments (`queue=sched.user<i>`) in
+    /// `registry`. The first call wins.
+    ///
+    /// Skip this for very large tenant counts (tens of thousands): the
+    /// per-tenant accounting in [`QueryScheduler::tenant_reports`] is
+    /// always on and does not inflate the registry export.
     pub fn attach_metrics(&self, registry: &MetricsRegistry) {
-        for (i, q) in self.inner.queues.iter().enumerate() {
-            q.set_metrics(registry, &format!("sched.user{i}"));
-        }
+        let instr = (0..self.inner.not_full.len())
+            .map(|i| {
+                let label = format!("sched.user{i}");
+                let labels = [("queue", label.as_str())];
+                QueueInstr {
+                    pushes: registry.counter("queue_pushes_total", &labels),
+                    pops: registry.counter("queue_pops_total", &labels),
+                    depth: registry.gauge("queue_depth", &labels),
+                }
+            })
+            .collect();
+        let _ = self.inner.queue_instr.set(instr);
         let _ = self.inner.metrics.set(registry.clone());
     }
 
-    /// Spawns the dispatcher fiber. Call once.
+    /// Spawns the worker-fiber pool (`max_inflight` fibers named
+    /// `sched-worker<i>`). Call once. Workers exit when the scheduler is
+    /// closed and drained — there is no per-query fiber spawn, so the
+    /// scheduler sustains million-query soaks.
     pub fn start(&self, ctx: &Ctx) {
-        let inner = Arc::clone(&self.inner);
-        ctx.spawn("sched-dispatch", move |dctx| dispatch_loop(&inner, dctx));
+        for w in 0..self.inner.max_inflight {
+            let inner = Arc::clone(&self.inner);
+            ctx.spawn(format!("sched-worker{w}"), move |wctx| {
+                worker_loop(&inner, wctx)
+            });
+        }
     }
 
-    /// Enqueues `job` on `user`'s submit queue, blocking in virtual time
-    /// while the queue is full (backpressure).
+    /// Enqueues a unit-cost `job` for `user`, blocking in virtual time
+    /// while the user's queue is full (backpressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after [`QueryScheduler::close`] — including
+    /// when the scheduler closes while this call is blocked.
+    pub fn submit(&self, ctx: &Ctx, user: usize, job: impl FnOnCtx) {
+        self.submit_cost(ctx, user, 1, job)
+    }
+
+    /// [`QueryScheduler::submit`] with an explicit WFQ `cost` (service
+    /// demand in abstract units; `0` counts as `1`). A tenant's finish
+    /// tags advance by `cost / weight`, so cheap queries are charged
+    /// less of the tenant's share.
     ///
     /// # Panics
     ///
     /// Panics when called after [`QueryScheduler::close`].
-    pub fn submit(&self, ctx: &Ctx, user: usize, job: impl FnOnce(&Ctx) + Send + 'static) {
-        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
-        self.inner.count("array_sched_submitted_total");
-        // Mint the query's causal identity at submission: queue wait,
+    pub fn submit_cost(&self, ctx: &Ctx, user: usize, cost: u64, job: impl FnOnCtx) {
+        let mut job: Option<Job> = Some(Box::new(job));
+        let mut blocked = false;
+        loop {
+            {
+                let mut st = self.inner.state.lock();
+                assert!(!st.closed, "submit on a closed scheduler");
+                if (st.tenants[user].depth as usize) < self.inner.capacity {
+                    self.enqueue_locked(ctx, &mut st, user, cost, job.take().unwrap());
+                    drop(st);
+                    self.inner.work.notify_one(ctx);
+                    return;
+                }
+            }
+            if !blocked {
+                blocked = true;
+                self.inner.count("array_sched_backpressure_total");
+            }
+            self.inner.not_full[user].wait(ctx);
+        }
+    }
+
+    /// Non-blocking submit of a unit-cost `job`: sheds instead of
+    /// waiting when `user`'s queue is full or the scheduler is closed.
+    /// This is the open-loop path — arrivals the array cannot absorb
+    /// are dropped and metered rather than queued without bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryShed`] when the query was rejected; the shed is
+    /// counted in `sched_shed_total{user}` and the tenant's report.
+    pub fn try_submit(&self, ctx: &Ctx, user: usize, job: impl FnOnCtx) -> Result<(), QueryShed> {
+        self.try_submit_cost(ctx, user, 1, job)
+    }
+
+    /// [`QueryScheduler::try_submit`] with an explicit WFQ `cost`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryShed`] when the query was rejected.
+    pub fn try_submit_cost(
+        &self,
+        ctx: &Ctx,
+        user: usize,
+        cost: u64,
+        job: impl FnOnCtx,
+    ) -> Result<(), QueryShed> {
+        let reason = {
+            let mut st = self.inner.state.lock();
+            if st.closed {
+                st.tenants[user].offered += 1;
+                st.tenants[user].shed += 1;
+                ShedReason::Closed
+            } else if (st.tenants[user].depth as usize) >= self.inner.capacity {
+                st.tenants[user].offered += 1;
+                st.tenants[user].shed += 1;
+                ShedReason::QueueFull
+            } else {
+                self.enqueue_locked(ctx, &mut st, user, cost, Box::new(job));
+                drop(st);
+                self.inner.work.notify_one(ctx);
+                return Ok(());
+            }
+        };
+        self.inner.shed.fetch_add(1, Ordering::Relaxed);
+        self.inner.count_user("sched_shed_total", user);
+        Err(QueryShed { user, reason })
+    }
+
+    /// Tags and buffers one accepted query. Caller holds the lock and
+    /// has verified capacity; never yields (qprof minting is pure
+    /// bookkeeping).
+    fn enqueue_locked(&self, ctx: &Ctx, st: &mut WfqState, user: usize, cost: u64, job: Job) {
+        // Mint the query's causal identity at acceptance: queue wait,
         // admission, and execution all happen under this context. The
         // submitting fiber itself does none of the query's work, so its
         // own context is cleared right away.
@@ -832,26 +1159,46 @@ impl QueryScheduler {
         if span.is_some() {
             qp.adopt(ctx, None);
         }
-        let sub = Submitted {
-            job: Box::new(job),
-            user,
-            at: ctx.now(),
-            span,
-        };
-        if self.inner.queues[user].push(ctx, sub).is_err() {
-            panic!("submit on a closed scheduler");
+        let vtime = st.vtime;
+        let t = &mut st.tenants[user];
+        t.offered += 1;
+        let start = vtime.max(t.fin);
+        let finish = start + u128::from(cost.max(1)) * WFQ_SCALE / u128::from(t.weight);
+        t.fin = finish;
+        t.depth += 1;
+        let depth = t.depth;
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.heap.push(Reverse(QueuedEntry {
+            finish,
+            start,
+            seq,
+            sub: Submitted {
+                job,
+                user,
+                at: ctx.now(),
+                span,
+            },
+        }));
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.count("array_sched_submitted_total");
+        if let Some(qi) = self.inner.instr(user) {
+            qi.pushes.inc();
+            qi.depth.set(i64::from(depth));
         }
-        self.inner.work.notify_all(ctx);
     }
 
-    /// Closes all submit queues; the dispatcher drains what is buffered
-    /// and then exits.
+    /// Closes the scheduler: no further submissions are accepted
+    /// (`submit` panics, `try_submit` sheds with
+    /// [`ShedReason::Closed`]), the workers drain what is buffered and
+    /// then exit. Submitters blocked on backpressure are woken and
+    /// panic per the submit contract.
     pub fn close(&self, ctx: &Ctx) {
-        self.inner.closed.store(true, Ordering::Relaxed);
-        for q in &self.inner.queues {
-            q.close(ctx);
-        }
+        self.inner.state.lock().closed = true;
         self.inner.work.notify_all(ctx);
+        for nf in &self.inner.not_full {
+            nf.notify_all(ctx);
+        }
     }
 
     /// Blocks in virtual time until at least `n` jobs completed.
@@ -861,7 +1208,7 @@ impl QueryScheduler {
         }
     }
 
-    /// Jobs submitted so far.
+    /// Jobs accepted so far (excludes sheds).
     pub fn submitted(&self) -> u64 {
         self.inner.submitted.load(Ordering::Relaxed)
     }
@@ -870,64 +1217,140 @@ impl QueryScheduler {
     pub fn completed(&self) -> u64 {
         self.inner.completed.load(Ordering::Relaxed)
     }
+
+    /// Jobs shed so far by `try_submit`.
+    pub fn shed(&self) -> u64 {
+        self.inner.shed.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of every tenant's QoS accounting, in user order.
+    pub fn tenant_reports(&self) -> Vec<TenantReport> {
+        let st = self.inner.state.lock();
+        st.tenants
+            .iter()
+            .enumerate()
+            .map(|(user, t)| TenantReport {
+                user,
+                weight: t.weight,
+                offered: t.offered,
+                accepted: t.offered - t.shed,
+                completed: t.completed,
+                shed: t.shed,
+                queue_wait: t.queue_wait.clone(),
+                latency: t.latency.clone(),
+            })
+            .collect()
+    }
+
+    /// A deterministic, integer-only JSON export of the per-tenant QoS
+    /// state (counts plus p50/p99/p99.9/max of queue wait and latency).
+    /// Same-seed soaks compare this byte-for-byte; all values derive
+    /// from virtual time and exact counters, so the export is identical
+    /// across thread policies and repeat runs.
+    pub fn qos_json(&self) -> String {
+        let reports = self.tenant_reports();
+        let mut out = String::with_capacity(reports.len() * 160 + 64);
+        out.push_str("{\n  \"tenants\": [\n");
+        for (i, r) in reports.iter().enumerate() {
+            let sep = if i + 1 == reports.len() { "" } else { "," };
+            out.push_str(&format!(
+                concat!(
+                    "    {{\"user\": {}, \"weight\": {}, \"offered\": {}, ",
+                    "\"accepted\": {}, \"completed\": {}, \"shed\": {}, ",
+                    "\"wait_p50_ps\": {}, \"wait_p99_ps\": {}, \"wait_p999_ps\": {}, ",
+                    "\"wait_max_ps\": {}, \"lat_p50_ps\": {}, \"lat_p99_ps\": {}, ",
+                    "\"lat_p999_ps\": {}, \"lat_max_ps\": {}}}{}\n"
+                ),
+                r.user,
+                r.weight,
+                r.offered,
+                r.accepted,
+                r.completed,
+                r.shed,
+                r.queue_wait.percentile(50.0),
+                r.queue_wait.percentile(99.0),
+                r.queue_wait.percentile(99.9),
+                r.queue_wait.max,
+                r.latency.percentile(50.0),
+                r.latency.percentile(99.0),
+                r.latency.percentile(99.9),
+                r.latency.max,
+                sep,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
 }
 
-fn dispatch_loop(inner: &Arc<SchedInner>, ctx: &Ctx) {
-    let users = inner.queues.len();
-    let mut cursor = 0usize;
+/// Bound alias for scheduler jobs (a closure run once on a worker
+/// fiber's DES context).
+pub trait FnOnCtx: FnOnce(&Ctx) + Send + 'static {}
+impl<F: FnOnce(&Ctx) + Send + 'static> FnOnCtx for F {}
+
+/// One worker fiber: repeatedly dispatch the globally smallest finish
+/// tag and run it to completion. The pool size (`max_inflight`) is the
+/// admission limit; WFQ order decides who gets a freed slot.
+fn worker_loop(inner: &Arc<SchedInner>, ctx: &Ctx) {
+    let qp = ctx.qprof().clone();
     loop {
-        // One fair round-robin sweep over the user queues. try_pop never
-        // yields, so the sweep plus the wait below is atomic with respect
-        // to other fibers — no lost wakeups.
-        let mut job = None;
-        let mut all_drained = true;
-        for k in 0..users {
-            let u = (cursor + k) % users;
-            match inner.queues[u].try_pop(ctx) {
-                Ok(Some(j)) => {
-                    cursor = (u + 1) % users;
-                    job = Some(j);
-                    break;
+        // Dispatch: pop under the lock, advance virtual time, meter the
+        // queue wait. The lock is released before any yield point; the
+        // check-then-wait below is race-free because the DES kernel runs
+        // one fiber at a time and the lock is never held across a yield.
+        let sub = loop {
+            {
+                let mut st = inner.state.lock();
+                if let Some(Reverse(e)) = st.heap.pop() {
+                    st.vtime = st.vtime.max(e.start);
+                    let user = e.sub.user;
+                    let wait_ps = (ctx.now() - e.sub.at).as_ps();
+                    let t = &mut st.tenants[user];
+                    t.depth -= 1;
+                    t.queue_wait.record(wait_ps);
+                    let depth = t.depth;
+                    drop(st);
+                    if let Some(qi) = inner.instr(user) {
+                        qi.pops.inc();
+                        qi.depth.set(i64::from(depth));
+                    }
+                    inner.observe_queue_wait(user, wait_ps);
+                    break Some(e.sub);
                 }
-                Ok(None) => {}
-                Err(_) => all_drained = false,
+                if st.closed {
+                    break None;
+                }
             }
+            inner.work.wait(ctx);
+        };
+        let Some(sub) = sub else { return };
+        // A slot freed in the tenant's queue: wake one blocked submitter.
+        inner.not_full[sub.user].notify_one(ctx);
+        inner.count("array_sched_admitted_total");
+        inner.inflight_add(1);
+        if let Some(sc) = sub.span {
+            // This worker does the query's work: adopt the context minted
+            // at submit and close the loop on how long the query sat
+            // queued and awaiting admission.
+            qp.adopt(ctx, Some(sc));
+            qp.record(Stage::QueueWait, sub.at, ctx.now(), 0, 0);
         }
-        match job {
-            Some(Submitted {
-                job,
-                user,
-                at,
-                span,
-            }) => {
-                inner.admit.acquire(ctx);
-                inner.count("array_sched_admitted_total");
-                inner.inflight_add(1);
-                let qid = inner.next_query.fetch_add(1, Ordering::Relaxed);
-                let inner = Arc::clone(inner);
-                ctx.spawn(format!("query-{qid}"), move |qctx| {
-                    let qp = qctx.qprof().clone();
-                    if let Some(sc) = span {
-                        // The query fiber does the work: adopt the context
-                        // minted at submit and close the loop on how long
-                        // the query sat queued and awaiting admission.
-                        qp.adopt(qctx, Some(sc));
-                        qp.record(Stage::QueueWait, at, qctx.now(), 0, 0);
-                    }
-                    job(qctx);
-                    inner.observe_latency(user, (qctx.now() - at).as_ps());
-                    if let Some(sc) = span {
-                        qp.end_query(qctx, sc);
-                    }
-                    inner.inflight_add(-1);
-                    inner.admit.release(qctx);
-                    inner.completed.fetch_add(1, Ordering::Relaxed);
-                    inner.count("array_sched_completed_total");
-                    inner.done.notify_all(qctx);
-                });
-            }
-            None if inner.closed.load(Ordering::Relaxed) && all_drained => break,
-            None => inner.work.wait(ctx),
+        (sub.job)(ctx);
+        let latency_ps = (ctx.now() - sub.at).as_ps();
+        inner.observe_latency(sub.user, latency_ps);
+        {
+            let mut st = inner.state.lock();
+            let t = &mut st.tenants[sub.user];
+            t.completed += 1;
+            t.latency.record(latency_ps);
         }
+        if let Some(sc) = sub.span {
+            qp.end_query(ctx, sc);
+            qp.adopt(ctx, None);
+        }
+        inner.inflight_add(-1);
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+        inner.count("array_sched_completed_total");
+        inner.done.notify_all(ctx);
     }
 }

@@ -13,6 +13,9 @@
 //!   merge port, and concurrent query scheduler (Fig. 1(b), `docs/SCALE.md`).
 //! - [`fleet`] — the parallel-DES face of the coordinator: one shard
 //!   kernel per drive, each on its own OS thread (`docs/PARALLEL.md`).
+//! - [`workload`] — seeded open/closed-loop traffic generation (Zipf
+//!   tenants, diurnal bursts, mixed query kinds) feeding the
+//!   scheduler's WFQ/shedding QoS layer (`docs/QOS.md`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -22,9 +25,16 @@ pub mod config;
 pub mod fleet;
 pub mod io;
 pub mod search;
+pub mod workload;
 
-pub use array::{ArrayConfig, QueryScheduler, SchedulerConfig, SsdArray};
+pub use array::{
+    ArrayConfig, QueryScheduler, QueryShed, SchedulerConfig, ShedReason, SsdArray, TenantReport,
+};
 pub use config::{HostConfig, HostLoad};
 pub use fleet::{FleetConfig, FleetReport};
 pub use io::ConvIo;
 pub use search::BoyerMoore;
+pub use workload::{
+    Arrival, ArrivalProcess, DiurnalPhase, DriveStats, QueryKind, QueryMix, WorkloadConfig,
+    WorkloadEngine, WorkloadRng,
+};

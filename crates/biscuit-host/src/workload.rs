@@ -1,0 +1,559 @@
+//! Seeded, deterministic traffic generation for millions-of-users soaks.
+//!
+//! The paper measures single-stream TPC-H offload; a deployed array
+//! instead sees *mixed* analytics traffic from a heavy-tailed user
+//! population with pronounced diurnal load swings ("Identifying the
+//! potential of Near Data Computing for Apache Spark", PAPERS.md). This
+//! module generates that traffic shape reproducibly:
+//!
+//! - **Arrival processes.** [`ArrivalProcess::OpenLoop`] draws
+//!   exponential interarrival gaps around a mean — arrivals do not slow
+//!   down when the array backs up, so overload must be *shed*.
+//!   [`ArrivalProcess::ClosedLoop`] gives every tenant a think-time loop
+//!   — at most one outstanding query per tenant, so overload turns into
+//!   *backpressure* instead.
+//! - **Tenant popularity.** Queries are attributed to tenants by a
+//!   Zipf(θ) draw over the tenant population (tenant 0 hottest). The
+//!   first `tenants` arrivals sweep the population round-robin so every
+//!   tenant — however cold — offers at least one query; this is what
+//!   makes "zero starved tenants" a meaningful soak assertion.
+//! - **Diurnal phases.** A repeating cycle of [`DiurnalPhase`]s scales
+//!   the arrival rate (e.g. trough → daytime → burst), compressing a
+//!   day's load curve into simulated milliseconds.
+//! - **Query mix.** Each arrival is a [`QueryKind`] drawn from a
+//!   weighted [`QueryMix`] with a per-kind WFQ cost (plus seeded
+//!   jitter), so schedulers see heterogeneous service demands.
+//!
+//! Everything derives from one [SplitMix64](WorkloadRng) stream seeded
+//! by [`WorkloadConfig::seed`]: the same seed yields byte-identical
+//! arrival sequences, and — because the DES kernel is deterministic —
+//! byte-identical scheduler exports, across repeat runs and
+//! `BISCUIT_PAR` thread policies. See `docs/QOS.md` for a walkthrough.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use biscuit_sim::queue::SimQueue;
+use biscuit_sim::{Ctx, SimDuration, SimTime};
+
+use crate::array::QueryScheduler;
+
+/// SplitMix64: the workload generator's seeded PRNG. Small, fast, and
+/// stable across platforms — the arrival stream is part of the repo's
+/// determinism contract, so the generator is pinned here rather than
+/// borrowed from a crate that may change algorithms.
+#[derive(Debug, Clone)]
+pub struct WorkloadRng {
+    state: u64,
+}
+
+impl WorkloadRng {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        WorkloadRng { state: seed }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// An exponential draw with the given mean, in picoseconds
+    /// (inverse-CDF; the uniform draw is floored away from zero so the
+    /// log never overflows).
+    pub fn exp_ps(&mut self, mean_ps: f64) -> SimDuration {
+        let u = self.next_f64().max(1e-12);
+        SimDuration::from_ps((-mean_ps * u.ln()) as u64)
+    }
+}
+
+/// One kind of query in the mix, mirroring the workloads the repo
+/// already reproduces from the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Sharded pattern scan (the paper's string-search macrobenchmark).
+    Grep,
+    /// TPC-H Q1-shaped scan + aggregate.
+    TpchQ1,
+    /// TPC-H Q6-shaped filtered aggregate.
+    TpchQ6,
+    /// Latency-bound pointer chase (graph traversal).
+    PointerChase,
+}
+
+impl QueryKind {
+    /// Baseline WFQ cost units for this kind — roughly proportional to
+    /// the pages a query of this shape touches relative to the others.
+    pub fn base_cost(self) -> u64 {
+        match self {
+            QueryKind::Grep => 8,
+            QueryKind::TpchQ1 => 12,
+            QueryKind::TpchQ6 => 10,
+            QueryKind::PointerChase => 3,
+        }
+    }
+}
+
+/// Relative draw weights for the query mix.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryMix {
+    /// Weight of [`QueryKind::Grep`].
+    pub grep: u32,
+    /// Weight of [`QueryKind::TpchQ1`].
+    pub tpch_q1: u32,
+    /// Weight of [`QueryKind::TpchQ6`].
+    pub tpch_q6: u32,
+    /// Weight of [`QueryKind::PointerChase`].
+    pub pointer_chase: u32,
+}
+
+impl Default for QueryMix {
+    /// Scan-heavy analytics: 8 grep : 4 Q1 : 4 Q6 : 2 pointer-chase.
+    fn default() -> Self {
+        QueryMix {
+            grep: 8,
+            tpch_q1: 4,
+            tpch_q6: 4,
+            pointer_chase: 2,
+        }
+    }
+}
+
+impl QueryMix {
+    fn total(&self) -> u64 {
+        u64::from(self.grep)
+            + u64::from(self.tpch_q1)
+            + u64::from(self.tpch_q6)
+            + u64::from(self.pointer_chase)
+    }
+
+    fn sample(&self, rng: &mut WorkloadRng) -> QueryKind {
+        let mut r = rng.next_u64() % self.total();
+        for (kind, w) in [
+            (QueryKind::Grep, self.grep),
+            (QueryKind::TpchQ1, self.tpch_q1),
+            (QueryKind::TpchQ6, self.tpch_q6),
+            (QueryKind::PointerChase, self.pointer_chase),
+        ] {
+            if r < u64::from(w) {
+                return kind;
+            }
+            r -= u64::from(w);
+        }
+        QueryKind::Grep
+    }
+}
+
+/// One segment of the repeating diurnal load cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct DiurnalPhase {
+    /// How long this phase lasts (virtual time).
+    pub dur: SimDuration,
+    /// Arrival-rate multiplier while the phase is active (1.0 = the
+    /// configured mean rate; >1 is a burst, <1 a trough).
+    pub rate_mul: f64,
+}
+
+/// How arrivals are paced.
+#[derive(Debug, Clone, Copy)]
+pub enum ArrivalProcess {
+    /// Poisson-like open loop: exponential gaps around
+    /// `mean_interarrival`, independent of array state. Drive with
+    /// [`drive_open_loop`] (sheds on overload).
+    OpenLoop {
+        /// Mean gap between consecutive arrivals (before diurnal
+        /// scaling).
+        mean_interarrival: SimDuration,
+    },
+    /// Closed loop: each tenant keeps one query outstanding and thinks
+    /// for an exponential `mean_think` between completions. Drive with
+    /// [`drive_closed_loop`] (backpressures on overload).
+    ClosedLoop {
+        /// Mean per-tenant think time between a completion and the next
+        /// submission.
+        mean_think: SimDuration,
+    },
+}
+
+/// Knobs for [`WorkloadEngine`].
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// PRNG seed; same seed ⇒ byte-identical arrival stream.
+    pub seed: u64,
+    /// Tenant population size.
+    pub tenants: u32,
+    /// Total arrivals to generate.
+    pub queries: u64,
+    /// Zipf exponent for tenant popularity (0 = uniform; ~1 is the
+    /// classic heavy tail).
+    pub zipf_theta: f64,
+    /// Query-kind mix.
+    pub mix: QueryMix,
+    /// Arrival pacing.
+    pub arrivals: ArrivalProcess,
+    /// Repeating diurnal cycle; empty means a flat rate.
+    pub phases: Vec<DiurnalPhase>,
+}
+
+impl Default for WorkloadConfig {
+    /// A small open-loop smoke shape: 64 tenants, 1024 queries,
+    /// Zipf(1.1), 50 µs mean interarrival, trough/day/burst cycle.
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 0x5EED_0008,
+            tenants: 64,
+            queries: 1024,
+            zipf_theta: 1.1,
+            mix: QueryMix::default(),
+            arrivals: ArrivalProcess::OpenLoop {
+                mean_interarrival: SimDuration::from_micros(50),
+            },
+            phases: vec![
+                DiurnalPhase {
+                    dur: SimDuration::from_millis(5),
+                    rate_mul: 0.4,
+                },
+                DiurnalPhase {
+                    dur: SimDuration::from_millis(10),
+                    rate_mul: 1.0,
+                },
+                DiurnalPhase {
+                    dur: SimDuration::from_millis(5),
+                    rate_mul: 2.5,
+                },
+            ],
+        }
+    }
+}
+
+/// One generated arrival.
+#[derive(Debug, Clone, Copy)]
+pub struct Arrival {
+    /// Global arrival index (0-based, in arrival order).
+    pub seq: u64,
+    /// When the query arrives (virtual time).
+    pub at: SimTime,
+    /// Which tenant offers it.
+    pub tenant: u32,
+    /// What shape of query it is.
+    pub kind: QueryKind,
+    /// WFQ cost units ([`QueryKind::base_cost`] plus seeded jitter).
+    pub cost: u64,
+}
+
+/// The seeded traffic engine: an iterator-style source of [`Arrival`]s.
+#[derive(Debug, Clone)]
+pub struct WorkloadEngine {
+    cfg: WorkloadConfig,
+    rng: WorkloadRng,
+    /// Zipf CDF over tenants (normalized, monotone).
+    cdf: Vec<f64>,
+    cycle_ps: u64,
+    emitted: u64,
+    clock: SimTime,
+}
+
+impl WorkloadEngine {
+    /// Builds the engine, precomputing the Zipf CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is zero or the query mix has zero total
+    /// weight.
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        assert!(cfg.tenants > 0, "workload needs at least one tenant");
+        assert!(cfg.mix.total() > 0, "query mix must have positive weight");
+        let mut cdf = Vec::with_capacity(cfg.tenants as usize);
+        let mut acc = 0.0f64;
+        for r in 0..cfg.tenants {
+            acc += 1.0 / f64::from(r + 1).powf(cfg.zipf_theta);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        let cycle_ps = cfg.phases.iter().map(|p| p.dur.as_ps()).sum();
+        let rng = WorkloadRng::new(cfg.seed);
+        WorkloadEngine {
+            cfg,
+            rng,
+            cdf,
+            cycle_ps,
+            emitted: 0,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// The configuration this engine runs.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+
+    /// Arrivals generated so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Arrivals still to come.
+    pub fn remaining(&self) -> u64 {
+        self.cfg.queries - self.emitted
+    }
+
+    /// The diurnal rate multiplier in effect at `at`.
+    pub fn rate_mul(&self, at: SimTime) -> f64 {
+        if self.cycle_ps == 0 {
+            return 1.0;
+        }
+        let mut pos = at.as_ps() % self.cycle_ps;
+        for ph in &self.cfg.phases {
+            if pos < ph.dur.as_ps() {
+                return ph.rate_mul;
+            }
+            pos -= ph.dur.as_ps();
+        }
+        1.0
+    }
+
+    /// Samples the next tenant: a round-robin coverage sweep for the
+    /// first `tenants` arrivals (so every tenant offers at least one
+    /// query even in a short run), Zipf thereafter.
+    fn sample_tenant(&mut self) -> u32 {
+        if self.emitted < u64::from(self.cfg.tenants)
+            && u64::from(self.cfg.tenants) <= self.cfg.queries
+        {
+            return self.emitted as u32;
+        }
+        let u = self.rng.next_f64();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) as u32
+    }
+
+    fn make(&mut self, at: SimTime, tenant: u32) -> Arrival {
+        let kind = self.cfg.mix.sample(&mut self.rng);
+        let base = kind.base_cost();
+        let cost = base + self.rng.next_u64() % (base / 2 + 1);
+        let seq = self.emitted;
+        self.emitted += 1;
+        Arrival {
+            seq,
+            at,
+            tenant,
+            kind,
+            cost,
+        }
+    }
+
+    /// The next open-loop arrival, or `None` when the configured query
+    /// count is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was configured closed-loop — use
+    /// [`WorkloadEngine::initial`] / [`WorkloadEngine::resubmit`] (or
+    /// just [`drive_closed_loop`]) there.
+    pub fn next_arrival(&mut self) -> Option<Arrival> {
+        let ArrivalProcess::OpenLoop { mean_interarrival } = self.cfg.arrivals else {
+            panic!("WorkloadEngine::next_arrival is for open-loop configs");
+        };
+        if self.emitted >= self.cfg.queries {
+            return None;
+        }
+        let mul = self.rate_mul(self.clock);
+        let gap = self.rng.exp_ps(mean_interarrival.as_ps() as f64 / mul);
+        self.clock = self.clock + gap;
+        let at = self.clock;
+        let tenant = self.sample_tenant();
+        Some(self.make(at, tenant))
+    }
+
+    /// The closed-loop warm-up set: one arrival per tenant (capped at
+    /// the query budget), staggered across one mean think time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was configured open-loop.
+    pub fn initial(&mut self) -> Vec<Arrival> {
+        let ArrivalProcess::ClosedLoop { mean_think } = self.cfg.arrivals else {
+            panic!("WorkloadEngine::initial is for closed-loop configs");
+        };
+        let n = u64::from(self.cfg.tenants).min(self.cfg.queries);
+        let gap = mean_think.as_ps() / u64::from(self.cfg.tenants);
+        (0..n)
+            .map(|i| {
+                let at = SimTime::from_ps(i * gap);
+                self.make(at, i as u32)
+            })
+            .collect()
+    }
+
+    /// The tenant's next closed-loop arrival after a completion at
+    /// `now` (think time applied), or `None` when the query budget is
+    /// exhausted and the tenant retires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was configured open-loop.
+    pub fn resubmit(&mut self, tenant: u32, now: SimTime) -> Option<Arrival> {
+        let ArrivalProcess::ClosedLoop { mean_think } = self.cfg.arrivals else {
+            panic!("WorkloadEngine::resubmit is for closed-loop configs");
+        };
+        if self.emitted >= self.cfg.queries {
+            return None;
+        }
+        let mul = self.rate_mul(now);
+        let gap = self.rng.exp_ps(mean_think.as_ps() as f64 / mul);
+        Some(self.make(now + gap, tenant))
+    }
+}
+
+/// What a driver did with the engine's arrivals. The open-loop
+/// reconciliation invariant is `offered == accepted + shed`; closed
+/// loop never sheds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriveStats {
+    /// Arrivals offered to the scheduler.
+    pub offered: u64,
+    /// Arrivals the scheduler accepted.
+    pub accepted: u64,
+    /// Arrivals shed (open loop only).
+    pub shed: u64,
+}
+
+/// Runs an open-loop engine against `sched` on the calling fiber:
+/// sleeps to each arrival's time, then [`QueryScheduler::try_submit_cost`]s
+/// the job built by `make_job`. Arrivals the scheduler cannot absorb
+/// are shed, not queued — that is the open-loop contract. Returns once
+/// the engine is exhausted (queries may still be in flight; drain with
+/// [`QueryScheduler::wait_completed`]).
+pub fn drive_open_loop<J, F>(
+    ctx: &Ctx,
+    sched: &QueryScheduler,
+    engine: &mut WorkloadEngine,
+    mut make_job: F,
+) -> DriveStats
+where
+    F: FnMut(&Arrival) -> J,
+    J: FnOnce(&Ctx) + Send + 'static,
+{
+    let mut stats = DriveStats::default();
+    while let Some(a) = engine.next_arrival() {
+        if a.at > ctx.now() {
+            ctx.sleep_until(a.at);
+        }
+        stats.offered += 1;
+        match sched.try_submit_cost(ctx, a.tenant as usize, a.cost, make_job(&a)) {
+            Ok(()) => stats.accepted += 1,
+            Err(_) => stats.shed += 1,
+        }
+    }
+    stats
+}
+
+/// Heap key for pending closed-loop submissions: earliest due time
+/// first; ties break by tenant (at most one outstanding per tenant, so
+/// the pair is unique).
+struct Pending(Arrival);
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        (self.0.at, self.0.tenant) == (other.0.at, other.0.tenant)
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.at, self.0.tenant).cmp(&(other.0.at, other.0.tenant))
+    }
+}
+
+/// Runs a closed-loop engine against `sched` on the calling fiber:
+/// every tenant keeps at most one query outstanding, thinks between
+/// completions, and blocks (backpressure) rather than shedding when
+/// its queue is full. Returns once every tenant has retired and all
+/// outstanding completions were observed; the scheduler itself may
+/// still be running queries submitted by others.
+pub fn drive_closed_loop<J, F>(
+    ctx: &Ctx,
+    sched: &QueryScheduler,
+    engine: &mut WorkloadEngine,
+    mut make_job: F,
+) -> DriveStats
+where
+    F: FnMut(&Arrival) -> J,
+    J: FnOnce(&Ctx) + Send + 'static,
+{
+    let mut stats = DriveStats::default();
+    // Completion notices flow back over a bounded queue sized so a
+    // worker can never block on it: at most one outstanding query (and
+    // hence one pending notice) per tenant.
+    let completions: SimQueue<u32> = SimQueue::new(engine.config().tenants.max(1) as usize);
+    let mut due: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
+    let mut outstanding = 0u64;
+    for a in engine.initial() {
+        due.push(Reverse(Pending(a)));
+    }
+    loop {
+        // Drain completion notices first: each one retires or re-arms a
+        // tenant.
+        while let Ok(Some(tenant)) = completions.try_pop(ctx) {
+            outstanding -= 1;
+            if let Some(a) = engine.resubmit(tenant, ctx.now()) {
+                due.push(Reverse(Pending(a)));
+            }
+        }
+        if let Some(head_at) = due.peek().map(|Reverse(Pending(a))| a.at) {
+            if head_at <= ctx.now() {
+                let Some(Reverse(Pending(a))) = due.pop() else {
+                    unreachable!()
+                };
+                let job = make_job(&a);
+                let cq = completions.clone();
+                let tenant = a.tenant;
+                stats.offered += 1;
+                sched.submit_cost(ctx, tenant as usize, a.cost, move |qctx: &Ctx| {
+                    job(qctx);
+                    let _ = cq.push(qctx, tenant);
+                });
+                stats.accepted += 1;
+                outstanding += 1;
+                continue;
+            }
+            // Wait for the head to come due or a completion to land,
+            // whichever is first.
+            if let Ok(Some(tenant)) = completions.pop_deadline(ctx, head_at) {
+                outstanding -= 1;
+                if let Some(a) = engine.resubmit(tenant, ctx.now()) {
+                    due.push(Reverse(Pending(a)));
+                }
+            }
+            continue;
+        }
+        if outstanding == 0 {
+            break;
+        }
+        match completions.pop(ctx) {
+            Some(tenant) => {
+                outstanding -= 1;
+                if let Some(a) = engine.resubmit(tenant, ctx.now()) {
+                    due.push(Reverse(Pending(a)));
+                }
+            }
+            None => break,
+        }
+    }
+    stats
+}

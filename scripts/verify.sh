@@ -33,6 +33,12 @@ if ! $docs_only; then
     cargo test -q -p biscuit-sim qprof
     cargo test -q --test qprof
     BISCUIT_PAR=2 cargo test -q --test qprof
+    echo "== qos: WFQ proptests, workload determinism, 64k soak gate"
+    cargo test -q -p biscuit-host --test wfq_proptests
+    cargo test -q --test workload
+    BISCUIT_PAR=2 cargo test -q --test workload
+    QOS_SMOKE=1 cargo bench -p biscuit-bench --bench qos
+    cargo run --release -q -p biscuit-bench --bin bench_check -- --only qos
     echo "== wall-clock smoke: throughput bench + 2x regression gate"
     WALLCLOCK_SMOKE=1 WALLCLOCK_BASELINE=benchmarks/wallclock_baseline.json \
         cargo bench -p biscuit-bench --bench wallclock

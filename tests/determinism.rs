@@ -252,6 +252,7 @@ fn scaleout_run() -> (String, String, u64) {
             users: 4,
             max_inflight: 4,
             queue_capacity: 4,
+            weights: Vec::new(),
         });
         sched.attach_metrics(ctx.metrics());
         sched.start(ctx);

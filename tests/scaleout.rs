@@ -81,6 +81,7 @@ fn soak_64_queries_4_drives_under_faults_drains_clean() {
         users: USERS,
         max_inflight: 6,
         queue_capacity: 4,
+        weights: Vec::new(),
     });
     let sched_out = sched.clone();
 

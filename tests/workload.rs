@@ -1,0 +1,470 @@
+//! Workload-engine + QoS determinism, and scheduler close/drain edge
+//! cases — the contracts behind `docs/QOS.md`.
+//!
+//! The headline test runs a seeded open-loop Zipf soak with *shedding
+//! active* through the real 4-drive datapath and asserts that every
+//! export — metrics JSON, Chrome trace, query profiles, and the
+//! scheduler's per-tenant QoS summary — is byte-identical across repeat
+//! rounds. The QoS stack runs entirely on the host DES kernel, which is
+//! independent of the `BISCUIT_PAR` thread policy by construction (the
+//! policy only shapes the shard fleet; see `tests/parallel.rs`);
+//! `scripts/verify.sh` additionally re-runs this suite under
+//! `BISCUIT_PAR=2` so the independence is exercised, not assumed.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use biscuit::apps::search::ArrayGrep;
+use biscuit::apps::weblog::{WeblogGen, NEEDLE};
+use biscuit::core::{CoreConfig, Ssd};
+use biscuit::fs::Fs;
+use biscuit::host::array::ArrayConfig;
+use biscuit::host::workload::{drive_closed_loop, drive_open_loop};
+use biscuit::host::{
+    ArrivalProcess, HostConfig, HostLoad, QueryKind, QueryMix, QueryScheduler, QueryShed,
+    SchedulerConfig, ShedReason, SsdArray, WorkloadConfig, WorkloadEngine,
+};
+use biscuit::sim::time::SimDuration;
+use biscuit::sim::{Ctx, Simulation, TraceConfig};
+use biscuit::ssd::{SsdConfig, SsdDevice};
+
+const DRIVES: usize = 4;
+const SHARD_PAGES: u64 = 24;
+const TENANTS: u32 = 8;
+const QUERIES: u64 = 128;
+const SOAK_SEED: u64 = 0x50AB_0008;
+
+fn make_array() -> (SsdArray, u64) {
+    let mut expected = 0u64;
+    let drives: Vec<Ssd> = (0..DRIVES)
+        .map(|i| {
+            let device = Arc::new(SsdDevice::new(SsdConfig {
+                logical_capacity: 32 << 20,
+                ..SsdConfig::paper_default()
+            }));
+            let fs = Fs::format(device);
+            let page = fs.device().config().page_size as u64;
+            let gen = Arc::new(WeblogGen::new(90 + i as u64, 200));
+            expected += gen.count_needles(SHARD_PAGES, page as usize);
+            fs.create_synthetic("shard.log", SHARD_PAGES * page, gen)
+                .unwrap();
+            Ssd::new(fs, CoreConfig::paper_default())
+        })
+        .collect();
+    (
+        SsdArray::new(drives, HostConfig::paper_default(), ArrayConfig::default()),
+        expected,
+    )
+}
+
+/// Every export surface of one seeded open-loop soak.
+struct SoakArtifacts {
+    metrics: String,
+    trace: String,
+    profiles: String,
+    qos: String,
+    accepted: u64,
+    shed: u64,
+}
+
+/// A seeded Zipf soak through the real datapath: open-loop arrivals fast
+/// enough that the bounded queues must shed, every accepted query a full
+/// sharded grep over 4 drives. Returns all four export surfaces.
+fn qos_soak(seed: u64) -> SoakArtifacts {
+    let (array, expected) = make_array();
+    assert!(expected > 0, "the corpus plants needles");
+
+    let sim = Simulation::new(seed);
+    sim.enable_metrics();
+    sim.enable_trace(TraceConfig::default());
+    sim.enable_qprof();
+    array.attach_metrics(sim.metrics());
+    array.attach_tracer(sim.tracer());
+    array.attach_qprof(sim.qprof());
+
+    let sched = QueryScheduler::new(SchedulerConfig {
+        users: TENANTS as usize,
+        queue_capacity: 2,
+        ..SchedulerConfig::for_drives(DRIVES)
+    });
+    let sched_out = sched.clone();
+    let qos_out: Arc<Mutex<String>> = Arc::new(Mutex::new(String::new()));
+    let qos = Arc::clone(&qos_out);
+    let counts: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let got = Arc::clone(&counts);
+
+    sim.spawn("host", move |ctx| {
+        let grep = ArrayGrep::prepare(ctx, &array).unwrap();
+        sched.attach_metrics(ctx.metrics());
+        sched.start(ctx);
+        let mut engine = WorkloadEngine::new(WorkloadConfig {
+            seed,
+            tenants: TENANTS,
+            queries: QUERIES,
+            zipf_theta: 1.1,
+            mix: QueryMix::default(),
+            arrivals: ArrivalProcess::OpenLoop {
+                mean_interarrival: SimDuration::from_micros(2),
+            },
+            phases: vec![],
+        });
+        let stats = drive_open_loop(ctx, &sched, &mut engine, |_a| {
+            let array = array.clone();
+            let grep = grep.clone();
+            let got = Arc::clone(&got);
+            move |qctx: &Ctx| {
+                let n = grep
+                    .run(qctx, &array, "shard.log", NEEDLE.as_bytes(), HostLoad::IDLE)
+                    .unwrap();
+                got.lock().push(n);
+            }
+        });
+        sched.close(ctx);
+        sched.wait_completed(ctx, sched.submitted());
+
+        // Shed counters reconcile exactly: offered == accepted + shed,
+        // and everything accepted completes during the drain.
+        assert_eq!(stats.offered, QUERIES, "engine exhausted its budget");
+        assert_eq!(stats.offered, stats.accepted + stats.shed);
+        assert_eq!(sched.submitted(), stats.accepted);
+        assert_eq!(sched.shed(), stats.shed);
+        assert_eq!(sched.completed(), stats.accepted);
+        assert!(stats.shed > 0, "this soak is sized to overload the array");
+
+        // Zero starved tenants: the engine's coverage sweep guarantees
+        // every tenant offers at least one query, and WFQ guarantees the
+        // accepted ones complete.
+        for r in sched.tenant_reports() {
+            assert!(r.offered > 0, "tenant {} never offered", r.user);
+            assert!(r.completed > 0, "tenant {} starved", r.user);
+            assert_eq!(r.offered, r.accepted + r.shed, "tenant {} books", r.user);
+            assert_eq!(r.completed, r.accepted, "tenant {} lost queries", r.user);
+        }
+        *qos.lock() = sched.qos_json();
+    });
+
+    let report = sim.run();
+    report.assert_quiescent();
+
+    let accepted = sched_out.submitted();
+    let shed = sched_out.shed();
+    let all = counts.lock();
+    assert_eq!(all.len(), accepted as usize);
+    for &n in all.iter() {
+        assert_eq!(n, expected, "every accepted query sees the whole corpus");
+    }
+
+    // Query profiles close: one profile per accepted query, none left
+    // open, no orphan spans.
+    assert_eq!(report.profiles.open(), 0, "queries never closed");
+    assert_eq!(report.profiles.queries().len(), accepted as usize);
+    for q in report.profiles.queries() {
+        assert_eq!(q.orphans, 0, "query {} has orphan spans", q.query);
+        assert!(q.spans > 0, "query {} recorded no spans", q.query);
+    }
+
+    // The shed path is metered per user and in aggregate.
+    let snap = &report.metrics;
+    assert_eq!(snap.counter_sum("sched_shed_total"), shed);
+    assert_eq!(snap.counter_sum("array_sched_submitted_total"), accepted);
+    assert_eq!(snap.counter_sum("array_sched_completed_total"), accepted);
+
+    SoakArtifacts {
+        metrics: snap.to_json(),
+        trace: report.trace.to_chrome_json(),
+        profiles: report.profiles.to_json(),
+        qos: Arc::try_unwrap(qos_out).unwrap().into_inner(),
+        accepted,
+        shed,
+    }
+}
+
+#[test]
+fn soak_with_shedding_is_byte_identical_across_rounds() {
+    let reference = qos_soak(SOAK_SEED);
+    assert!(reference.accepted > 0 && reference.shed > 0);
+    assert!(reference.qos.contains("\"wait_p999_ps\""));
+    assert!(reference.metrics.contains("sched_shed_total"));
+    assert!(reference.metrics.contains("array_queue_wait_ps"));
+    for round in 0..2 {
+        let repeat = qos_soak(SOAK_SEED);
+        assert_eq!(repeat.accepted, reference.accepted, "round {round}");
+        assert_eq!(repeat.shed, reference.shed, "round {round}");
+        assert_eq!(repeat.qos, reference.qos, "round {round}: QoS export");
+        assert_eq!(repeat.metrics, reference.metrics, "round {round}: metrics");
+        assert_eq!(repeat.trace, reference.trace, "round {round}: trace");
+        assert_eq!(
+            repeat.profiles, reference.profiles,
+            "round {round}: query profiles"
+        );
+    }
+}
+
+#[test]
+fn engine_stream_is_seed_deterministic_and_covers_every_tenant() {
+    let cfg = WorkloadConfig {
+        seed: 0xAB,
+        tenants: 64,
+        queries: 4096,
+        ..WorkloadConfig::default()
+    };
+    let mut a = WorkloadEngine::new(cfg.clone());
+    let mut b = WorkloadEngine::new(cfg);
+    let sa: Vec<(u64, u64, u32, QueryKind, u64)> = std::iter::from_fn(|| a.next_arrival())
+        .map(|x| (x.seq, x.at.as_ps(), x.tenant, x.kind, x.cost))
+        .collect();
+    let sb: Vec<(u64, u64, u32, QueryKind, u64)> = std::iter::from_fn(|| b.next_arrival())
+        .map(|x| (x.seq, x.at.as_ps(), x.tenant, x.kind, x.cost))
+        .collect();
+    assert_eq!(sa, sb, "same seed, same stream");
+    assert_eq!(sa.len(), 4096);
+    assert_eq!(a.emitted(), 4096);
+    assert_eq!(a.remaining(), 0);
+
+    // Arrival times are strictly ordered by construction of the clock.
+    assert!(sa.windows(2).all(|w| w[0].1 <= w[1].1));
+    // Coverage sweep: the first 64 arrivals visit each tenant once.
+    for (i, arr) in sa.iter().take(64).enumerate() {
+        assert_eq!(arr.2, i as u32, "coverage sweep is round-robin");
+    }
+    // Zipf head: tenant 0 is the hottest, and nobody is left out.
+    let mut counts = vec![0u64; 64];
+    for arr in &sa {
+        counts[arr.2 as usize] += 1;
+    }
+    assert!(counts.iter().all(|&c| c > 0), "coverage sweep covers all");
+    assert!(
+        counts[0] > counts[63],
+        "Zipf(1.1) must skew the head over the tail: {} vs {}",
+        counts[0],
+        counts[63]
+    );
+    // The mix actually mixes: all four kinds appear over 4096 draws.
+    for kind in [
+        QueryKind::Grep,
+        QueryKind::TpchQ1,
+        QueryKind::TpchQ6,
+        QueryKind::PointerChase,
+    ] {
+        assert!(
+            sa.iter().any(|arr| arr.3 == kind),
+            "{kind:?} never drawn from the default mix"
+        );
+        assert!(
+            sa.iter()
+                .filter(|arr| arr.3 == kind)
+                .all(|arr| arr.4 >= kind.base_cost()),
+            "{kind:?} cost jitter went below base"
+        );
+    }
+}
+
+#[test]
+fn closed_loop_backpressures_and_never_sheds() {
+    let sim = Simulation::new(7);
+    sim.spawn("host", |ctx| {
+        let sched = QueryScheduler::new(SchedulerConfig {
+            users: 8,
+            max_inflight: 2,
+            queue_capacity: 1,
+            weights: Vec::new(),
+        });
+        sched.start(ctx);
+        let mut engine = WorkloadEngine::new(WorkloadConfig {
+            seed: 3,
+            tenants: 8,
+            queries: 96,
+            zipf_theta: 0.9,
+            mix: QueryMix::default(),
+            arrivals: ArrivalProcess::ClosedLoop {
+                mean_think: SimDuration::from_micros(10),
+            },
+            phases: vec![],
+        });
+        let stats = drive_closed_loop(ctx, &sched, &mut engine, |a| {
+            let cost_us = a.cost;
+            move |qctx: &Ctx| qctx.sleep(SimDuration::from_micros(cost_us))
+        });
+        assert_eq!(stats.offered, 96, "every budgeted query was submitted");
+        assert_eq!(stats.accepted, 96, "closed loop blocks, never sheds");
+        assert_eq!(stats.shed, 0);
+        assert_eq!(sched.shed(), 0);
+        sched.close(ctx);
+        sched.wait_completed(ctx, 96);
+        for r in sched.tenant_reports() {
+            assert!(r.offered > 0, "tenant {} never played", r.user);
+            assert_eq!(r.completed, r.offered, "tenant {} lost queries", r.user);
+            assert_eq!(r.shed, 0);
+        }
+    });
+    sim.run().assert_quiescent();
+}
+
+#[test]
+fn closed_loop_with_fewer_queries_than_tenants() {
+    let sim = Simulation::new(9);
+    sim.spawn("host", |ctx| {
+        let sched = QueryScheduler::new(SchedulerConfig {
+            users: 8,
+            ..SchedulerConfig::default()
+        });
+        sched.start(ctx);
+        let mut engine = WorkloadEngine::new(WorkloadConfig {
+            seed: 4,
+            tenants: 8,
+            queries: 3,
+            zipf_theta: 1.0,
+            mix: QueryMix::default(),
+            arrivals: ArrivalProcess::ClosedLoop {
+                mean_think: SimDuration::from_micros(5),
+            },
+            phases: vec![],
+        });
+        let stats = drive_closed_loop(ctx, &sched, &mut engine, |_a| {
+            move |qctx: &Ctx| qctx.sleep(SimDuration::from_micros(1))
+        });
+        assert_eq!(stats.offered, 3, "budget caps the warm-up set");
+        assert_eq!(stats.shed, 0);
+        sched.close(ctx);
+        sched.wait_completed(ctx, 3);
+    });
+    sim.run().assert_quiescent();
+}
+
+// ---------------------------------------------------------------------------
+// Close / drain edge cases
+// ---------------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "submit on a closed scheduler")]
+fn submit_after_close_panics() {
+    let sim = Simulation::new(1);
+    sim.spawn("host", |ctx| {
+        let sched = QueryScheduler::new(SchedulerConfig::default());
+        sched.start(ctx);
+        sched.close(ctx);
+        sched.submit(ctx, 0, |_qctx: &Ctx| {});
+    });
+    sim.run();
+}
+
+#[test]
+#[should_panic(expected = "submit on a closed scheduler")]
+fn close_wakes_blocked_submitter_into_panic() {
+    let sim = Simulation::new(2);
+    sim.spawn("host", |ctx| {
+        let sched = QueryScheduler::new(SchedulerConfig {
+            users: 1,
+            max_inflight: 1,
+            queue_capacity: 1,
+            weights: Vec::new(),
+        });
+        sched.start(ctx);
+        // Occupy the single worker, then fill the single queue slot.
+        sched.submit(ctx, 0, |qctx: &Ctx| {
+            qctx.sleep(SimDuration::from_micros(100));
+        });
+        ctx.sleep(SimDuration::from_micros(1));
+        sched.submit(ctx, 0, |_qctx: &Ctx| {});
+        // A third submission must block on backpressure...
+        let s2 = sched.clone();
+        ctx.spawn("blocked", move |bctx| {
+            s2.submit(bctx, 0, |_qctx: &Ctx| {});
+        });
+        ctx.sleep(SimDuration::from_micros(1));
+        // ...and closing while it waits wakes it into the documented
+        // panic rather than leaving it parked forever.
+        sched.close(ctx);
+    });
+    sim.run();
+}
+
+#[test]
+fn try_submit_after_close_sheds_with_closed_reason() {
+    let sim = Simulation::new(3);
+    sim.spawn("host", |ctx| {
+        let sched = QueryScheduler::new(SchedulerConfig::default());
+        sched.start(ctx);
+        sched.close(ctx);
+        let err = sched.try_submit(ctx, 0, |_qctx: &Ctx| {}).unwrap_err();
+        assert_eq!(
+            err,
+            QueryShed {
+                user: 0,
+                reason: ShedReason::Closed
+            }
+        );
+        assert_eq!(sched.shed(), 1);
+        assert_eq!(sched.submitted(), 0);
+        let r = sched.tenant_reports();
+        assert_eq!(r[0].offered, 1);
+        assert_eq!(r[0].shed, 1);
+        assert_eq!(r[0].accepted, 0);
+    });
+    sim.run().assert_quiescent();
+}
+
+#[test]
+fn inflight_queries_complete_during_drain() {
+    let done: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
+    let out = Arc::clone(&done);
+    let sim = Simulation::new(4);
+    sim.spawn("host", move |ctx| {
+        let sched = QueryScheduler::new(SchedulerConfig {
+            users: 2,
+            max_inflight: 2,
+            queue_capacity: 8,
+            weights: Vec::new(),
+        });
+        sched.start(ctx);
+        for i in 0..6usize {
+            let out = Arc::clone(&out);
+            sched.submit(ctx, i % 2, move |qctx: &Ctx| {
+                qctx.sleep(SimDuration::from_micros(10));
+                *out.lock() += 1;
+            });
+        }
+        // Close immediately: nothing submitted past this point, but the
+        // buffered and in-flight queries all finish during the drain.
+        sched.close(ctx);
+        sched.wait_completed(ctx, 6);
+        assert_eq!(sched.completed(), 6);
+        for r in sched.tenant_reports() {
+            assert_eq!(r.completed, r.offered, "tenant {} dropped work", r.user);
+            assert_eq!(r.shed, 0);
+        }
+    });
+    sim.run().assert_quiescent();
+    assert_eq!(*done.lock(), 6, "every job body actually ran");
+}
+
+#[test]
+fn blocking_submit_meters_backpressure() {
+    let sim = Simulation::new(5);
+    sim.enable_metrics();
+    sim.spawn("host", |ctx| {
+        let sched = QueryScheduler::new(SchedulerConfig {
+            users: 1,
+            max_inflight: 1,
+            queue_capacity: 1,
+            weights: Vec::new(),
+        });
+        sched.attach_metrics(ctx.metrics());
+        sched.start(ctx);
+        for _ in 0..3 {
+            sched.submit(ctx, 0, |qctx: &Ctx| {
+                qctx.sleep(SimDuration::from_micros(10));
+            });
+        }
+        sched.close(ctx);
+        sched.wait_completed(ctx, 3);
+    });
+    let report = sim.run();
+    report.assert_quiescent();
+    assert_eq!(report.metrics.counter_sum("array_sched_completed_total"), 3);
+    assert!(
+        report.metrics.counter_sum("array_sched_backpressure_total") >= 1,
+        "a 1-slot queue fed 3 queries must backpressure the submitter"
+    );
+}
