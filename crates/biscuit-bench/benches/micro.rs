@@ -9,6 +9,7 @@ use biscuit_db::tpch::TpchData;
 use biscuit_db::value::{row_from_text, row_to_text};
 use biscuit_host::search::BoyerMoore;
 use biscuit_proto::wire::Wire;
+use biscuit_sim::fault::FaultPlan;
 use biscuit_sim::queue::SimQueue;
 use biscuit_sim::time::SimDuration;
 use biscuit_sim::Simulation;
@@ -98,7 +99,8 @@ fn bench_ftl(c: &mut Criterion) {
             |(mut nand, mut ftl)| {
                 for i in 0..512u64 {
                     let data = PageData::Bytes(biscuit_proto::Buf::from_vec(vec![i as u8; 64]));
-                    ftl.write(&mut nand, i % 1024, data).expect("write");
+                    ftl.write(&mut nand, i % 1024, data, &FaultPlan::none())
+                        .expect("write");
                 }
             },
             BatchSize::SmallInput,

@@ -75,9 +75,15 @@ pub enum FaultSite {
     /// A whole drive in a multi-SSD array going silent mid-query (scatter
     /// coordinator site; see `biscuit-host::array`).
     Drive,
+    /// A sudden power loss that halts the device at a seeded persistence
+    /// operation (an FTL host write or a GC relocation/erase). Volatile
+    /// state — the L2P map, open write frontiers, the synth-page cache —
+    /// is lost; only NAND contents and the L2P journal survive. Recovery
+    /// replays the journal (see `Ftl::recover` in `biscuit-ssd`).
+    PowerLoss,
 }
 
-const SITE_COUNT: usize = 6;
+const SITE_COUNT: usize = 7;
 
 impl FaultSite {
     /// Stable label used in metrics and trace events.
@@ -89,6 +95,7 @@ impl FaultSite {
             FaultSite::CoreStall => "core_stall",
             FaultSite::Ssdlet => "ssdlet",
             FaultSite::Drive => "drive",
+            FaultSite::PowerLoss => "power_loss",
         }
     }
 
@@ -100,6 +107,7 @@ impl FaultSite {
             FaultSite::CoreStall => 3,
             FaultSite::Ssdlet => 4,
             FaultSite::Drive => 5,
+            FaultSite::PowerLoss => 6,
         }
     }
 }
@@ -164,6 +172,19 @@ pub struct FaultConfig {
     /// For [`DriveLossPhase::MidGather`]: how many merge items the drive
     /// delivers before dying (it never closes its lane).
     pub drive_loss_items: u64,
+    /// Number of sudden power losses (across the plan's lifetime). Each
+    /// halts the device at a seeded persistence operation of the phase
+    /// selected by [`power_loss_phase`]; the exact operation is drawn
+    /// uniformly from `1..=power_loss_window`.
+    ///
+    /// [`power_loss_phase`]: FaultConfig::power_loss_phase
+    pub power_losses: u32,
+    /// Which persistence operations are eligible crash instants.
+    pub power_loss_phase: PowerLossPhase,
+    /// The crash fires at the Nth eligible persistence operation, with N
+    /// drawn deterministically from `1..=power_loss_window` (so a window
+    /// of 1 crashes at the very first eligible operation).
+    pub power_loss_window: u64,
 }
 
 impl Default for FaultConfig {
@@ -185,6 +206,9 @@ impl Default for FaultConfig {
             drive_losses: 0,
             drive_loss_phase: DriveLossPhase::MidScatter,
             drive_loss_items: 1,
+            power_losses: 0,
+            power_loss_phase: PowerLossPhase::MidWrite,
+            power_loss_window: 256,
         }
     }
 }
@@ -198,6 +222,30 @@ pub enum DriveLossPhase {
     /// The drive delivers a few items, then silently stops without ever
     /// closing its merge lane.
     MidGather,
+}
+
+/// Which FTL persistence operations a power loss may interrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PowerLossPhase {
+    /// Crash at a host-initiated page write.
+    #[default]
+    MidWrite,
+    /// Crash during garbage collection (a valid-page relocation or the
+    /// block erase that follows).
+    MidGc,
+}
+
+/// A deterministic power-loss instant, consumed once per crash.
+///
+/// `torn` models where, within the interrupted persistence operation, the
+/// power failed: `false` crashes *before* the journal record was appended
+/// (the operation never happened), `true` crashes *after* the journal
+/// append but *before* the NAND program completed (a torn write that
+/// recovery must detect and roll back to the previous mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerLossPoint {
+    /// True when the crash lands between journal append and NAND program.
+    pub torn: bool,
 }
 
 /// A deterministic whole-drive loss, consumed once per affected scatter.
@@ -247,6 +295,10 @@ struct PlanInner {
     panics_left: AtomicU64,
     stalls_left: AtomicU64,
     drive_losses_left: AtomicU64,
+    power_losses_left: AtomicU64,
+    /// Count of crash-eligible persistence operations seen so far (the
+    /// stream the seeded crash instant indexes into).
+    power_ops: AtomicU64,
     trace: OnceLock<Tracer>,
     metrics: OnceLock<MetricsRegistry>,
 }
@@ -293,6 +345,7 @@ impl FaultPlan {
         let panics = cfg.ssdlet_panics as u64;
         let stalls = cfg.ssdlet_stalls as u64;
         let losses = cfg.drive_losses as u64;
+        let power = cfg.power_losses as u64;
         FaultPlan {
             inner: Some(Arc::new(PlanInner {
                 seed,
@@ -302,6 +355,8 @@ impl FaultPlan {
                 panics_left: AtomicU64::new(panics),
                 stalls_left: AtomicU64::new(stalls),
                 drive_losses_left: AtomicU64::new(losses),
+                power_losses_left: AtomicU64::new(power),
+                power_ops: AtomicU64::new(0),
                 trace: OnceLock::new(),
                 metrics: OnceLock::new(),
             })),
@@ -418,6 +473,45 @@ impl FaultPlan {
             shard: (h % shards as u64) as usize,
             phase: inner.cfg.drive_loss_phase,
             items: inner.cfg.drive_loss_items,
+        })
+    }
+
+    /// Consumes and returns the power-loss instant (if any) for one FTL
+    /// persistence operation. `during_gc` tags the operation's phase
+    /// (`true` for GC relocations and erases, `false` for host writes);
+    /// only operations matching [`FaultConfig::power_loss_phase`] count
+    /// toward the seeded crash instant. The Nth eligible operation
+    /// crashes, with N drawn uniformly from
+    /// `1..=`[`FaultConfig::power_loss_window`]; with a budget above one,
+    /// each subsequent crash re-draws a fresh offset past the previous
+    /// instant.
+    pub fn power_loss(&self, during_gc: bool) -> Option<PowerLossPoint> {
+        let inner = self.inner.as_deref()?;
+        let cfg = &inner.cfg;
+        if cfg.power_losses == 0 {
+            return None;
+        }
+        let eligible = match cfg.power_loss_phase {
+            PowerLossPhase::MidWrite => !during_gc,
+            PowerLossPhase::MidGc => during_gc,
+        };
+        if !eligible {
+            return None;
+        }
+        let n = inner.power_ops.fetch_add(1, Ordering::Relaxed) + 1;
+        let window = cfg.power_loss_window.max(1);
+        let site = FaultSite::PowerLoss.index() as u64 + 1;
+        // The crash instants are a cumulative sum of seeded per-loss
+        // offsets, so every loss in the budget lands at a distinct op.
+        let fired = cfg.power_losses as u64 - inner.power_losses_left.load(Ordering::Relaxed);
+        let target: u64 = (0..=fired)
+            .map(|j| 1 + mix(inner.seed, site, j) % window)
+            .sum();
+        if n != target || !take_one(&inner.power_losses_left) {
+            return None;
+        }
+        Some(PowerLossPoint {
+            torn: mix(inner.seed, site, 1 << 32 | fired) & 1 == 1,
         })
     }
 
@@ -718,6 +812,57 @@ mod tests {
         assert_eq!(FaultPlan::none().drive_loss(4), None);
         let c = FaultPlan::seeded(11, cfg);
         assert_eq!(c.drive_loss(0), None);
+    }
+
+    #[test]
+    fn power_loss_draws_deterministically_and_respects_phase() {
+        let cfg = FaultConfig {
+            power_losses: 1,
+            power_loss_phase: PowerLossPhase::MidWrite,
+            power_loss_window: 8,
+            ..FaultConfig::default()
+        };
+        let fire_at = |plan: &FaultPlan| -> Option<usize> {
+            (0..64).find(|_| plan.power_loss(false).is_some())
+        };
+        let a = FaultPlan::seeded(21, cfg.clone());
+        let b = FaultPlan::seeded(21, cfg.clone());
+        let at = fire_at(&a).expect("window 8 fires within 64 ops");
+        assert!(at < 8, "crash lands inside the window");
+        assert_eq!(Some(at), fire_at(&b), "same seed, same instant");
+        assert!(fire_at(&a).is_none(), "budget 1 is exhausted");
+        // GC ops are ineligible under MidWrite and never advance the
+        // counted stream.
+        let c = FaultPlan::seeded(21, cfg.clone());
+        for _ in 0..64 {
+            assert!(c.power_loss(true).is_none());
+        }
+        assert_eq!(fire_at(&c), Some(at), "gc noise does not shift instant");
+        // The torn/clean sub-draw is seed-stable too.
+        let d = FaultPlan::seeded(21, cfg.clone());
+        let e = FaultPlan::seeded(21, cfg);
+        let torn_d = (0..64).find_map(|_| d.power_loss(false)).unwrap().torn;
+        let torn_e = (0..64).find_map(|_| e.power_loss(false)).unwrap().torn;
+        assert_eq!(torn_d, torn_e);
+        assert_eq!(FaultPlan::none().power_loss(false), None);
+    }
+
+    #[test]
+    fn power_loss_budget_spreads_over_distinct_instants() {
+        let plan = FaultPlan::seeded(
+            77,
+            FaultConfig {
+                power_losses: 3,
+                power_loss_phase: PowerLossPhase::MidGc,
+                power_loss_window: 5,
+                ..FaultConfig::default()
+            },
+        );
+        let fired: Vec<usize> = (0..64)
+            .filter(|_| plan.power_loss(true).is_some())
+            .collect();
+        assert_eq!(fired.len(), 3, "whole budget fires");
+        assert!(fired.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub struct SsdConfig {
     /// and transfer, and eviction is FIFO in first-touch order, so results
     /// and traces are byte-identical at any setting. Zero disables caching.
     pub synth_cache_pages: usize,
+    /// Journal records between L2P checkpoints. A smaller interval bounds
+    /// recovery-replay work at the cost of more frequent checkpoint
+    /// snapshots; see `docs/WRITEPATH.md`.
+    pub journal_checkpoint_interval: usize,
 }
 
 impl SsdConfig {
@@ -95,6 +99,7 @@ impl SsdConfig {
             pm_max_keys: 3,
             pm_max_key_len: 16,
             synth_cache_pages: 4096, // 64 MiB of 16 KiB frames
+            journal_checkpoint_interval: 8192,
         }
     }
 
@@ -159,6 +164,9 @@ impl SsdConfig {
         }
         if self.pm_max_keys == 0 || self.pm_max_key_len == 0 {
             return Err("pattern matcher limits must be positive".into());
+        }
+        if self.journal_checkpoint_interval == 0 {
+            return Err("journal checkpoint interval must be positive".into());
         }
         Ok(())
     }

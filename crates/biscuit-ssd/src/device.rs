@@ -135,6 +135,12 @@ struct ChannelInstruments {
     pm_hits: metrics::Counter,
     pm_bytes: metrics::Counter,
     pm_busy_ps: metrics::Counter,
+    /// `nand_read_wait_ps{channel}` / `nand_write_wait_ps{channel}` —
+    /// queueing delay between request issue and die start, per op class.
+    /// Reads stalling behind programs (and vice versa) show up here: the
+    /// read/write interference signal on a shared die.
+    read_wait_ps: metrics::Histogram,
+    write_wait_ps: metrics::Histogram,
 }
 
 struct DeviceInstruments {
@@ -145,6 +151,16 @@ struct DeviceInstruments {
     /// ECC escalations: blocks retired and pages remapped off them.
     ftl_bad_blocks: metrics::Counter,
     ftl_remapped_pages: metrics::Counter,
+    /// Write-path FTL metering: `ftl_gc_runs_total`,
+    /// `ftl_gc_relocated_pages_total`, `ftl_gc_erased_blocks_total`,
+    /// `ftl_journal_records_total`, `ftl_checkpoints_total`, and the
+    /// `ftl_write_amp` gauge (milli-units: 1000 = 1.0x amplification).
+    ftl_gc_runs: metrics::Counter,
+    ftl_gc_relocated: metrics::Counter,
+    ftl_gc_erased: metrics::Counter,
+    ftl_journal_records: metrics::Counter,
+    ftl_checkpoints: metrics::Counter,
+    ftl_write_amp: metrics::Gauge,
     /// Whole-device page counters mirroring [`DeviceStats`].
     pages_read: metrics::Counter,
     pages_scanned: metrics::Counter,
@@ -175,6 +191,8 @@ impl DeviceInstruments {
                     pm_hits: registry.counter("pm_hits_total", &[("channel", &ch)]),
                     pm_bytes: registry.counter("pm_bytes_total", &[("channel", &ch)]),
                     pm_busy_ps: registry.counter("pm_busy_ps_total", &[("channel", &ch)]),
+                    read_wait_ps: registry.histogram("nand_read_wait_ps", &[("channel", &ch)]),
+                    write_wait_ps: registry.histogram("nand_write_wait_ps", &[("channel", &ch)]),
                 }
             })
             .collect();
@@ -183,6 +201,12 @@ impl DeviceInstruments {
             ftl_lookups: registry.counter("ftl_lookups_total", &[]),
             ftl_bad_blocks: registry.counter("ftl_bad_blocks_total", &[]),
             ftl_remapped_pages: registry.counter("ftl_remapped_pages_total", &[]),
+            ftl_gc_runs: registry.counter("ftl_gc_runs_total", &[]),
+            ftl_gc_relocated: registry.counter("ftl_gc_relocated_pages_total", &[]),
+            ftl_gc_erased: registry.counter("ftl_gc_erased_blocks_total", &[]),
+            ftl_journal_records: registry.counter("ftl_journal_records_total", &[]),
+            ftl_checkpoints: registry.counter("ftl_checkpoints_total", &[]),
+            ftl_write_amp: registry.gauge("ftl_write_amp", &[]),
             pages_read: registry.counter("device_pages_read_total", &[]),
             pages_scanned: registry.counter("device_pages_scanned_total", &[]),
             pages_matched: registry.counter("device_pages_matched_total", &[]),
@@ -280,13 +304,14 @@ impl SsdDevice {
             cfg.pages_per_block as u32,
             cfg.page_size,
         );
-        let ftl = Ftl::new(
+        let mut ftl = Ftl::new(
             cfg.channels as u32,
             cfg.ways as u32,
             blocks_per_die,
             cfg.pages_per_block as u32,
             cfg.logical_pages(),
         );
+        ftl.set_checkpoint_interval(cfg.journal_checkpoint_interval);
         let zero_page: PageBuf = Buf::from_vec(vec![0u8; cfg.page_size]);
         // Page frames for write staging and recycled synth-cache evictions;
         // the free-list cap keeps idle frames bounded by one cache's worth.
@@ -346,6 +371,79 @@ impl SsdDevice {
     pub fn bad_block_stats(&self) -> (u64, u64) {
         let st = self.storage.lock();
         (st.ftl.bad_blocks(), st.ftl.remapped_total())
+    }
+
+    /// Write-path statistics `(user_writes, nand_programs, write_amp_milli)`.
+    /// `nand_programs / user_writes` is the write amplification factor;
+    /// the milli value reports it in fixed point (1000 = 1.0x).
+    pub fn write_stats(&self) -> (u64, u64, u64) {
+        let st = self.storage.lock();
+        (
+            st.ftl.user_writes_total(),
+            st.ftl.programs_total(),
+            st.ftl.write_amp_milli(),
+        )
+    }
+
+    /// Journal statistics `(records_appended, checkpoints_installed, seq)`.
+    pub fn journal_stats(&self) -> (u64, u64, u64) {
+        let st = self.storage.lock();
+        let j = st.ftl.journal();
+        (j.appended_total(), j.checkpoints_total(), j.seq())
+    }
+
+    /// True when a seeded power loss has halted the device. Every I/O
+    /// fails with [`FtlError::PowerLoss`] until [`SsdDevice::recover_power_loss`].
+    pub fn is_dead(&self) -> bool {
+        self.storage.lock().ftl.is_dead()
+    }
+
+    /// Forces a journal checkpoint of the current L2P state — the host's
+    /// sync/flush barrier. Bounds later recovery replay to writes issued
+    /// after this point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Ftl`] ([`FtlError::PowerLoss`]) on a crashed,
+    /// unrecovered device.
+    pub fn checkpoint(&self) -> DeviceResult<()> {
+        self.storage.lock().ftl.checkpoint_now()?;
+        if let Some(m) = self.instruments() {
+            m.ftl_checkpoints.inc();
+        }
+        Ok(())
+    }
+
+    /// Replays the journal after a power loss, reviving the device:
+    /// checkpoint restore, ordered redo, torn-program rollback, and a free
+    /// list rebuilt from a physical census of the NAND array. Safe on a
+    /// live device too (models a clean remount). `now` stamps the recovery
+    /// trace event when a fault plan is armed.
+    pub fn recover_power_loss(&self, now: SimTime) -> crate::journal::RecoveryReport {
+        let report = {
+            let mut st = self.storage.lock();
+            let st = &mut *st;
+            st.ftl.recover(&mut st.nand)
+        };
+        if let Some(plan) = self.fault() {
+            plan.record_recovered(now, FaultSite::PowerLoss, "journal_replay");
+        }
+        report
+    }
+
+    /// Deterministic logical state export: one line per mapped logical page
+    /// with a content fingerprint, independent of physical placement. A
+    /// recovered crash run must export bytes identical to its same-seed
+    /// uncrashed twin.
+    pub fn export_state(&self) -> String {
+        let st = self.storage.lock();
+        st.ftl.export_state(&st.nand)
+    }
+
+    /// Deterministic physical state export (full L2P map, free lists, bad
+    /// set) for same-seed run-to-run identity checks.
+    pub fn export_physical_state(&self) -> String {
+        self.storage.lock().ftl.export_physical()
     }
 
     /// Arms the device's fault-injection sites with `plan`: NAND page senses
@@ -520,6 +618,62 @@ impl SsdDevice {
         }
     }
 
+    /// The fault plan handed to FTL persistence operations (which take one
+    /// unconditionally so the power-loss draw happens on every write path);
+    /// inert when no plan is armed.
+    fn write_plan(&self) -> FaultPlan {
+        self.fault().cloned().unwrap_or_else(FaultPlan::none)
+    }
+
+    /// Folds one write's FTL work into the registry counters and gauges.
+    fn note_write_outcome(&self, outcome: &crate::ftl::WriteOutcome, amp_milli: u64) {
+        if let Some(m) = self.instruments() {
+            m.ftl_gc_runs.add(outcome.gc_runs);
+            m.ftl_gc_relocated.add(outcome.relocated);
+            m.ftl_gc_erased.add(outcome.erased_blocks);
+            m.ftl_journal_records.add(outcome.journal_records);
+            m.ftl_checkpoints.add(outcome.checkpoints);
+            m.ftl_write_amp.set(amp_milli as i64);
+        }
+    }
+
+    /// One FTL write under the storage lock. Detects the alive→dead
+    /// power-loss transition and records the injection exactly once (later
+    /// operations on the dead device fail with the same error but are not
+    /// fresh injections).
+    fn ftl_write(
+        &self,
+        now: SimTime,
+        lpn: u64,
+        data: PageData,
+    ) -> Result<crate::ftl::WriteOutcome, FtlError> {
+        let plan = self.write_plan();
+        let mut st = self.storage.lock();
+        let st = &mut *st;
+        let was_alive = !st.ftl.is_dead();
+        match st.ftl.write(&mut st.nand, lpn, data, &plan) {
+            Ok(outcome) => {
+                let amp = st.ftl.write_amp_milli();
+                self.note_write_outcome(&outcome, amp);
+                Ok(outcome)
+            }
+            Err(e) => {
+                if was_alive {
+                    if let FtlError::PowerLoss { during_gc } = e {
+                        if let Some(p) = self.fault() {
+                            p.record_injected(
+                                now,
+                                FaultSite::PowerLoss,
+                                if during_gc { "mid-gc" } else { "mid-write" },
+                            );
+                        }
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
     /// Charges the per-request software overhead on the least-loaded core,
     /// starting no earlier than `now`; returns when the core finishes. An
     /// armed fault plan may draw a firmware stall here, extending the core
@@ -585,21 +739,28 @@ impl SsdDevice {
         }
         if f.uncorrectable {
             let blk = (ppa.channel, ppa.way, ppa.block);
-            let (newly_bad, moved) = {
+            let (newly_bad, moved, retired) = {
                 let mut st = self.storage.lock();
                 let st = &mut *st;
                 let before = st.ftl.bad_blocks();
-                let moved = st
-                    .ftl
-                    .retire_block(&mut st.nand, blk)
-                    .expect("over-provisioned device has room to remap");
-                (st.ftl.bad_blocks() - before, moved)
+                match st.ftl.retire_block(&mut st.nand, blk) {
+                    Ok(moved) => (st.ftl.bad_blocks() - before, moved, true),
+                    // Over-provisioning exhausted (or the device already
+                    // crashed): the block cannot be fully evacuated, so it
+                    // stays in service. The payload itself already survived
+                    // via the read retries above.
+                    Err(_) => (st.ftl.bad_blocks() - before, 0, false),
+                }
             };
             if let Some(m) = self.instruments() {
                 m.ftl_bad_blocks.add(newly_bad);
                 m.ftl_remapped_pages.add(moved);
             }
-            plan.record_recovered(die_end, FaultSite::NandRead, "block_retire");
+            if retired {
+                plan.record_recovered(die_end, FaultSite::NandRead, "block_retire");
+            } else {
+                plan.record_failed(die_end, FaultSite::NandRead, "retire_exhausted");
+            }
         } else {
             plan.record_recovered(die_end, FaultSite::NandRead, "read_retry");
         }
@@ -651,6 +812,7 @@ impl SsdDevice {
             let ch = &m.channels[ppa.channel as usize];
             ch.nand_read.inc();
             ch.nand_busy_ps.add((die_end - die_start).as_ps());
+            ch.read_wait_ps.record((die_start - start).as_ps());
             ch.bus_bytes.add(xfer_bytes);
             ch.bus_busy_ps.add((bus_end - bus_start).as_ps());
             m.pages_read.inc();
@@ -720,6 +882,7 @@ impl SsdDevice {
             let ch = &m.channels[ppa.channel as usize];
             ch.nand_read.inc();
             ch.nand_busy_ps.add((die_end - die_start).as_ps());
+            ch.read_wait_ps.record((die_start - start).as_ps());
             ch.pm_scans.inc();
             ch.pm_bytes.add(self.cfg.page_size as u64);
             ch.pm_busy_ps.add((bus_end - bus_start).as_ps());
@@ -912,12 +1075,7 @@ impl SsdDevice {
             self.count_copy(CopySite::WriteStage, self.cfg.page_size as u64);
             let mut frame = self.pool.take();
             frame.as_mut_slice()[..data.len()].copy_from_slice(data);
-            let outcome = {
-                let mut st = self.storage.lock();
-                let st = &mut *st;
-                st.ftl
-                    .write(&mut st.nand, lpn, PageData::Bytes(frame.freeze()))?
-            };
+            let outcome = self.ftl_write(ctx.now(), lpn, PageData::Bytes(frame.freeze()))?;
             let ppa = self
                 .storage
                 .lock()
@@ -966,6 +1124,7 @@ impl SsdDevice {
                 let ch = &m.channels[ppa.channel as usize];
                 ch.nand_program.inc();
                 ch.nand_busy_ps.add((die_end - die_start).as_ps());
+                ch.write_wait_ps.record((die_start - start).as_ps());
                 ch.bus_bytes.add(self.cfg.page_size as u64);
                 ch.bus_busy_ps.add((bus_end - bus_start).as_ps());
                 if end > bus_end {
@@ -983,6 +1142,11 @@ impl SsdDevice {
                     self.cfg.page_size as u64,
                     ppa.channel,
                 );
+                if end > bus_end {
+                    // GC stall charged to this write (relocation reads +
+                    // programs + the erase), attributed as die time.
+                    q.record(Stage::NandRead, bus_end, end, 0, ppa.channel);
+                }
             }
             self.stats.pages_written.add(1);
             ctx.sleep_until(end);
@@ -1023,79 +1187,160 @@ impl SsdDevice {
                         page_size: self.cfg.page_size,
                     });
                 }
-                if inflight.len() >= queue_depth {
-                    let earliest = inflight.pop_front().expect("nonempty");
-                    ctx.sleep_until(earliest);
-                }
                 self.count_copy(CopySite::WriteStage, self.cfg.page_size as u64);
                 let mut frame = self.pool.take();
                 frame.as_mut_slice()[..data.len()].copy_from_slice(data);
-                let outcome = {
-                    let mut st = self.storage.lock();
-                    let st = &mut *st;
-                    st.ftl
-                        .write(&mut st.nand, *lpn, PageData::Bytes(frame.freeze()))?
-                };
-                let ppa = self
-                    .storage
-                    .lock()
-                    .ftl
-                    .lookup(*lpn)
-                    .expect("checked")
-                    .expect("just written");
-                let start = self.charge_request_overhead(ctx.now());
-                let (die_start, die_end) =
-                    self.dies
-                        .enqueue_span(start, self.die_index(ppa), self.cfg.t_program);
-                let xfer = SimDuration::for_bytes(self.cfg.page_size as u64, self.cfg.channel_rate);
-                let (bus_start, end) = self.buses.enqueue_span(die_end, ppa.channel as usize, xfer);
-                if let Some(tracer) = self.trace() {
-                    tracer.emit(|| TraceEvent::NandOp {
-                        kind: NandOpKind::Program,
-                        channel: ppa.channel,
-                        way: ppa.way,
-                        start: die_start,
-                        end: die_end,
-                    });
-                    tracer.emit(|| TraceEvent::ChannelTransfer {
-                        channel: ppa.channel,
-                        start: bus_start,
-                        end,
-                        bytes: self.cfg.page_size as u64,
-                    });
-                }
-                if let Some(m) = self.instruments() {
-                    let ch = &m.channels[ppa.channel as usize];
-                    ch.nand_program.inc();
-                    ch.nand_busy_ps.add((die_end - die_start).as_ps());
-                    ch.bus_bytes.add(self.cfg.page_size as u64);
-                    ch.bus_busy_ps.add((end - bus_start).as_ps());
-                    ch.nand_erase.add(outcome.erased_blocks);
-                    m.pages_written.inc();
-                }
-                if let Some(q) = self.qprof() {
-                    q.record(Stage::NandRead, die_start, die_end, 0, ppa.channel);
-                    q.record(
-                        Stage::BusTransfer,
-                        bus_start,
-                        end,
-                        self.cfg.page_size as u64,
-                        ppa.channel,
-                    );
-                }
-                gc_penalty += (self.cfg.t_read + self.cfg.t_program) * outcome.relocated
-                    + self.cfg.t_erase * outcome.erased_blocks;
-                self.stats.pages_written.add(1);
-                inflight.push_back(end);
+                self.write_one_async(
+                    ctx,
+                    *lpn,
+                    PageData::Bytes(frame.freeze()),
+                    &mut inflight,
+                    queue_depth,
+                    &mut gc_penalty,
+                )?;
             }
             if let Some(&last) = inflight.back() {
                 ctx.sleep_until(last);
             }
-            ctx.sleep(gc_penalty);
+            self.charge_gc_penalty(ctx, gc_penalty);
             Ok(())
         })();
         self.power_idle(ctx.now());
         result
+    }
+
+    /// Asynchronous write of pre-staged device page frames: like
+    /// [`SsdDevice::write_pages_async`] but the payloads are already full
+    /// page buffers (typically taken from [`SsdDevice::frame_pool`] and
+    /// filled in place), so no staging copy happens here — the zero-copy
+    /// write path the filesystem uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadWriteSize`] if a buffer is not exactly one
+    /// page, or [`DeviceError::Ftl`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth` is zero.
+    pub fn write_bufs_async(
+        &self,
+        ctx: &Ctx,
+        pages: &[(u64, PageBuf)],
+        queue_depth: usize,
+    ) -> DeviceResult<()> {
+        assert!(queue_depth > 0);
+        self.power_busy(ctx.now());
+        let result = (|| {
+            let mut gc_penalty = SimDuration::ZERO;
+            let mut inflight: std::collections::VecDeque<SimTime> = Default::default();
+            for (lpn, buf) in pages {
+                if buf.len() != self.cfg.page_size {
+                    return Err(DeviceError::BadWriteSize {
+                        got: buf.len(),
+                        page_size: self.cfg.page_size,
+                    });
+                }
+                self.write_one_async(
+                    ctx,
+                    *lpn,
+                    PageData::Bytes(buf.clone()),
+                    &mut inflight,
+                    queue_depth,
+                    &mut gc_penalty,
+                )?;
+            }
+            if let Some(&last) = inflight.back() {
+                ctx.sleep_until(last);
+            }
+            self.charge_gc_penalty(ctx, gc_penalty);
+            Ok(())
+        })();
+        self.power_idle(ctx.now());
+        result
+    }
+
+    /// One page of the asynchronous write pipeline: FTL allocation (and any
+    /// GC it triggers), die program, bus transfer, instrumentation.
+    fn write_one_async(
+        &self,
+        ctx: &Ctx,
+        lpn: u64,
+        data: PageData,
+        inflight: &mut std::collections::VecDeque<SimTime>,
+        queue_depth: usize,
+        gc_penalty: &mut SimDuration,
+    ) -> DeviceResult<()> {
+        if inflight.len() >= queue_depth {
+            let earliest = inflight.pop_front().expect("nonempty");
+            ctx.sleep_until(earliest);
+        }
+        let outcome = self.ftl_write(ctx.now(), lpn, data)?;
+        let ppa = self
+            .storage
+            .lock()
+            .ftl
+            .lookup(lpn)
+            .expect("checked")
+            .expect("just written");
+        let start = self.charge_request_overhead(ctx.now());
+        let (die_start, die_end) =
+            self.dies
+                .enqueue_span(start, self.die_index(ppa), self.cfg.t_program);
+        let xfer = SimDuration::for_bytes(self.cfg.page_size as u64, self.cfg.channel_rate);
+        let (bus_start, end) = self.buses.enqueue_span(die_end, ppa.channel as usize, xfer);
+        if let Some(tracer) = self.trace() {
+            tracer.emit(|| TraceEvent::NandOp {
+                kind: NandOpKind::Program,
+                channel: ppa.channel,
+                way: ppa.way,
+                start: die_start,
+                end: die_end,
+            });
+            tracer.emit(|| TraceEvent::ChannelTransfer {
+                channel: ppa.channel,
+                start: bus_start,
+                end,
+                bytes: self.cfg.page_size as u64,
+            });
+        }
+        if let Some(m) = self.instruments() {
+            let ch = &m.channels[ppa.channel as usize];
+            ch.nand_program.inc();
+            ch.nand_busy_ps.add((die_end - die_start).as_ps());
+            ch.write_wait_ps.record((die_start - start).as_ps());
+            ch.bus_bytes.add(self.cfg.page_size as u64);
+            ch.bus_busy_ps.add((end - bus_start).as_ps());
+            ch.nand_erase.add(outcome.erased_blocks);
+            m.pages_written.inc();
+        }
+        if let Some(q) = self.qprof() {
+            q.record(Stage::NandRead, die_start, die_end, 0, ppa.channel);
+            q.record(
+                Stage::BusTransfer,
+                bus_start,
+                end,
+                self.cfg.page_size as u64,
+                ppa.channel,
+            );
+        }
+        *gc_penalty += (self.cfg.t_read + self.cfg.t_program) * outcome.relocated
+            + self.cfg.t_erase * outcome.erased_blocks;
+        self.stats.pages_written.add(1);
+        inflight.push_back(end);
+        Ok(())
+    }
+
+    /// Charges accumulated GC time at the end of an asynchronous write
+    /// batch (a flush absorbing the stall), attributing it as die time.
+    fn charge_gc_penalty(&self, ctx: &Ctx, gc_penalty: SimDuration) {
+        let start = ctx.now();
+        ctx.sleep(gc_penalty);
+        if gc_penalty > SimDuration::ZERO {
+            if let Some(q) = self.qprof() {
+                q.record(Stage::NandRead, start, ctx.now(), 0, 0);
+            }
+        }
     }
 
     /// Untimed bulk load used by workload generators to populate the device
@@ -1106,9 +1351,7 @@ impl SsdDevice {
     ///
     /// Returns [`DeviceError::Ftl`] for out-of-range pages.
     pub fn load_page(&self, lpn: u64, data: PageData) -> DeviceResult<()> {
-        let mut st = self.storage.lock();
-        let st = &mut *st;
-        st.ftl.write(&mut st.nand, lpn, data)?;
+        self.ftl_write(SimTime::ZERO, lpn, data)?;
         Ok(())
     }
 

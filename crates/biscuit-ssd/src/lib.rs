@@ -14,7 +14,9 @@
 //! - [`nand`] — the NAND array: channels × ways of dies holding real page
 //!   bytes ([`PageData`]), plus deterministic content generators.
 //! - [`ftl`] — page-mapped flash translation layer with greedy garbage
-//!   collection and wear leveling.
+//!   collection, wear leveling, and crash-consistent recovery.
+//! - [`journal`] — the write-ahead L2P redo log + checkpoint that recovery
+//!   replays after a power loss (see `docs/WRITEPATH.md`).
 //! - [`pattern`] — the per-channel hardware pattern matcher ([`PatternSet`],
 //!   multi-key substring scan with [`PatternLimits`]).
 //! - [`memory`] — the dual-arena device DRAM budget.
@@ -53,12 +55,14 @@
 pub mod config;
 pub mod device;
 pub mod ftl;
+pub mod journal;
 pub mod memory;
 pub mod nand;
 pub mod pattern;
 
 pub use config::SsdConfig;
 pub use device::{CopySite, DeviceError, DeviceResult, PageBuf, SsdDevice};
-pub use ftl::Ftl;
+pub use ftl::{Ftl, FtlError, WriteOutcome};
+pub use journal::{Journal, JournalRecord, RecoveryReport};
 pub use nand::{NandArray, PageData, PageGen, Ppa};
 pub use pattern::{PatternError, PatternLimits, PatternSet};

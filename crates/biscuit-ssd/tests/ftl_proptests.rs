@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use proptest::prelude::*;
 
+use biscuit_sim::fault::FaultPlan;
 use biscuit_ssd::ftl::Ftl;
 use biscuit_ssd::nand::{NandArray, PageData, Ppa};
 
@@ -47,7 +48,7 @@ proptest! {
         for op in &ops {
             match *op {
                 Op::Write { lpn, fill } => {
-                    ftl.write(&mut nand, lpn, page(fill)).unwrap();
+                    ftl.write(&mut nand, lpn, page(fill), &FaultPlan::none()).unwrap();
                     model.insert(lpn, Some(fill));
                 }
                 Op::Trim { lpn } => {
@@ -71,7 +72,7 @@ proptest! {
         let mut ftl = Ftl::new(2, 2, 4, 4, 40);
         for op in &ops {
             if let Op::Write { lpn, fill } = *op {
-                ftl.write(&mut nand, lpn, page(fill)).unwrap();
+                ftl.write(&mut nand, lpn, page(fill), &FaultPlan::none()).unwrap();
             }
             let mut seen: HashMap<Ppa, u64> = HashMap::new();
             for lpn in 0..40u64 {
@@ -92,7 +93,8 @@ proptest! {
         let mut ftl = Ftl::new(2, 2, 4, 4, 48); // 48 logical of 64 physical
         for round in 0..rounds {
             for lpn in 0..48u64 {
-                ftl.write(&mut nand, lpn, page(round as u8)).unwrap();
+                ftl.write(&mut nand, lpn, page(round as u8), &FaultPlan::none())
+                    .unwrap();
             }
         }
         prop_assert!(ftl.gc_runs() > 0);

@@ -39,6 +39,12 @@ if ! $docs_only; then
     BISCUIT_PAR=2 cargo test -q --test workload
     QOS_SMOKE=1 cargo bench -p biscuit-bench --bench qos
     cargo run --release -q -p biscuit-bench --bin bench_check -- --only qos
+    echo "== write path: crash proptests, power-loss fault rows, GC bench gate"
+    cargo test -q -p biscuit-ssd --test crash_proptests
+    cargo test -q --test faults power_loss
+    BISCUIT_PAR=2 cargo test -q --test faults power_loss
+    WRITEPATH_SMOKE=1 cargo bench -p biscuit-bench --bench writepath
+    cargo run --release -q -p biscuit-bench --bin bench_check -- --only writepath
     echo "== wall-clock smoke: throughput bench + 2x regression gate"
     WALLCLOCK_SMOKE=1 WALLCLOCK_BASELINE=benchmarks/wallclock_baseline.json \
         cargo bench -p biscuit-bench --bench wallclock

@@ -402,3 +402,230 @@ fn drive_loss_mid_gather_is_result_transparent() {
         ) >= Some(1)
     );
 }
+
+// ---------------------------------------------------------------------------
+// Power loss: journal-replay recovery, crashed mid-write and mid-GC
+// ---------------------------------------------------------------------------
+
+use biscuit::fs::{FsError, Mode};
+use biscuit::sim::fault::PowerLossPhase;
+use biscuit::sim::Ctx;
+
+const PL_SCRATCH: &str = "scratch.dat";
+const PL_SCRATCH_BYTES: u64 = 4 << 20;
+const PL_ROUNDS: u64 = 6;
+
+/// Tiny-geometry drive (2x2 dies, 1 MiB blocks, 24 MiB logical) so the
+/// overwrite phase below cycles the free pool several times over: GC runs
+/// repeatedly and a seeded crash can land inside it. `paper_default`'s
+/// 64-die granule never feels write pressure in a test-sized run.
+fn make_pl_db() -> Arc<Db> {
+    let dev = Arc::new(SsdDevice::new(SsdConfig {
+        channels: 2,
+        ways: 2,
+        pages_per_block: 64,
+        logical_capacity: 24 << 20,
+        ..SsdConfig::paper_default()
+    }));
+    let ssd = Ssd::new(Fs::format(dev), CoreConfig::paper_default());
+    let mut db = Db::new(ssd, HostConfig::paper_default(), DbConfig::paper_default());
+    TpchData::generate(SF, 42).load_into(&mut db).unwrap();
+    Arc::new(db)
+}
+
+fn pl_payload(round: u64) -> Vec<u8> {
+    (0..PL_SCRATCH_BYTES)
+        .map(|i| (round.wrapping_mul(157).wrapping_add(i / 64)) as u8)
+        .collect()
+}
+
+/// One full scratch-file overwrite per round. Rewriting the same range is
+/// idempotent, so a host that crashed partway simply recovers the device
+/// and calls this again from round zero.
+fn pl_write_phase(ctx: &Ctx, fs: &Fs) -> Result<(), FsError> {
+    let f = match fs.open(PL_SCRATCH, Mode::ReadWrite) {
+        Ok(f) => f,
+        Err(FsError::NotFound(_)) => fs.create(PL_SCRATCH)?,
+        Err(e) => return Err(e),
+    };
+    for round in 0..PL_ROUNDS {
+        f.write_at(ctx, 0, &pl_payload(round))?;
+    }
+    Ok(())
+}
+
+fn pl_plan(phase: PowerLossPhase) -> FaultPlan {
+    FaultPlan::seeded(
+        SEED,
+        FaultConfig {
+            power_losses: 1,
+            power_loss_phase: phase,
+            // Mid-write instants count host page programs (the first round
+            // alone issues 256); mid-GC instants count GC relocations and
+            // erases, which are far rarer, so the window is tighter.
+            power_loss_window: match phase {
+                PowerLossPhase::MidWrite => 64,
+                PowerLossPhase::MidGc => 8,
+            },
+            ..FaultConfig::default()
+        },
+    )
+}
+
+/// The mini TPC-H workload wrapped around a GC-heavy write phase,
+/// optionally crashed by a seeded power loss. A crashed host replays the
+/// device journal and redoes the phase, then verifies the scratch bytes,
+/// syncs, and runs Q1/Q6 as usual. Returns the query rows, the logical
+/// device export, and the plan.
+fn pl_run(phase: Option<PowerLossPhase>) -> (Vec<Row>, Vec<Row>, String, FaultPlan) {
+    let db = make_pl_db();
+    let plan = match phase {
+        Some(p) => pl_plan(p),
+        None => FaultPlan::none(),
+    };
+    db.ssd().attach_fault_plan(&plan);
+    let dev = Arc::clone(db.ssd().device());
+    let out: Arc<Mutex<Vec<Vec<Row>>>> = Arc::new(Mutex::new(Vec::new()));
+    let o = Arc::clone(&out);
+    let sim = Simulation::new(0);
+    sim.spawn("host", move |ctx| {
+        let fs = db.ssd().fs();
+        if let Err(e) = pl_write_phase(ctx, fs) {
+            // The seeded instant fired: the drive is dead until the
+            // journal replays.
+            assert!(
+                db.ssd().device().is_dead(),
+                "write phase failed but the drive is alive: {e}"
+            );
+            let report = db.ssd().device().recover_power_loss(ctx.now());
+            assert!(
+                report.replayed_records > 0 || report.torn_reverted > 0,
+                "recovery replayed nothing: {report:?}"
+            );
+            pl_write_phase(ctx, fs).expect("redo after recovery");
+        }
+        let mut f = fs.open(PL_SCRATCH, Mode::ReadWrite).unwrap();
+        f.sync(ctx).unwrap();
+        let got = f.read_at(ctx, 0, PL_SCRATCH_BYTES).unwrap();
+        assert_eq!(got, pl_payload(PL_ROUNDS - 1), "scratch bytes diverged");
+        for id in [1, 6] {
+            let q = all_queries().into_iter().find(|q| q.id == id).unwrap();
+            let r = q
+                .run(&db, ctx, ExecMode::Biscuit, HostLoad::IDLE)
+                .unwrap_or_else(|e| panic!("Q{id} failed after power loss: {e}"));
+            o.lock().push(r.rows);
+        }
+    });
+    sim.run().assert_quiescent();
+    let mut rows = out.lock().drain(..).collect::<Vec<_>>();
+    let q6 = rows.pop().unwrap();
+    let q1 = rows.pop().unwrap();
+    (q1, q6, dev.export_state(), plan)
+}
+
+/// Crash during a host page program: the journal's write-ahead record (or
+/// its absence, for a torn program) decides the page, replay restores the
+/// acked state, the redone phase converges, and the queries are oblivious.
+#[test]
+fn power_loss_mid_write_recovers_to_identical_state() {
+    let (clean_q1, clean_q6, clean_state, _) = pl_run(None);
+    assert!(!clean_q1.is_empty() && !clean_q6.is_empty());
+    let (q1, q6, state, plan) = pl_run(Some(PowerLossPhase::MidWrite));
+    assert_eq!(plan.injected_at(FaultSite::PowerLoss), 1, "the crash fired");
+    assert_eq!(
+        plan.recovered_at(FaultSite::PowerLoss),
+        1,
+        "journal replay ran"
+    );
+    assert_eq!(clean_q1, q1, "Q1 rows diverged after power loss");
+    assert_eq!(clean_q6, q6, "Q6 rows diverged after power loss");
+    assert_eq!(
+        clean_state, state,
+        "logical export diverged from the uncrashed twin"
+    );
+}
+
+/// Crash inside garbage collection — mid-relocation or right before a
+/// victim erase: replay must not lose relocated pages or resurrect stale
+/// pre-GC copies.
+#[test]
+fn power_loss_mid_gc_recovers_to_identical_state() {
+    let (clean_q1, clean_q6, clean_state, _) = pl_run(None);
+    let (q1, q6, state, plan) = pl_run(Some(PowerLossPhase::MidGc));
+    assert_eq!(
+        plan.injected_at(FaultSite::PowerLoss),
+        1,
+        "the crash fired mid-GC (the write phase must reach GC pressure)"
+    );
+    assert_eq!(plan.recovered_at(FaultSite::PowerLoss), 1);
+    assert_eq!(clean_q1, q1, "Q1 rows diverged after mid-GC power loss");
+    assert_eq!(clean_q6, q6, "Q6 rows diverged after mid-GC power loss");
+    assert_eq!(
+        clean_state, state,
+        "logical export diverged from the uncrashed twin"
+    );
+}
+
+/// One traced, metered crash/recover run of the power-loss workload;
+/// returns the Chrome-JSON trace, the metrics export, and the physical
+/// device export.
+fn power_loss_observable_run(phase: PowerLossPhase) -> (String, String, String) {
+    let db = make_pl_db();
+    let sim = Simulation::new(0);
+    sim.enable_trace(TraceConfig::default());
+    sim.enable_metrics();
+    db.ssd().attach_tracer(sim.tracer());
+    db.ssd().attach_metrics(sim.metrics());
+    let plan = pl_plan(phase);
+    db.ssd().attach_fault_plan(&plan);
+    plan.attach_metrics(sim.metrics());
+    let dev = Arc::clone(db.ssd().device());
+    sim.spawn("host", move |ctx| {
+        let fs = db.ssd().fs();
+        if pl_write_phase(ctx, fs).is_err() {
+            db.ssd().device().recover_power_loss(ctx.now());
+            pl_write_phase(ctx, fs).expect("redo after recovery");
+        }
+        let mut f = fs.open(PL_SCRATCH, Mode::ReadWrite).unwrap();
+        f.sync(ctx).unwrap();
+    });
+    let report = sim.run();
+    report.assert_quiescent();
+    assert_eq!(plan.injected_at(FaultSite::PowerLoss), 1);
+    (
+        report.trace.to_chrome_json(),
+        report.metrics.to_json(),
+        dev.export_physical_state(),
+    )
+}
+
+#[test]
+fn power_loss_exports_are_byte_identical_across_same_seed_runs() {
+    for phase in [PowerLossPhase::MidWrite, PowerLossPhase::MidGc] {
+        let (trace_a, metrics_a, phys_a) = power_loss_observable_run(phase);
+        let (trace_b, metrics_b, phys_b) = power_loss_observable_run(phase);
+        assert_eq!(
+            trace_a, trace_b,
+            "[{phase:?}] trace export must be byte-identical for the same seed"
+        );
+        assert_eq!(
+            metrics_a, metrics_b,
+            "[{phase:?}] metrics export must be byte-identical for the same seed"
+        );
+        assert_eq!(
+            phys_a, phys_b,
+            "[{phase:?}] physical export must be byte-identical for the same seed"
+        );
+        // The exports carry the write-path observability surface.
+        assert!(metrics_a.contains("ftl_gc_runs_total"), "GC was metered");
+        assert!(metrics_a.contains("ftl_write_amp"), "write amp exported");
+        assert!(
+            metrics_a.contains("fault_injected_total"),
+            "the crash is in the metrics"
+        );
+        assert!(
+            metrics_a.contains("fault_recovered_total"),
+            "the journal replay is in the metrics"
+        );
+    }
+}
