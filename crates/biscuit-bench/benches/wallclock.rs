@@ -125,6 +125,13 @@ struct Measured {
     bytes_copied: u64,
     wall_secs: f64,
     rss_mb: f64,
+    /// Dispatch-path meters (see `docs/PERF.md`): how many events went
+    /// through the heap vs the at-now fast path, how many chains ran
+    /// fully fused, and how many fiber handshakes the dispatch loop paid.
+    events_heap: u64,
+    events_at_now: u64,
+    chains_fused: u64,
+    fiber_switches: u64,
 }
 
 impl Measured {
@@ -166,7 +173,26 @@ impl Measured {
             1e18,
         );
         report.push_tol(&format!("{wl}_peak_rss_mb"), "MiB", None, self.rss_mb, 1e18);
+        // Dispatch-path coverage (deterministic for a fixed BISCUIT_FUSE).
+        for (suffix, v) in [
+            ("events_heap", self.events_heap),
+            ("events_at_now", self.events_at_now),
+            ("chains_fused", self.chains_fused),
+            ("fiber_switches", self.fiber_switches),
+        ] {
+            report.push_tol(&format!("{wl}_{suffix}"), "events", None, v as f64, 1e18);
+        }
     }
+}
+
+/// Pulls the dispatch-path meters out of a metrics snapshot.
+fn dispatch_meters(snap: &biscuit_sim::metrics::MetricsSnapshot) -> (u64, u64, u64, u64) {
+    (
+        snap.counter_sum("sim_events_heap_total"),
+        snap.counter_sum("sim_events_at_now_total"),
+        snap.counter_sum("sim_chains_fused_total"),
+        snap.counter_sum("sim_fiber_switches_total"),
+    )
 }
 
 /// Runs one metered workload, timing the whole simulation (setup inside
@@ -180,6 +206,7 @@ where
     let (result, snap, events) = simulate_profiled(name, true, f);
     let wall_secs = t0.elapsed().as_secs_f64();
     let bytes_copied = snap.counter_sum("sim_bytes_copied_total");
+    let (events_heap, events_at_now, chains_fused, fiber_switches) = dispatch_meters(&snap);
     (
         result,
         Measured {
@@ -187,6 +214,10 @@ where
             bytes_copied,
             wall_secs,
             rss_mb: peak_rss_mb(),
+            events_heap,
+            events_at_now,
+            chains_fused,
+            fiber_switches,
         },
     )
 }
@@ -305,11 +336,22 @@ fn par_soak_workload(sizes: &Sizes) -> (Measured, Measured) {
             .iter()
             .map(|r| r.metrics.counter_sum("sim_bytes_copied_total"))
             .sum();
+        let sum_meter = |name: &str| -> u64 {
+            report
+                .reports
+                .iter()
+                .map(|r| r.metrics.counter_sum(name))
+                .sum()
+        };
         let m = Measured {
             events: report.events_processed(),
             bytes_copied,
             wall_secs,
             rss_mb: peak_rss_mb(),
+            events_heap: sum_meter("sim_events_heap_total"),
+            events_at_now: sum_meter("sim_events_at_now_total"),
+            chains_fused: sum_meter("sim_chains_fused_total"),
+            fiber_switches: sum_meter("sim_fiber_switches_total"),
         };
         (m, report.metrics_json(), report.items.clone())
     };
@@ -335,6 +377,43 @@ fn kernel_microbench(n: u64, metered: bool) -> f64 {
         }
     });
     events as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Fused-vs-unfused chain microbench: one fiber running `n` three-stage
+/// chains (sense → transfer → scan shape, no competing wakes, so with
+/// fusion on every hop runs inline). The unfused run pays the full
+/// heap-push + two-rendezvous cost per chain; the fused run is the upper
+/// bound fusion buys on this machine. Returns events/sec and asserts the
+/// fused engine actually took the fused path.
+fn chain_microbench(n: u64, fuse: bool) -> f64 {
+    use biscuit_sim::fuse::{ChainDesc, StageKind};
+    use biscuit_sim::Simulation;
+
+    let sim = Simulation::new(0);
+    sim.set_fuse(fuse);
+    sim.enable_metrics();
+    let t0 = Instant::now();
+    sim.spawn("chains", move |ctx| {
+        let stage = SimDuration::from_nanos(100);
+        for _ in 0..n {
+            let t = ctx.now();
+            let mut chain = ChainDesc::new();
+            chain.push(StageKind::NandSense, t, t + stage);
+            chain.push(StageKind::BusTransfer, t + stage, t + stage + stage);
+            chain.push(StageKind::MatcherScan, t + stage + stage, t + stage * 3);
+            ctx.run_chain(chain);
+        }
+    });
+    let report = sim.run();
+    let rate = report.events_processed as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    report.assert_quiescent();
+    let fused_chains = report.metrics.counter_sum("sim_chains_fused_total");
+    if fuse {
+        assert_eq!(fused_chains, n, "every chain must fuse in the clean run");
+    } else {
+        assert_eq!(fused_chains, 0, "the unfused engine must not fuse");
+    }
+    rate
 }
 
 /// Rewrites the baseline at `path`, replacing the `measured` value of
@@ -505,6 +584,49 @@ fn main() {
     );
     report.push_tol("disabled_events_per_sec", "events/s", None, disabled, 1e18);
     report.push_tol("enabled_events_per_sec", "events/s", None, enabled, 1e18);
+
+    let chain_n = (sizes.micro_events / 4).max(1);
+    let chain_unfused = chain_microbench(chain_n, false);
+    let chain_fused = chain_microbench(chain_n, true);
+    let fuse_gain = chain_fused / chain_unfused.max(1e-9);
+    println!(
+        "\nchain microbench: {chain_unfused:.0} events/s unfused, \
+         {chain_fused:.0} events/s fused ({fuse_gain:.2}x from fusion)"
+    );
+    report.push_tol(
+        "chain_unfused_events_per_sec",
+        "events/s",
+        None,
+        chain_unfused,
+        1e18,
+    );
+    report.push_tol(
+        "chain_fused_events_per_sec",
+        "events/s",
+        None,
+        chain_fused,
+        1e18,
+    );
+    // Fusion must pay for itself on the pure chain path on any machine:
+    // each unfused hop costs a heap push plus two fiber handshakes that
+    // the fused hop replaces with an inline clock advance.
+    assert!(
+        fuse_gain >= 1.5,
+        "chain fusion gain {fuse_gain:.2}x below the 1.5x floor \
+         ({chain_fused:.0} vs {chain_unfused:.0} events/s)"
+    );
+    // Machine-aware end-to-end payoff floor: with fusion on (the
+    // default), the grep workload must clear 1.5x the pre-fusion
+    // 632 events/s multi-core baseline. Single/dual-core runners and
+    // explicit BISCUIT_FUSE=0 runs measure but do not bind.
+    let grep_rate = workloads[0].1.events_per_sec();
+    if threads >= 4 && biscuit_sim::fuse::from_env() {
+        assert!(
+            grep_rate >= 948.0,
+            "fused grep at {grep_rate:.0} events/s misses the 948 events/s \
+             floor (1.5x the pre-fusion 632) on a {threads}-thread machine"
+        );
+    }
 
     report.write();
 

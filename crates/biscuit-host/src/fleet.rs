@@ -141,14 +141,22 @@ impl<T> FleetReport<T> {
 
     /// One JSON document holding every shard's metrics snapshot in shard
     /// order: `{"shards":[<metrics>,<metrics>,...]}`. Byte-identical for
-    /// the same seed across all thread policies.
+    /// the same seed across all thread policies and both `BISCUIT_FUSE`
+    /// settings: engine-variant meters (dispatch-path counters that
+    /// legitimately change with fusion and lookahead windows, see
+    /// [`biscuit_sim::fuse::VARIANT_METRICS`]) are excluded here; read
+    /// them from the per-shard reports when you want the raw engine view.
     pub fn metrics_json(&self) -> String {
         let mut s = String::from("{\"shards\":[");
         for (i, r) in self.reports.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
-            s.push_str(&r.metrics.to_json());
+            s.push_str(
+                &r.metrics
+                    .without(biscuit_sim::fuse::VARIANT_METRICS)
+                    .to_json(),
+            );
         }
         s.push_str("]}");
         s

@@ -16,6 +16,7 @@
 use std::any::Any;
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Once};
 use std::thread::JoinHandle;
 
@@ -68,7 +69,30 @@ struct FiberSlot {
     /// notifications.
     park_gen: u64,
     resume_tx: Sender<Resume>,
-    handle: Option<JoinHandle<()>>,
+}
+
+/// Work item for a pooled fiber worker thread.
+enum Job {
+    Run {
+        kernel: Arc<Kernel>,
+        pid: Pid,
+        resume_rx: Receiver<Resume>,
+        f: Box<dyn FnOnce(&Ctx) + Send + 'static>,
+    },
+    Shutdown,
+}
+
+/// Parked, reusable fiber worker threads. A fiber body borrows a worker for
+/// its lifetime; on exit the worker rejoins `idle` and the next spawn reuses
+/// it instead of paying OS thread creation (metered as
+/// `sim_fiber_threads_reused_total`).
+struct ThreadPool {
+    /// Job senders of workers currently waiting for work (LIFO: the most
+    /// recently parked worker is the warmest).
+    idle: Vec<Sender<Job>>,
+    /// Every worker ever created, for shutdown.
+    workers: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 #[derive(PartialEq, Eq)]
@@ -105,6 +129,18 @@ struct KernelInner {
     fibers: Vec<FiberSlot>,
     rng: SmallRng,
     events_processed: u64,
+    /// Livelock backstop shared by the dispatcher and the fused-advance
+    /// path (see [`Simulation::set_max_events`]).
+    max_events: u64,
+    /// Horizon of the `run_until` window currently driving this kernel.
+    /// A fused advance may never move `now` past it — crossing the barrier
+    /// must go through the scheduler so windowed (PDES) runs pause exactly
+    /// where the unfused path would.
+    run_limit: SimTime,
+    /// Dispatch-path meters (clones of the scheduler's counters, so
+    /// `push_event` can attribute each wake to the heap or the at-now FIFO).
+    events_heap: metrics::Counter,
+    events_at_now: metrics::Counter,
 }
 
 impl KernelInner {
@@ -123,8 +159,10 @@ impl KernelInner {
             gen,
         };
         if time == self.now {
+            self.events_at_now.inc();
             self.at_now.push_back(ev);
         } else {
+            self.events_heap.inc();
             self.events.push(ev);
         }
     }
@@ -174,6 +212,19 @@ struct SchedMetrics {
     fibers_spawned: metrics::Counter,
     context_switches: metrics::Counter,
     runnable: metrics::Gauge,
+    /// Wakes routed to the binary heap (future timestamps).
+    events_heap: metrics::Counter,
+    /// Wakes routed to the at-now FIFO fast path.
+    events_at_now: metrics::Counter,
+    /// Chain descriptors whose every hop ran fused (see [`crate::fuse`]).
+    chains_fused: metrics::Counter,
+    /// Real fiber dispatches: cross-thread resume handshakes actually paid.
+    /// `sim_context_switches_total` counts *logical* switches (mirrored by
+    /// the fused path so exports match across `BISCUIT_FUSE` settings);
+    /// the difference between the two is the fusion win.
+    fiber_switches: metrics::Counter,
+    /// Fiber spawns served by a parked worker thread from the free list.
+    threads_reused: metrics::Counter,
 }
 
 impl SchedMetrics {
@@ -182,6 +233,11 @@ impl SchedMetrics {
             fibers_spawned: registry.counter("sim_fibers_spawned_total", &[]),
             context_switches: registry.counter("sim_context_switches_total", &[]),
             runnable: registry.gauge("sim_runnable_queue_depth", &[]),
+            events_heap: registry.counter("sim_events_heap_total", &[]),
+            events_at_now: registry.counter("sim_events_at_now_total", &[]),
+            chains_fused: registry.counter("sim_chains_fused_total", &[]),
+            fiber_switches: registry.counter("sim_fiber_switches_total", &[]),
+            threads_reused: registry.counter("sim_fiber_threads_reused_total", &[]),
         }
     }
 }
@@ -195,6 +251,10 @@ pub struct Kernel {
     metrics: MetricsRegistry,
     qprof: QueryProfiler,
     sched: SchedMetrics,
+    /// `BISCUIT_FUSE` policy: when on, [`Ctx::advance_to`] may run a hop
+    /// inline instead of parking. Never changes observable behavior.
+    fuse_enabled: AtomicBool,
+    pool: Mutex<ThreadPool>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -237,6 +297,64 @@ impl Kernel {
         self.inner.lock().push_event(at, pid, gen);
     }
 
+    /// Whether fused-chain execution is on for this kernel (the
+    /// `BISCUIT_FUSE` policy knob; see [`crate::fuse`]).
+    pub fn fuse_enabled(&self) -> bool {
+        self.fuse_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Attempts to advance virtual time to `at` on behalf of the *running*
+    /// fiber `pid` without a park/dispatch round-trip. Succeeds only when
+    /// the hop is provably equivalent to an unfused sleep: `at` lies within
+    /// the current `run_until` window and no pending wake (stale ones
+    /// included — the dispatcher would pop and discard them, and equal
+    /// timestamps would dispatch first by sequence) exists at or before
+    /// `at`. On success every piece of scheduler accounting the unfused
+    /// path would perform — `events_processed`, the event cap, the
+    /// context-switch counter, the runnable gauge, qprof attribution, and
+    /// the FiberBlock/FiberResume trace pair — is mirrored exactly, so all
+    /// exports stay byte-identical across `BISCUIT_FUSE` settings.
+    pub(crate) fn try_fuse_advance(&self, pid: Pid, at: SimTime) -> bool {
+        let (old_now, pending) = {
+            let mut inner = self.inner.lock();
+            if at <= inner.now {
+                // Zero-length hop: the unfused path would not park either.
+                return true;
+            }
+            if at > inner.run_limit {
+                // The hop would cross the window barrier; defer to the
+                // scheduler so the windowed run pauses exactly like an
+                // unfused one.
+                return false;
+            }
+            if let Some(t) = inner.peek_event_time() {
+                if t <= at {
+                    return false;
+                }
+            }
+            let old_now = inner.now;
+            inner.now = at;
+            inner.events_processed += 1;
+            if inner.events_processed > inner.max_events {
+                drop(inner);
+                // Propagates through the fiber's catch_unwind into
+                // `first_panic`, and `finish` re-raises it.
+                panic!("simulation exceeded event cap");
+            }
+            (old_now, inner.pending_events())
+        };
+        self.sched.context_switches.inc();
+        self.sched.runnable.set(pending as i64);
+        self.qprof.on_switch(pid);
+        // The unfused pair is adjacent in the trace too: the fiber emits
+        // FiberBlock before its Parked handshake and the scheduler (blocked
+        // until then) emits FiberResume next.
+        self.tracer
+            .emit(|| TraceEvent::FiberBlock { at: old_now, pid });
+        self.tracer.emit(|| TraceEvent::FiberResume { at, pid });
+        true
+    }
+
     fn spawn_fiber<F>(self: &Arc<Self>, name: String, f: F) -> Pid
     where
         F: FnOnce(&Ctx) + Send + 'static,
@@ -244,13 +362,6 @@ impl Kernel {
         let (resume_tx, resume_rx) = bounded::<Resume>(1);
         let mut inner = self.inner.lock();
         let pid = inner.fibers.len();
-        let kernel = Arc::clone(self);
-        let thread_name = format!("sim-{pid}-{name}");
-        let handle = std::thread::Builder::new()
-            .name(thread_name)
-            .stack_size(512 * 1024)
-            .spawn(move || fiber_main(kernel, pid, resume_rx, f))
-            .expect("failed to spawn fiber thread");
         let trace_name: Option<Arc<str>> = if self.tracer.is_enabled() {
             Some(Arc::from(name.as_str()))
         } else {
@@ -261,12 +372,41 @@ impl Kernel {
             state: FiberState::Parked,
             park_gen: 1,
             resume_tx,
-            handle: Some(handle),
         });
         // First resume at the current time, generation 1 (the initial park).
         let now = inner.now;
         inner.push_event(now, pid, 1);
         drop(inner);
+        let job = Job::Run {
+            kernel: Arc::clone(self),
+            pid,
+            resume_rx,
+            f: Box::new(f),
+        };
+        // Run the body on a parked worker thread when one is free; grow the
+        // pool otherwise. Reuse is deterministic: a finished fiber rejoins
+        // the free list before the scheduler can dispatch anything else.
+        let idle = self.pool.lock().idle.pop();
+        match idle {
+            Some(job_tx) => {
+                self.sched.threads_reused.inc();
+                job_tx.send(job).expect("fiber worker hung up");
+            }
+            None => {
+                let (job_tx, job_rx) = unbounded::<Job>();
+                let tx = job_tx.clone();
+                let mut pool = self.pool.lock();
+                let handle = std::thread::Builder::new()
+                    .name(format!("sim-worker-{}", pool.workers.len()))
+                    .stack_size(512 * 1024)
+                    .spawn(move || worker_main(job_rx, tx))
+                    .expect("failed to spawn fiber worker thread");
+                pool.workers.push(job_tx.clone());
+                pool.handles.push(handle);
+                drop(pool);
+                job_tx.send(job).expect("fiber worker hung up");
+            }
+        }
         self.sched.fibers_spawned.inc();
         // Causal inheritance: the new fiber starts under whatever query
         // context the spawning fiber carries.
@@ -279,34 +419,53 @@ impl Kernel {
     }
 }
 
-fn fiber_main<F>(kernel: Arc<Kernel>, pid: Pid, resume_rx: Receiver<Resume>, f: F)
-where
-    F: FnOnce(&Ctx) + Send + 'static,
-{
-    // Initial park: wait for the scheduler's first resume.
-    match resume_rx.recv() {
-        Ok(Resume::Go) => {}
-        Ok(Resume::Cancel) | Err(_) => {
-            let _ = kernel
-                .yield_tx
-                .send((pid, YieldMsg::Finished { panic: None }));
-            return;
+fn worker_main(job_rx: Receiver<Job>, job_tx: Sender<Job>) {
+    while let Ok(job) = job_rx.recv() {
+        match job {
+            Job::Shutdown => break,
+            Job::Run {
+                kernel,
+                pid,
+                resume_rx,
+                f,
+            } => fiber_main(kernel, pid, resume_rx, f, &job_tx),
         }
     }
-    let ctx = Ctx {
-        kernel: Arc::clone(&kernel),
-        pid,
-        resume_rx,
+}
+
+fn fiber_main(
+    kernel: Arc<Kernel>,
+    pid: Pid,
+    resume_rx: Receiver<Resume>,
+    f: Box<dyn FnOnce(&Ctx) + Send + 'static>,
+    job_tx: &Sender<Job>,
+) {
+    // Initial park: wait for the scheduler's first resume.
+    let payload = match resume_rx.recv() {
+        Ok(Resume::Go) => {
+            let ctx = Ctx {
+                kernel: Arc::clone(&kernel),
+                pid,
+                resume_rx,
+            };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+            drop(ctx);
+            match result {
+                Ok(()) => None,
+                Err(p) if p.downcast_ref::<SimCancelled>().is_some() => None,
+                Err(p) => Some(p),
+            }
+        }
+        Ok(Resume::Cancel) | Err(_) => None,
     };
-    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
-    let payload = match result {
-        Ok(()) => None,
-        Err(p) if p.downcast_ref::<SimCancelled>().is_some() => None,
-        Err(p) => Some(p),
-    };
-    let _ = kernel
-        .yield_tx
-        .send((pid, YieldMsg::Finished { panic: payload }));
+    let yield_tx = kernel.yield_tx.clone();
+    // Rejoin the free list *before* announcing Finished: the scheduler is
+    // blocked on yield_rx until then, so a subsequent spawn observes this
+    // worker deterministically. The worker holds no kernel reference while
+    // idle (no Arc cycle).
+    kernel.pool.lock().idle.push(job_tx.clone());
+    drop(kernel);
+    let _ = yield_tx.send((pid, YieldMsg::Finished { panic: payload }));
 }
 
 /// Handle a fiber uses to interact with virtual time.
@@ -357,6 +516,36 @@ impl Ctx {
         if at > now {
             self.sleep(at - now);
         }
+    }
+
+    /// Fused [`Ctx::sleep_until`]: when the `BISCUIT_FUSE` policy is on and
+    /// no other fiber could legally run in `(now, at]`, advances the clock
+    /// inline — no park, no cross-thread handshake — and returns `true`.
+    /// Otherwise falls back to [`Ctx::sleep_until`] and returns `false`.
+    /// Observable behavior (virtual timestamps, event counts, traces,
+    /// metrics, qprof attribution) is identical either way; only wall-clock
+    /// cost differs. See [`crate::fuse`] for the chain-descriptor layer on
+    /// top of this primitive.
+    pub fn advance_to(&self, at: SimTime) -> bool {
+        if self.kernel.fuse_enabled() && self.kernel.try_fuse_advance(self.pid, at) {
+            return true;
+        }
+        self.sleep_until(at);
+        false
+    }
+
+    /// Fused [`Ctx::sleep`]: `advance_to(now + d)`.
+    pub fn advance(&self, d: SimDuration) -> bool {
+        if d.is_zero() {
+            return true;
+        }
+        let at = self.now() + d;
+        self.advance_to(at)
+    }
+
+    /// Counts a chain whose every hop ran fused (see [`crate::fuse`]).
+    pub(crate) fn note_chain_fused(&self) {
+        self.kernel.sched.chains_fused.inc();
     }
 
     /// Yields to other fibers runnable at the current instant.
@@ -564,7 +753,6 @@ pub enum RunStatus {
 pub struct Simulation {
     kernel: Arc<Kernel>,
     yield_rx: Receiver<(Pid, YieldMsg)>,
-    max_events: u64,
     finished: bool,
     /// First fiber panic observed by `run_until`; re-raised by `finish`.
     first_panic: Option<Box<dyn Any + Send>>,
@@ -609,17 +797,26 @@ impl Simulation {
                 fibers: Vec::new(),
                 rng: SmallRng::seed_from_u64(seed),
                 events_processed: 0,
+                max_events: u64::MAX,
+                run_limit: SimTime::ZERO,
+                events_heap: sched.events_heap.clone(),
+                events_at_now: sched.events_at_now.clone(),
             }),
             yield_tx,
             tracer: Tracer::new(),
             metrics,
             qprof: QueryProfiler::new(),
             sched,
+            fuse_enabled: AtomicBool::new(crate::fuse::from_env()),
+            pool: Mutex::new(ThreadPool {
+                idle: Vec::new(),
+                workers: Vec::new(),
+                handles: Vec::new(),
+            }),
         });
         Simulation {
             kernel,
             yield_rx,
-            max_events: u64::MAX,
             finished: false,
             first_panic: None,
         }
@@ -628,7 +825,15 @@ impl Simulation {
     /// Caps the number of wake events processed (a livelock backstop).
     /// Exceeding the cap aborts the run with a panic.
     pub fn set_max_events(&mut self, max: u64) {
-        self.max_events = max;
+        self.kernel.inner.lock().max_events = max;
+    }
+
+    /// Overrides the `BISCUIT_FUSE` policy for this simulation (the env
+    /// knob sets the default). Fusion is a wall-clock optimization only:
+    /// both settings produce byte-identical exports at the same seed (see
+    /// [`crate::fuse`] and `docs/PERF.md`).
+    pub fn set_fuse(&self, on: bool) {
+        self.kernel.fuse_enabled.store(on, Ordering::Relaxed);
     }
 
     /// Shared kernel handle (needed by library code that schedules work).
@@ -726,6 +931,8 @@ impl Simulation {
         if self.first_panic.is_some() {
             return RunStatus::Panicked;
         }
+        // Publish the window horizon: a fused advance may not cross it.
+        self.kernel.inner.lock().run_limit = limit;
         loop {
             // Pop the next valid event at or before the horizon.
             let next = {
@@ -741,7 +948,7 @@ impl Simulation {
                     if slot.state == FiberState::Parked && slot.park_gen == ev.gen {
                         inner.now = ev.time;
                         inner.events_processed += 1;
-                        if inner.events_processed > self.max_events {
+                        if inner.events_processed > inner.max_events {
                             drop(inner);
                             self.teardown();
                             panic!("simulation exceeded event cap");
@@ -759,6 +966,9 @@ impl Simulation {
                 Some(Ok(ev)) => ev,
             };
             self.kernel.sched.context_switches.inc();
+            // A real dispatch (cross-thread handshake), as opposed to the
+            // logical switches the fused path mirrors.
+            self.kernel.sched.fiber_switches.inc();
             self.kernel.sched.runnable.set(pending as i64);
             self.kernel.qprof.on_switch(pid);
             self.kernel
@@ -770,17 +980,16 @@ impl Simulation {
                 (_, YieldMsg::Parked) => {}
                 (fpid, YieldMsg::Finished { panic }) => {
                     debug_assert_eq!(fpid, pid);
-                    let mut inner = self.kernel.inner.lock();
-                    inner.fibers[fpid].state = FiberState::Finished;
-                    let handle = inner.fibers[fpid].handle.take();
-                    let now = inner.now;
-                    drop(inner);
+                    let now = {
+                        let mut inner = self.kernel.inner.lock();
+                        inner.fibers[fpid].state = FiberState::Finished;
+                        inner.now
+                    };
                     self.kernel
                         .tracer
                         .emit(|| TraceEvent::FiberFinish { at: now, pid: fpid });
-                    if let Some(h) = handle {
-                        let _ = h.join();
-                    }
+                    // The worker thread that ran this fiber has already
+                    // parked itself on the pool's free list; nothing to join.
                     if let Some(p) = panic {
                         self.first_panic.get_or_insert(p);
                     }
@@ -851,7 +1060,7 @@ impl Simulation {
         }
     }
 
-    /// Cancels all parked fibers and joins their threads.
+    /// Cancels all parked fibers, then retires the worker thread pool.
     fn teardown(&self) {
         loop {
             // Cancel parked fibers one by one; each cancellation may cause the
@@ -877,13 +1086,7 @@ impl Simulation {
             loop {
                 match self.yield_rx.recv() {
                     Ok((fpid, YieldMsg::Finished { .. })) => {
-                        let mut inner = self.kernel.inner.lock();
-                        inner.fibers[fpid].state = FiberState::Finished;
-                        let handle = inner.fibers[fpid].handle.take();
-                        drop(inner);
-                        if let Some(h) = handle {
-                            let _ = h.join();
-                        }
+                        self.kernel.inner.lock().fibers[fpid].state = FiberState::Finished;
                         if fpid == pid {
                             break;
                         }
@@ -895,6 +1098,23 @@ impl Simulation {
                     Err(_) => return,
                 }
             }
+        }
+        // Retire the worker pool. Every fiber has finished, so each worker
+        // is idle or about to be — Shutdown queues behind its last job.
+        // Idempotent: a second teardown finds the pool already drained.
+        let (workers, handles) = {
+            let mut pool = self.kernel.pool.lock();
+            pool.idle.clear();
+            (
+                std::mem::take(&mut pool.workers),
+                std::mem::take(&mut pool.handles),
+            )
+        };
+        for tx in &workers {
+            let _ = tx.send(Job::Shutdown);
+        }
+        for h in handles {
+            let _ = h.join();
         }
     }
 }
@@ -1150,5 +1370,162 @@ mod tests {
         let err = panic::catch_unwind(AssertUnwindSafe(|| sim.run())).unwrap_err();
         let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
         assert!(msg.contains("event cap"));
+    }
+
+    #[test]
+    fn event_cap_aborts_fused_advances_too() {
+        let mut sim = Simulation::new(0);
+        sim.set_max_events(10);
+        sim.set_fuse(true);
+        sim.spawn("spin", |ctx| loop {
+            ctx.advance(SimDuration::from_nanos(1));
+        });
+        let err = panic::catch_unwind(AssertUnwindSafe(|| sim.run())).unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("event cap"), "got: {msg}");
+    }
+
+    /// `advance` and `sleep` are observationally identical: same end time,
+    /// same event count, same legacy scheduler metrics. Only the dispatch
+    /// meters in `crate::fuse::VARIANT_METRICS` may differ.
+    #[test]
+    fn fused_advance_mirrors_sleep_accounting() {
+        fn run(fuse: bool) -> (SimReport, String) {
+            let sim = Simulation::new(5);
+            sim.enable_metrics();
+            sim.set_fuse(fuse);
+            sim.spawn("hopper", |ctx| {
+                for _ in 0..50 {
+                    ctx.advance(SimDuration::from_micros(3));
+                }
+            });
+            let report = sim.run();
+            report.assert_quiescent();
+            let json = report
+                .metrics
+                .without(crate::fuse::VARIANT_METRICS)
+                .to_json();
+            (report, json)
+        }
+        let (unfused, unfused_json) = run(false);
+        let (fused, fused_json) = run(true);
+        assert_eq!(unfused.end_time, fused.end_time);
+        assert_eq!(unfused.events_processed, fused.events_processed);
+        assert_eq!(unfused_json, fused_json);
+        // The fused run dispatched fewer real fiber switches.
+        let real = |r: &SimReport| {
+            r.metrics
+                .counter_value("sim_fiber_switches_total", &[])
+                .unwrap()
+        };
+        assert!(real(&fused) < real(&unfused));
+        assert_eq!(
+            fused
+                .metrics
+                .counter_value("sim_context_switches_total", &[]),
+            unfused
+                .metrics
+                .counter_value("sim_context_switches_total", &[]),
+        );
+    }
+
+    /// A fused advance may not cross the `run_until` horizon: the kernel
+    /// pauses at the same points, with the same `Paused { next }`, as an
+    /// unfused run — windows never change the schedule.
+    #[test]
+    fn fused_advance_respects_window_barriers() {
+        fn run(fuse: bool, windowed: bool) -> (Vec<u64>, SimReport) {
+            let sim = Simulation::new(1);
+            sim.set_fuse(fuse);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let l = Arc::clone(&log);
+            sim.spawn("hopper", move |ctx| {
+                for step in 0..6u64 {
+                    ctx.advance(SimDuration::from_micros(4 + step));
+                    l.lock().push(ctx.now().as_micros());
+                }
+            });
+            let report = if windowed {
+                let mut sim = sim;
+                let mut horizon = SimTime::ZERO + SimDuration::from_micros(5);
+                loop {
+                    match sim.run_until(horizon) {
+                        RunStatus::Drained => break sim.finish(),
+                        RunStatus::Paused { next } => {
+                            assert!(next > horizon);
+                            horizon = horizon + SimDuration::from_micros(5);
+                        }
+                        RunStatus::Panicked => unreachable!(),
+                    }
+                }
+            } else {
+                sim.run()
+            };
+            report.assert_quiescent();
+            let out = log.lock().clone();
+            (out, report)
+        }
+        let (log_ref, rep_ref) = run(false, false);
+        for (fuse, windowed) in [(false, true), (true, false), (true, true)] {
+            let (log, rep) = run(fuse, windowed);
+            assert_eq!(log, log_ref, "fuse={fuse} windowed={windowed}");
+            assert_eq!(rep.end_time, rep_ref.end_time);
+            assert_eq!(rep.events_processed, rep_ref.events_processed);
+        }
+    }
+
+    #[test]
+    fn finished_fiber_threads_are_reused() {
+        let sim = Simulation::new(0);
+        sim.enable_metrics();
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&c);
+        sim.spawn("parent", move |ctx| {
+            // Children run strictly one after another, so each spawn after
+            // the first finds the previous child's worker on the free list.
+            for i in 0..4u64 {
+                let c = Arc::clone(&c2);
+                ctx.spawn(format!("child{i}"), move |cctx| {
+                    cctx.sleep(SimDuration::from_micros(1));
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+                ctx.sleep(SimDuration::from_micros(10));
+            }
+        });
+        let report = sim.run();
+        report.assert_quiescent();
+        assert_eq!(c.load(Ordering::SeqCst), 4);
+        let reused = report
+            .metrics
+            .counter_value("sim_fiber_threads_reused_total", &[])
+            .unwrap();
+        assert!(
+            reused >= 3,
+            "sequential children must reuse workers: {reused}"
+        );
+    }
+
+    #[test]
+    fn thread_reuse_does_not_change_schedule() {
+        fn run() -> (Vec<(u64, usize)>, u64) {
+            let sim = Simulation::new(9);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let l = Arc::clone(&log);
+            sim.spawn("parent", move |ctx| {
+                for i in 0..6usize {
+                    let l = Arc::clone(&l);
+                    ctx.spawn(format!("c{i}"), move |cctx| {
+                        cctx.sleep(SimDuration::from_micros(2 + i as u64));
+                        l.lock().push((cctx.now().as_micros(), i));
+                    });
+                    ctx.sleep(SimDuration::from_micros(3));
+                }
+            });
+            let report = sim.run();
+            report.assert_quiescent();
+            let out = log.lock().clone();
+            (out, report.events_processed)
+        }
+        assert_eq!(run(), run());
     }
 }

@@ -10,6 +10,10 @@
 //! ## Layout
 //!
 //! - [`kernel`] — the event loop, fibers, and the [`Ctx`] handle.
+//! - [`fuse`] — fused event-chain execution: the hot datapath declares a
+//!   whole stage chain up front and runs it inline, skipping the event
+//!   heap and fiber handshakes when provably equivalent (`BISCUIT_FUSE`,
+//!   see `docs/PERF.md`).
 //! - [`par`] — conservative parallel DES: drive N independent shard
 //!   kernels on real OS threads with a canonical cross-thread merge port
 //!   (see `docs/PARALLEL.md`).
@@ -60,6 +64,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod fault;
+pub mod fuse;
 pub mod kernel;
 pub mod metrics;
 pub mod par;

@@ -32,6 +32,12 @@
 //!   Windows only decide when control returns to the driver — the event
 //!   order inside each shard never changes (see
 //!   [`Simulation::run_until`]).
+//! - **Fusion never crosses a window barrier.** With `BISCUIT_FUSE` on,
+//!   shard fibers run hot event chains inline (see [`crate::fuse`]), but
+//!   a fused hop is only taken up to the window's `run_until` horizon —
+//!   a chain reaching past the barrier de-fuses, parks, and resumes in a
+//!   later window exactly where the unfused schedule would, so lookahead
+//!   windows still bound memory without changing a single exported byte.
 //! - **Merge lanes are unbounded.** A bounded cross-thread lane plus
 //!   canonical-order consumption can deadlock when fewer worker threads
 //!   than shards exist (the worker that owns the lane the consumer waits
@@ -808,5 +814,55 @@ mod tests {
             logs.iter().map(|l| l.lock().clone()).collect()
         }
         assert_eq!(run(ParMode::Single), run(ParMode::PerShard));
+    }
+
+    /// Fused chain execution composes with PDES lookahead windows: a chain
+    /// whose completion lies beyond the current window barrier de-fuses and
+    /// parks exactly like an unfused sleep, so every `(mode, fuse)` combo
+    /// yields the same per-shard observation stream.
+    #[test]
+    fn fused_chains_respect_window_barriers_across_modes() {
+        use crate::fuse::{ChainDesc, StageKind};
+
+        fn run(mode: ParMode, fuse: bool) -> Vec<Vec<(u64, u64)>> {
+            let logs: Vec<Arc<PlMutex<Vec<(u64, u64)>>>> =
+                (0..3).map(|_| Arc::new(PlMutex::new(Vec::new()))).collect();
+            let (txs, mut rx) = merge_port::<()>(3);
+            let mut shards = Vec::new();
+            for (i, tx) in txs.into_iter().enumerate() {
+                let sim = Simulation::new(shard_seed(9, i));
+                sim.set_fuse(fuse);
+                let log = Arc::clone(&logs[i]);
+                sim.spawn(format!("s{i}"), move |ctx| {
+                    for pass in 0..8u64 {
+                        // Chain lengths straddle the 7us lookahead window,
+                        // so some hops fuse and some must park on the
+                        // barrier and resume in a later window.
+                        let d = SimDuration::from_micros(2 + (pass + i as u64) % 9);
+                        let mut chain = ChainDesc::new();
+                        let t = ctx.now();
+                        chain.push(StageKind::NandSense, t, t + d);
+                        chain.push(StageKind::BusTransfer, t + d, t + d + d);
+                        ctx.run_chain(chain);
+                        log.lock().push((ctx.now().as_micros(), pass));
+                    }
+                    tx.close();
+                });
+                shards.push(sim);
+            }
+            let cfg = ParConfig {
+                mode,
+                lookahead: Some(SimDuration::from_micros(7)),
+            };
+            run_fleet(shards, &cfg, move || while rx.recv().is_some() {});
+            logs.iter().map(|l| l.lock().clone()).collect()
+        }
+
+        let reference = run(ParMode::Single, false);
+        for mode in [ParMode::Single, ParMode::PerShard, ParMode::Threads(2)] {
+            for fuse in [false, true] {
+                assert_eq!(run(mode, fuse), reference, "{mode:?}/fuse={fuse}");
+            }
+        }
     }
 }

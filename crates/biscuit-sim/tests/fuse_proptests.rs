@@ -1,0 +1,164 @@
+//! Property-based determinism tests for fused event-chain execution.
+//!
+//! The load-bearing contract of `biscuit_sim::fuse` (see `docs/PERF.md`):
+//! with the same seed and workload, a simulation produces **byte-identical**
+//! exports — Chrome trace, metrics (minus the engine's own dispatch-path
+//! meters, [`biscuit_sim::fuse::VARIANT_METRICS`]), end time, and event
+//! count — whether `BISCUIT_FUSE` is on or off, whether the driver runs
+//! free or in PDES lookahead windows, and whether chains were de-fused by
+//! builders. These properties randomize the chain shapes, stage latencies,
+//! peer-fiber interleavings, and window sizes; the device-level variants
+//! (faults, `BISCUIT_PAR` policies) live in `tests/fuse.rs` at the repo
+//! root.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+use biscuit_sim::fuse::{ChainDesc, StageKind, VARIANT_METRICS};
+use biscuit_sim::kernel::RunStatus;
+use biscuit_sim::queue::SimQueue;
+use biscuit_sim::time::{SimDuration, SimTime};
+use biscuit_sim::{Simulation, TraceConfig};
+
+/// Complete observable surface of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Observed {
+    end_time_ps: u64,
+    events: u64,
+    log: Vec<(usize, u64, u64)>,
+    trace: String,
+    metrics: String,
+}
+
+/// Runs `fibers` chain-executing fibers plus one queue ping-pong pair (the
+/// peer wakes force hop-level de-fusion at random points), under the given
+/// fuse setting and optional lookahead window.
+fn run_workload(
+    seed: u64,
+    fibers: usize,
+    passes: usize,
+    stages: usize,
+    defuse_mask: u32,
+    fuse: bool,
+    window_us: Option<u64>,
+) -> Observed {
+    let sim = Simulation::new(seed);
+    sim.set_fuse(fuse);
+    sim.enable_metrics();
+    sim.enable_trace(TraceConfig::default());
+    let log: Arc<Mutex<Vec<(usize, u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    for i in 0..fibers {
+        let l = Arc::clone(&log);
+        sim.spawn(format!("chains{i}"), move |ctx| {
+            for pass in 0..passes {
+                let mut chain = ChainDesc::new();
+                let mut t = ctx.now();
+                for s in 0..stages {
+                    let d = 1 + (seed + i as u64 * 5 + pass as u64 * 3 + s as u64) % 6;
+                    let end = t + SimDuration::from_micros(d);
+                    chain.push(
+                        if s % 2 == 0 {
+                            StageKind::NandSense
+                        } else {
+                            StageKind::BusTransfer
+                        },
+                        t,
+                        end,
+                    );
+                    t = end;
+                }
+                if defuse_mask & (1 << (pass % 32)) != 0 {
+                    // Builders de-fuse chains on rare paths (ECC retry);
+                    // model that here and require identical observables.
+                    chain.defuse();
+                }
+                ctx.run_chain(chain);
+                l.lock().push((i, pass as u64, ctx.now().as_micros()));
+            }
+        });
+    }
+
+    // Queue ping-pong: wakes land between other fibers' chain hops, so
+    // the fuse guard must fall back to the heap to keep dispatch order.
+    let q = SimQueue::new(2);
+    let tx = q.clone();
+    sim.spawn("pinger", move |ctx| {
+        for v in 0..(passes as u32 * 2) {
+            ctx.sleep(SimDuration::from_micros(3));
+            tx.push(ctx, v).unwrap();
+        }
+        tx.close(ctx);
+    });
+    let l = Arc::clone(&log);
+    sim.spawn("ponger", move |ctx| {
+        while let Some(v) = q.pop(ctx) {
+            ctx.sleep(SimDuration::from_micros(2));
+            l.lock().push((usize::MAX, v as u64, ctx.now().as_micros()));
+        }
+    });
+
+    let report = match window_us {
+        None => sim.run(),
+        Some(w) => {
+            let step = SimDuration::from_micros(w);
+            let mut sim = sim;
+            let mut horizon = SimTime::ZERO + step;
+            loop {
+                match sim.run_until(horizon) {
+                    RunStatus::Drained => break sim.finish(),
+                    RunStatus::Paused { next } => {
+                        assert!(next > horizon, "Paused must point past the horizon");
+                        horizon = horizon + step;
+                    }
+                    RunStatus::Panicked => unreachable!("workload does not panic"),
+                }
+            }
+        }
+    };
+    report.assert_quiescent();
+    let log = log.lock().clone();
+    Observed {
+        end_time_ps: report.end_time.as_ps(),
+        events: report.events_processed,
+        log,
+        trace: report.trace.to_chrome_json(),
+        metrics: report.metrics.without(VARIANT_METRICS).to_json(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fused and unfused runs of the same randomized workload are
+    /// byte-identical on every export, free-running or windowed.
+    #[test]
+    fn fuse_is_observationally_invisible(
+        seed in 0u64..1_000,
+        fibers in 1usize..4,
+        passes in 1usize..6,
+        stages in 1usize..5,
+        defuse_mask in any::<u32>(),
+        window_us in prop::option::of(1u64..40),
+    ) {
+        let unfused = run_workload(seed, fibers, passes, stages, defuse_mask, false, window_us);
+        let fused = run_workload(seed, fibers, passes, stages, defuse_mask, true, window_us);
+        prop_assert_eq!(&fused, &unfused);
+    }
+
+    /// Window size is a memory bound, not a behavior knob: under fusion,
+    /// every window size matches the free-running run byte for byte.
+    #[test]
+    fn fused_windows_never_change_artifacts(
+        seed in 0u64..1_000,
+        passes in 1usize..6,
+        stages in 1usize..5,
+        window_us in 1u64..40,
+    ) {
+        let free = run_workload(seed, 2, passes, stages, 0, true, None);
+        let windowed = run_workload(seed, 2, passes, stages, 0, true, Some(window_us));
+        prop_assert_eq!(&windowed, &free);
+    }
+}

@@ -15,6 +15,7 @@
 //!   Biscuit bandwidth (Fig. 7), while only matching pages surface.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
@@ -22,6 +23,7 @@ use parking_lot::Mutex;
 use biscuit_proto::{Buf, BufPool};
 
 use biscuit_sim::fault::{FaultPlan, FaultSite};
+use biscuit_sim::fuse::{ChainDesc, StageKind};
 use biscuit_sim::metrics::{self, MetricsRegistry};
 use biscuit_sim::power::{ComponentId, PowerMeter};
 use biscuit_sim::qprof::{QueryProfiler, Stage};
@@ -274,6 +276,12 @@ pub struct SsdDevice {
     metrics: OnceLock<DeviceInstruments>,
     qprof: OnceLock<QueryProfiler>,
     fault: OnceLock<FaultPlan>,
+    /// Bumped whenever the armed fault plan draws a NAND read fault.
+    /// Chain builders snapshot it around a request's reservations: a bump
+    /// means an ECC retry (or block retirement) landed mid-chain, and the
+    /// request de-fuses — deterministically, since the draw itself comes
+    /// from the seeded plan at build time.
+    fault_epoch: AtomicU64,
     zero_page: PageBuf,
     synth_cache: Mutex<SynthCache>,
     pool: BufPool,
@@ -327,6 +335,7 @@ impl SsdDevice {
             metrics: OnceLock::new(),
             qprof: OnceLock::new(),
             fault: OnceLock::new(),
+            fault_epoch: AtomicU64::new(0),
             storage: Mutex::new(Storage { nand, ftl }),
             zero_page,
             synth_cache: Mutex::new(SynthCache::default()),
@@ -596,7 +605,14 @@ impl SsdDevice {
     }
 
     fn die_index(&self, ppa: Ppa) -> usize {
-        ppa.channel as usize * self.cfg.ways + ppa.way as usize
+        ppa.die_index(self.cfg.ways)
+    }
+
+    /// Current NAND-read-fault epoch (see the `fault_epoch` field). Chain
+    /// builders — including the host I/O path — compare snapshots taken
+    /// around a request's reservations to decide whether to de-fuse.
+    pub fn fault_epoch(&self) -> u64 {
+        self.fault_epoch.load(Ordering::Relaxed)
     }
 
     /// Fetches page contents and its physical location without timing.
@@ -709,6 +725,9 @@ impl SsdDevice {
         let Some(f) = plan.nand_read_fault() else {
             return die_end;
         };
+        // Mid-chain disruption: whoever is building a chain descriptor
+        // around this sense must de-fuse (see `fault_epoch`).
+        self.fault_epoch.fetch_add(1, Ordering::Relaxed);
         plan.record_injected(
             die_end,
             FaultSite::NandRead,
@@ -779,6 +798,19 @@ impl SsdDevice {
         lpn: u64,
         bytes: usize,
     ) -> DeviceResult<(SimTime, PageBuf)> {
+        self.enqueue_read_chained(start, lpn, bytes, None)
+    }
+
+    /// [`SsdDevice::enqueue_read`], additionally recording the page's
+    /// NAND-sense and bus-transfer stages into a chain descriptor (the host
+    /// I/O path builds its per-request chains this way).
+    pub fn enqueue_read_chained(
+        &self,
+        start: SimTime,
+        lpn: u64,
+        bytes: usize,
+        mut chain: Option<&mut ChainDesc>,
+    ) -> DeviceResult<(SimTime, PageBuf)> {
         let (ppa, data) = self.fetch(lpn)?;
         let buf = match data {
             Some(d) => self.materialize_counted(&d),
@@ -793,6 +825,10 @@ impl SsdDevice {
         let (bus_start, bus_end) = self
             .buses
             .enqueue_span(die_done, ppa.channel as usize, xfer);
+        if let Some(chain) = chain.as_deref_mut() {
+            chain.push(StageKind::NandSense, die_start, die_done);
+            chain.push(StageKind::BusTransfer, bus_start, bus_end);
+        }
         if let Some(tracer) = self.trace() {
             tracer.emit(|| TraceEvent::NandOp {
                 kind: NandOpKind::Read,
@@ -821,7 +857,13 @@ impl SsdDevice {
             // die_done extends past die_end when fault retries re-sensed
             // the page, so the span closes over the whole recovery.
             q.record(Stage::NandRead, die_start, die_done, 0, ppa.channel);
-            q.record(Stage::BusTransfer, bus_start, bus_end, xfer_bytes, ppa.channel);
+            q.record(
+                Stage::BusTransfer,
+                bus_start,
+                bus_end,
+                xfer_bytes,
+                ppa.channel,
+            );
         }
         self.stats.pages_read.add(1);
         Ok((bus_end, buf))
@@ -839,15 +881,31 @@ impl SsdDevice {
         lpn: u64,
         pattern: &PatternSet,
     ) -> DeviceResult<(SimTime, Option<PageBuf>)> {
+        self.enqueue_scan_chained(start, lpn, pattern, None)
+    }
+
+    /// [`SsdDevice::enqueue_scan`] recording the page's sense and matcher
+    /// stages into a chain descriptor.
+    fn enqueue_scan_chained(
+        &self,
+        start: SimTime,
+        lpn: u64,
+        pattern: &PatternSet,
+        mut chain: Option<&mut ChainDesc>,
+    ) -> DeviceResult<(SimTime, Option<PageBuf>)> {
         let (ppa, data) = self.fetch(lpn)?;
         let (die_start, die_end) =
             self.dies
                 .enqueue_span(start, self.die_index(ppa), self.cfg.t_read);
         let die_done = self.apply_nand_read_fault(lpn, ppa, die_end);
-        let xfer = SimDuration::for_bytes(self.cfg.page_size as u64, self.cfg.pm_rate);
+        let xfer = pattern.scan_time(self.cfg.page_size as u64, self.cfg.pm_rate);
         let (bus_start, bus_end) = self
             .buses
             .enqueue_span(die_done, ppa.channel as usize, xfer);
+        if let Some(chain) = chain.as_deref_mut() {
+            chain.push(StageKind::NandSense, die_start, die_done);
+            chain.push(StageKind::MatcherScan, bus_start, bus_end);
+        }
         self.stats.pages_scanned.add(1);
         let hit = match data {
             Some(d) => {
@@ -920,14 +978,24 @@ impl SsdDevice {
 
     fn read_pages_inner(&self, ctx: &Ctx, lpns: &[u64]) -> DeviceResult<Vec<PageBuf>> {
         let start = self.charge_request_overhead(ctx.now());
+        let epoch = self.fault_epoch();
+        let mut chain = ChainDesc::new();
         let mut out = Vec::with_capacity(lpns.len());
         let mut end = start;
         for &lpn in lpns {
-            let (t, buf) = self.enqueue_read(start, lpn, self.cfg.page_size)?;
+            let (t, buf) =
+                self.enqueue_read_chained(start, lpn, self.cfg.page_size, Some(&mut chain))?;
             end = end.max(t);
             out.push(buf);
         }
-        ctx.sleep_until(end);
+        // An ECC retry was drawn while building this request: de-fuse so the
+        // perturbed completion goes through the event heap like any other
+        // rare-path wake.
+        if self.fault_epoch() != epoch {
+            chain.defuse();
+        }
+        chain.set_completion(end);
+        ctx.run_chain(chain);
         Ok(out)
     }
 
@@ -942,14 +1010,20 @@ impl SsdDevice {
         self.power_busy(ctx.now());
         let result = (|| {
             let start = self.charge_request_overhead(ctx.now());
+            let epoch = self.fault_epoch();
+            let mut chain = ChainDesc::new();
             let mut out = Vec::with_capacity(spans.len());
             let mut end = start;
             for &(lpn, bytes) in spans {
-                let (t, buf) = self.enqueue_read(start, lpn, bytes)?;
+                let (t, buf) = self.enqueue_read_chained(start, lpn, bytes, Some(&mut chain))?;
                 end = end.max(t);
                 out.push(buf);
             }
-            ctx.sleep_until(end);
+            if self.fault_epoch() != epoch {
+                chain.defuse();
+            }
+            chain.set_completion(end);
+            ctx.run_chain(chain);
             Ok(out)
         })();
         self.power_idle(ctx.now());
@@ -977,23 +1051,37 @@ impl SsdDevice {
         self.power_busy(ctx.now());
         let result = (|| {
             let mut out = Vec::with_capacity(lpns.len());
-            let mut inflight: std::collections::VecDeque<SimTime> = Default::default();
+            let mut inflight: std::collections::VecDeque<ChainDesc> = Default::default();
             for chunk in lpns.chunks(request_pages) {
                 if inflight.len() >= queue_depth {
                     let earliest = inflight.pop_front().expect("inflight nonempty");
-                    ctx.sleep_until(earliest);
+                    ctx.run_chain(earliest);
                 }
                 let start = self.charge_request_overhead(ctx.now());
+                let epoch = self.fault_epoch();
+                let mut chain = ChainDesc::new();
                 let mut end = start;
                 for &lpn in chunk {
-                    let (t, buf) = self.enqueue_read(start, lpn, self.cfg.page_size)?;
+                    let (t, buf) = self.enqueue_read_chained(
+                        start,
+                        lpn,
+                        self.cfg.page_size,
+                        Some(&mut chain),
+                    )?;
                     end = end.max(t);
                     out.push(buf);
                 }
-                inflight.push_back(end);
+                if self.fault_epoch() != epoch {
+                    chain.defuse();
+                }
+                chain.set_completion(end);
+                inflight.push_back(chain);
             }
-            if let Some(&last) = inflight.back() {
-                ctx.sleep_until(last);
+            // Only the newest in-flight request gates batch completion (its
+            // completion time dominates); the rest are dropped unexecuted,
+            // exactly as their wake times were dropped unslept before.
+            if let Some(chain) = inflight.pop_back() {
+                ctx.run_chain(chain);
             }
             Ok(out)
         })();
@@ -1023,11 +1111,11 @@ impl SsdDevice {
         self.power_busy(ctx.now());
         let result = (|| {
             let mut out = Vec::new();
-            let mut inflight: std::collections::VecDeque<SimTime> = Default::default();
+            let mut inflight: std::collections::VecDeque<ChainDesc> = Default::default();
             for chunk in lpns.chunks(request_pages) {
                 if inflight.len() >= queue_depth {
                     let earliest = inflight.pop_front().expect("inflight nonempty");
-                    ctx.sleep_until(earliest);
+                    ctx.run_chain(earliest);
                 }
                 // IP setup costs software time on a core per request.
                 let (core, _) = self.cores.least_loaded();
@@ -1037,18 +1125,25 @@ impl SsdDevice {
                 if let Some(q) = self.qprof() {
                     q.record(Stage::SsdletCompute, ctx.now(), start, 0, core as u32);
                 }
+                let epoch = self.fault_epoch();
+                let mut chain = ChainDesc::new();
                 let mut end = start;
                 for &lpn in chunk {
-                    let (t, hit) = self.enqueue_scan(start, lpn, pattern)?;
+                    let (t, hit) =
+                        self.enqueue_scan_chained(start, lpn, pattern, Some(&mut chain))?;
                     end = end.max(t);
                     if let Some(buf) = hit {
                         out.push((lpn, buf));
                     }
                 }
-                inflight.push_back(end);
+                if self.fault_epoch() != epoch {
+                    chain.defuse();
+                }
+                chain.set_completion(end);
+                inflight.push_back(chain);
             }
-            if let Some(&last) = inflight.back() {
-                ctx.sleep_until(last);
+            if let Some(chain) = inflight.pop_back() {
+                ctx.run_chain(chain);
             }
             Ok(out)
         })();
@@ -1096,6 +1191,14 @@ impl SsdDevice {
                     + self.cfg.t_erase * outcome.erased_blocks;
                 end += gc_time;
             }
+            let mut chain = ChainDesc::new();
+            chain.push(StageKind::ProgramJournal, die_start, die_end);
+            chain.push(StageKind::BusTransfer, bus_start, bus_end);
+            if end > bus_end {
+                // GC relocations + erase ride the same chain as a tail stage.
+                chain.push(StageKind::ProgramJournal, bus_end, end);
+            }
+            chain.set_completion(end);
             if let Some(tracer) = self.trace() {
                 tracer.emit(|| TraceEvent::NandOp {
                     kind: NandOpKind::Program,
@@ -1149,7 +1252,7 @@ impl SsdDevice {
                 }
             }
             self.stats.pages_written.add(1);
-            ctx.sleep_until(end);
+            ctx.run_chain(chain);
             Ok(())
         })();
         self.power_idle(ctx.now());
@@ -1179,7 +1282,7 @@ impl SsdDevice {
         self.power_busy(ctx.now());
         let result = (|| {
             let mut gc_penalty = SimDuration::ZERO;
-            let mut inflight: std::collections::VecDeque<SimTime> = Default::default();
+            let mut inflight: std::collections::VecDeque<ChainDesc> = Default::default();
             for (lpn, data) in pages {
                 if data.len() > self.cfg.page_size {
                     return Err(DeviceError::BadWriteSize {
@@ -1199,8 +1302,8 @@ impl SsdDevice {
                     &mut gc_penalty,
                 )?;
             }
-            if let Some(&last) = inflight.back() {
-                ctx.sleep_until(last);
+            if let Some(chain) = inflight.pop_back() {
+                ctx.run_chain(chain);
             }
             self.charge_gc_penalty(ctx, gc_penalty);
             Ok(())
@@ -1233,7 +1336,7 @@ impl SsdDevice {
         self.power_busy(ctx.now());
         let result = (|| {
             let mut gc_penalty = SimDuration::ZERO;
-            let mut inflight: std::collections::VecDeque<SimTime> = Default::default();
+            let mut inflight: std::collections::VecDeque<ChainDesc> = Default::default();
             for (lpn, buf) in pages {
                 if buf.len() != self.cfg.page_size {
                     return Err(DeviceError::BadWriteSize {
@@ -1250,8 +1353,8 @@ impl SsdDevice {
                     &mut gc_penalty,
                 )?;
             }
-            if let Some(&last) = inflight.back() {
-                ctx.sleep_until(last);
+            if let Some(chain) = inflight.pop_back() {
+                ctx.run_chain(chain);
             }
             self.charge_gc_penalty(ctx, gc_penalty);
             Ok(())
@@ -1267,13 +1370,13 @@ impl SsdDevice {
         ctx: &Ctx,
         lpn: u64,
         data: PageData,
-        inflight: &mut std::collections::VecDeque<SimTime>,
+        inflight: &mut std::collections::VecDeque<ChainDesc>,
         queue_depth: usize,
         gc_penalty: &mut SimDuration,
     ) -> DeviceResult<()> {
         if inflight.len() >= queue_depth {
             let earliest = inflight.pop_front().expect("nonempty");
-            ctx.sleep_until(earliest);
+            ctx.run_chain(earliest);
         }
         let outcome = self.ftl_write(ctx.now(), lpn, data)?;
         let ppa = self
@@ -1327,7 +1430,11 @@ impl SsdDevice {
         *gc_penalty += (self.cfg.t_read + self.cfg.t_program) * outcome.relocated
             + self.cfg.t_erase * outcome.erased_blocks;
         self.stats.pages_written.add(1);
-        inflight.push_back(end);
+        let mut chain = ChainDesc::new();
+        chain.push(StageKind::ProgramJournal, die_start, die_end);
+        chain.push(StageKind::BusTransfer, bus_start, end);
+        chain.set_completion(end);
+        inflight.push_back(chain);
         Ok(())
     }
 
@@ -1335,7 +1442,7 @@ impl SsdDevice {
     /// batch (a flush absorbing the stall), attributing it as die time.
     fn charge_gc_penalty(&self, ctx: &Ctx, gc_penalty: SimDuration) {
         let start = ctx.now();
-        ctx.sleep(gc_penalty);
+        ctx.advance(gc_penalty);
         if gc_penalty > SimDuration::ZERO {
             if let Some(q) = self.qprof() {
                 q.record(Stage::NandRead, start, ctx.now(), 0, 0);

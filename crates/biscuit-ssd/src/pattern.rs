@@ -148,6 +148,14 @@ impl PatternSet {
         self.limits
     }
 
+    /// Time for the matcher to stream `bytes` off the channel at `rate`
+    /// bytes/sec. The IP runs at line rate regardless of key count (§IV-A),
+    /// so the scan stage of a fused chain is a pure function of page size
+    /// and the channel's pattern-match rate.
+    pub fn scan_time(&self, bytes: u64, rate: f64) -> biscuit_sim::time::SimDuration {
+        biscuit_sim::time::SimDuration::for_bytes(bytes, rate)
+    }
+
     /// True if any keyword occurs in `data` (the IP's page-granular verdict).
     pub fn matches(&self, data: &[u8]) -> bool {
         self.keys.iter().any(|k| find_sub(data, k).is_some())

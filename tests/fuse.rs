@@ -1,0 +1,234 @@
+//! Fused event-chain execution is observationally invisible at full stack.
+//!
+//! `BISCUIT_FUSE` (see `docs/PERF.md`) lets the hot NAND→bus→match pipeline
+//! run to completion inside one fiber activation instead of bouncing every
+//! hop through the event heap. These tests pin the contract that makes the
+//! optimisation safe to default on: for the same seed and workload, the
+//! fused and unfused engines export **byte-identical** artifacts — match
+//! counts, virtual end times, event counts, Chrome traces, metrics (minus
+//! the engine's own dispatch-path meters), and query profiles — including
+//! under injected faults (an ECC retry de-fuses its chain) and under every
+//! `BISCUIT_PAR` thread policy.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use biscuit::apps::search::{biscuit_grep, conv_grep, load_grep_module};
+use biscuit::apps::weblog::{WeblogGen, NEEDLE};
+use biscuit::core::{CoreConfig, Ssd};
+use biscuit::fs::{Fs, Mode};
+use biscuit::host::{ConvIo, HostConfig, HostLoad};
+use biscuit::sim::fault::{FaultConfig, FaultPlan};
+use biscuit::sim::fuse::VARIANT_METRICS;
+use biscuit::sim::par::{ParConfig, ParMode};
+use biscuit::sim::{SimDuration, Simulation, TraceConfig};
+use biscuit::ssd::{SsdConfig, SsdDevice};
+
+/// Everything one full-stack grep run exports.
+#[derive(Debug, PartialEq, Eq)]
+struct Observed {
+    conv_count: u64,
+    biscuit_count: u64,
+    end_time_ps: u64,
+    events: u64,
+    trace: String,
+    metrics: String,
+    profiles: String,
+    chains_fused: u64,
+}
+
+/// Greps a synthetic web log both ways (Conv read path and device-side
+/// offload) on one drive, with trace/metrics/qprof all on, optionally
+/// under an armed fault plan.
+fn grep_run(fuse: bool, plan: Option<&FaultPlan>) -> Observed {
+    let device = Arc::new(SsdDevice::new(SsdConfig {
+        logical_capacity: 64 << 20,
+        ..SsdConfig::paper_default()
+    }));
+    let fs = Fs::format(Arc::clone(&device));
+    let page = device.config().page_size as u64;
+    fs.create_synthetic("log", 256 * page, Arc::new(WeblogGen::new(7, 300)))
+        .unwrap();
+    let file = fs.open("log", Mode::ReadOnly).unwrap();
+    let ssd = Ssd::new(fs, CoreConfig::paper_default());
+    let conv = ConvIo::new(
+        Arc::clone(ssd.device()),
+        Arc::clone(ssd.link()),
+        HostConfig::paper_default(),
+    );
+    if let Some(p) = plan {
+        ssd.device().set_fault_plan(p);
+        ssd.link().set_fault_plan(p);
+    }
+
+    let sim = Simulation::new(1234);
+    sim.set_fuse(fuse);
+    sim.enable_trace(TraceConfig::default());
+    sim.enable_metrics();
+    sim.enable_qprof();
+    ssd.attach_tracer(sim.tracer());
+    ssd.attach_metrics(sim.metrics());
+
+    let counts: Arc<Mutex<(u64, u64)>> = Arc::new(Mutex::new((0, 0)));
+    let c = Arc::clone(&counts);
+    sim.spawn("host", move |ctx| {
+        let mid = load_grep_module(ctx, &ssd).unwrap();
+        let a = conv_grep(ctx, &conv, &file, NEEDLE.as_bytes(), HostLoad::new(6)).unwrap();
+        let b = biscuit_grep(ctx, &ssd, mid, &file, NEEDLE.as_bytes()).unwrap();
+        *c.lock() = (a, b);
+    });
+    let report = sim.run();
+    report.assert_quiescent();
+    let (conv_count, biscuit_count) = *counts.lock();
+    Observed {
+        conv_count,
+        biscuit_count,
+        end_time_ps: report.end_time.as_ps(),
+        events: report.events_processed,
+        trace: report.trace.to_chrome_json(),
+        metrics: report.metrics.without(VARIANT_METRICS).to_json(),
+        profiles: report.profiles.to_json(),
+        chains_fused: report.metrics.counter_sum("sim_chains_fused_total"),
+    }
+}
+
+/// The core contract: toggling fusion changes no exported byte, and the
+/// fused engine actually fused chains (the run is not vacuously unfused).
+#[test]
+fn fuse_toggle_is_byte_identical_full_stack() {
+    let unfused = grep_run(false, None);
+    let fused = grep_run(true, None);
+    assert!(unfused.conv_count > 0, "the corpus plants needles");
+    assert_eq!(unfused.chains_fused, 0, "unfused engine counts no chains");
+    assert!(
+        fused.chains_fused > 0,
+        "the fused engine must take the fused path"
+    );
+    // Compare everything except the intentionally different engine meter.
+    let (mut a, mut b) = (unfused, fused);
+    a.chains_fused = 0;
+    b.chains_fused = 0;
+    assert_eq!(a, b);
+}
+
+/// Under a saturating fault plan every read request draws an ECC retry,
+/// which de-fuses its chain — and the exports still match byte for byte.
+#[test]
+fn faulted_runs_stay_byte_identical_and_defuse() {
+    let plan = || {
+        FaultPlan::seeded(
+            11,
+            FaultConfig {
+                nand_read_error_rate: 1.0,
+                link_corrupt_rate: 0.5,
+                core_stall_rate: 0.5,
+                ..FaultConfig::default()
+            },
+        )
+    };
+    let (pa, pb) = (plan(), plan());
+    let unfused = grep_run(false, Some(&pa));
+    let fused = grep_run(true, Some(&pb));
+    assert!(pa.injected_total() >= 1, "the plan actually fired");
+    assert_eq!(pa.injected_total(), pb.injected_total());
+    assert_eq!(
+        fused.chains_fused, 0,
+        "every read chain drew an ECC retry and must de-fuse"
+    );
+    let (mut a, mut b) = (unfused, fused);
+    a.chains_fused = 0;
+    b.chains_fused = 0;
+    assert_eq!(a, b);
+}
+
+/// A small write-then-read workload (program + journal hop from the write
+/// path, then the read pipeline) is equally invariant under fusion.
+#[test]
+fn write_path_is_fuse_invariant() {
+    let run = |fuse: bool| -> (u64, u64, String) {
+        let device = Arc::new(SsdDevice::new(SsdConfig {
+            logical_capacity: 32 << 20,
+            ..SsdConfig::paper_default()
+        }));
+        let sim = Simulation::new(77);
+        sim.set_fuse(fuse);
+        sim.enable_metrics();
+        device.attach_metrics(sim.metrics());
+        let dev = Arc::clone(&device);
+        sim.spawn("writer", move |ctx| {
+            let pages: Vec<(u64, Vec<u8>)> = (0..64u64)
+                .map(|i| (i, vec![(i % 251) as u8; dev.config().page_size]))
+                .collect();
+            dev.write_pages_async(ctx, &pages, 4).unwrap();
+            for (lpn, data) in &pages {
+                let got = dev.read_pages(ctx, &[*lpn]).unwrap();
+                assert_eq!(&got[0][..], &data[..]);
+            }
+        });
+        let report = sim.run();
+        report.assert_quiescent();
+        (
+            report.end_time.as_ps(),
+            report.events_processed,
+            report.metrics.without(VARIANT_METRICS).to_json(),
+        )
+    };
+    assert_eq!(run(false), run(true));
+}
+
+/// Fusion composes with the parallel fleet: every `BISCUIT_PAR` policy
+/// times both fuse settings merges the same items and exports the same
+/// bytes as the single-threaded unfused reference.
+#[test]
+fn fleet_policies_and_fuse_agree() {
+    use biscuit::apps::search::{fleet_grep, fleet_grep_expected};
+    use biscuit::host::fleet::FleetConfig;
+
+    let (drives, pages, rarity, passes) = (2usize, 24u64, 150u64, 2usize);
+    let expected = fleet_grep_expected(drives, pages, rarity, passes);
+    assert!(expected > 0);
+
+    let run = |mode: ParMode, fuse: &str| {
+        // `Simulation::new` samples BISCUIT_FUSE at construction; scope the
+        // override to this closure (the other tests in this file always
+        // call `set_fuse` explicitly, so they are insensitive to it).
+        std::env::set_var("BISCUIT_FUSE", fuse);
+        let cfg = FleetConfig {
+            drives,
+            seed: 7,
+            metrics: true,
+            trace: Some(TraceConfig::default()),
+            qprof: false,
+            par: ParConfig {
+                mode,
+                lookahead: Some(SimDuration::from_micros(200)),
+            },
+        };
+        let report = fleet_grep(&cfg, pages, rarity, passes);
+        std::env::remove_var("BISCUIT_FUSE");
+        report.assert_quiescent();
+        (
+            report.items.clone(),
+            report.trace_json(),
+            report.metrics_json(),
+            report.events_processed(),
+        )
+    };
+
+    let reference = run(ParMode::Single, "0");
+    assert_eq!(
+        reference.0.iter().map(|(_, c)| *c).sum::<u64>(),
+        expected,
+        "fleet count"
+    );
+    for mode in [ParMode::Single, ParMode::PerShard, ParMode::Threads(2)] {
+        for fuse in ["0", "1"] {
+            let got = run(mode, fuse);
+            assert_eq!(got.0, reference.0, "{mode:?}/fuse={fuse}: merged items");
+            assert_eq!(got.1, reference.1, "{mode:?}/fuse={fuse}: trace export");
+            assert_eq!(got.2, reference.2, "{mode:?}/fuse={fuse}: metrics export");
+            assert_eq!(got.3, reference.3, "{mode:?}/fuse={fuse}: event count");
+        }
+    }
+}
